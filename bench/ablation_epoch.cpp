@@ -1,0 +1,85 @@
+// Ablation: what each cc-NVM ingredient buys (DESIGN.md §5).
+//
+//   1. Deferred spreading: per-write-back HMAC computations and engine
+//      occupancy, with vs without DS (the §4.3 "calculated once per drain"
+//      saving).
+//   2. Epoch length in practice: which trigger fires drains, and how the
+//      epoch length (write-backs per drain) translates into metadata
+//      write traffic per data write.
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+using namespace ccnvm;
+
+int main() {
+  std::printf("=== Ablation: deferred spreading & epoch economics ===\n\n");
+
+  // --- Part 1: DS effect per workload -------------------------------
+  std::printf("%-12s | %14s %14s | %14s %14s\n", "benchmark",
+              "noDS hmac/wb", "DS hmac/wb", "noDS busy/wb", "DS busy/wb");
+  for (const auto& profile : trace::spec2006_profiles()) {
+    double hmac[2], busy[2];
+    int i = 0;
+    for (core::DesignKind kind :
+         {core::DesignKind::kCcNvmNoDs, core::DesignKind::kCcNvm}) {
+      sim::ExperimentConfig config;
+      config.measure_refs = 300'000;
+      config.warmup_refs = 100'000;
+      sim::SystemConfig sys;
+      sys.kind = kind;
+      sys.design = config.design;
+      sim::System system(sys);
+      trace::TraceGenerator gen(profile, config.seed);
+      system.run(gen, config.warmup_refs);
+      system.reset_measurement();
+      system.run(gen, config.measure_refs);
+      const sim::SimResult r = system.result();
+      const double wb = static_cast<double>(
+          std::max<std::uint64_t>(1, r.design_stats.write_backs));
+      hmac[i] = static_cast<double>(r.design_stats.hmac_ops) / wb;
+      busy[i] = static_cast<double>(r.design_stats.engine_busy_cycles) / wb;
+      ++i;
+    }
+    std::printf("%-12s | %14.2f %14.2f | %14.1f %14.1f\n",
+                profile.name.c_str(), hmac[0], hmac[1], busy[0], busy[1]);
+  }
+
+  // --- Part 2: epoch length vs metadata traffic ----------------------
+  std::printf("\nEpoch economics and trigger mix (cc-NVM, gcc profile):\n");
+  std::printf("%6s %6s | %12s %16s %18s | %22s\n", "N", "M", "wb/drain",
+              "meta-writes/wb", "drain cycles/wb", "triggers daq/evict/N");
+  for (std::uint32_t n : {4u, 16u, 64u}) {
+    for (std::size_t m : {16u, 64u}) {
+      sim::ExperimentConfig config;
+      config.measure_refs = 300'000;
+      config.warmup_refs = 100'000;
+      config.design.update_limit = n;
+      config.design.daq_entries = m;
+      sim::SystemConfig sys;
+      sys.kind = core::DesignKind::kCcNvm;
+      sys.design = config.design;
+      sim::System system(sys);
+      trace::TraceGenerator gen(trace::profile_by_name("gcc"), config.seed);
+      system.run(gen, config.warmup_refs);
+      system.reset_measurement();
+      system.run(gen, config.measure_refs);
+      const sim::SimResult r = system.result();
+      const double wb = static_cast<double>(
+          std::max<std::uint64_t>(1, r.design_stats.write_backs));
+      const double drains = static_cast<double>(
+          std::max<std::uint64_t>(1, r.design_stats.drains));
+      const auto& trig = r.design_stats.drains_by_trigger;
+      std::printf("%6u %6zu | %12.1f %16.3f %18.1f | %7llu %6llu %6llu\n", n,
+                  m, wb / drains,
+                  static_cast<double>(r.traffic.counter_writes +
+                                      r.traffic.mt_writes) /
+                      wb,
+                  static_cast<double>(r.design_stats.drain_cycles) / wb,
+                  static_cast<unsigned long long>(trig[0]),
+                  static_cast<unsigned long long>(trig[1]),
+                  static_cast<unsigned long long>(trig[2]));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: Meta Cache capacity. The paper fixes 128 KB at L2 level; this
+// sweep shows how much of cc-NVM's benefit depends on metadata residency
+// (epoch-based caching is the whole design premise, §4.2).
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+using namespace ccnvm;
+
+int main() {
+  std::printf("=== Ablation: Meta Cache size (cc-NVM, N=16, M=64) ===\n");
+  std::printf("normalized to w/o CC at the same cache size, geomean over "
+              "4 memory-intensive workloads\n\n");
+  std::printf("%10s | %12s %12s | %16s\n", "size", "ipc", "writes",
+              "meta hit-rate");
+
+  const std::vector<std::string> names = {"leslie3d", "libquantum", "lbm",
+                                          "milc"};
+  for (bool split : {false, true}) {
+    std::printf("-- %s organization --\n",
+                split ? "split (counter | MT halves)" : "shared");
+    for (std::size_t kb : {32u, 64u, 128u, 256u, 512u}) {
+      sim::ExperimentConfig config;
+      config.measure_refs = 300'000;
+      config.warmup_refs = 100'000;
+      config.design.meta_cache_bytes = kb << 10;
+      config.design.split_meta_cache = split;
+      std::vector<sim::BenchmarkRow> rows;
+      double hit_sum = 0.0;
+      for (const std::string& name : names) {
+        rows.push_back(sim::run_benchmark(
+            trace::profile_by_name(name),
+            {core::DesignKind::kWoCc, core::DesignKind::kCcNvm}, config));
+        hit_sum += rows.back().runs.back().result.meta_stats.hit_rate();
+      }
+      std::printf("%8zuKB | %12.3f %12.3f | %15.1f%%\n", kb,
+                  sim::geomean_ipc(rows, core::DesignKind::kCcNvm),
+                  sim::geomean_writes(rows, core::DesignKind::kCcNvm),
+                  100.0 * hit_sum / static_cast<double>(names.size()));
+    }
+  }
+  return 0;
+}

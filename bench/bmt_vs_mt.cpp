@@ -1,0 +1,45 @@
+// §2.2 background claim quantified: Bonsai vs traditional Merkle trees.
+//
+// "BMT has lower metadata storage overhead, thus shortening the tree
+// depth and reducing the MT read/write times." — the geometry behind the
+// sentence, across capacities, including the paper's 16 GB point (where
+// BMT's 12 levels become the 12 serial HMACs of SC's write-back path;
+// the traditional tree would need 15).
+#include <cstdio>
+
+#include "secure/tree_compare.h"
+
+using namespace ccnvm;
+
+int main() {
+  std::printf("=== Bonsai vs traditional Merkle tree (4-ary, 128-bit "
+              "tags) ===\n\n");
+  std::printf("%10s | %6s %6s %12s | %6s %6s %12s | %9s\n", "capacity",
+              "B dep", "T dep", "B meta ovh", "", "", "T meta ovh",
+              "serial -");
+  std::printf("%10s | %28s | %28s | %9s\n", "", "Bonsai (tree over counters)",
+              "traditional (tree over data)", "hmacs/wb");
+
+  for (std::uint64_t cap : {256ull << 20, 1ull << 30, 4ull << 30,
+                            16ull << 30, 64ull << 30}) {
+    const secure::TreeGeometry b = secure::bonsai_geometry(cap);
+    const secure::TreeGeometry t = secure::traditional_geometry(cap);
+    std::printf("%8lluMB | %6u %6u %11.2f%% | %6s %6s %11.2f%% | %4u vs %u\n",
+                static_cast<unsigned long long>(cap >> 20), b.depth, t.depth,
+                100.0 * b.metadata_overhead(), "", "",
+                100.0 * t.metadata_overhead(),
+                b.serial_updates_to_root(), t.serial_updates_to_root());
+  }
+
+  const secure::TreeGeometry paper = secure::bonsai_geometry(16ull << 30);
+  std::printf("\nAt the paper's 16 GB: Bonsai tree has %u levels "
+              "(leaf-to-root), i.e. %u serial HMACs per strict write-back "
+              "(\"12 layers for a 16 GB NVM\", §2.3), %llu interior lines "
+              "in NVM, and a %.1f%% total metadata overhead — the data-HMAC "
+              "layer dominates, but every tree walk is 3 hops shorter than "
+              "a data-leaf tree's.\n",
+              paper.depth + 1, paper.serial_updates_to_root() + 1,
+              static_cast<unsigned long long>(paper.interior_nodes),
+              100.0 * paper.metadata_overhead());
+  return 0;
+}

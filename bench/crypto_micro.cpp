@@ -1,0 +1,101 @@
+// Micro-benchmarks of the crypto substrate (google-benchmark). These are
+// software costs of the simulator itself — the *architectural* latencies
+// the designs see are the configured ones (AES 72 ns, HMAC 80 cycles) —
+// but they bound how fast functional simulations run.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/aes128.h"
+#include "crypto/hmac_sha1.h"
+#include "crypto/otp.h"
+#include "crypto/sha1.h"
+#include "secure/counter_block.h"
+#include "secure/merkle.h"
+
+namespace {
+
+using namespace ccnvm;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n) {
+  Rng rng(n);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+  return v;
+}
+
+void BM_Sha1(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(1024)->Arg(64 * 1024);
+
+void BM_HmacSha1Line(benchmark::State& state) {
+  const auto key = crypto::HmacKey::from_seed(1);
+  Line line{};
+  line[0] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_tag(key, line));
+  }
+}
+BENCHMARK(BM_HmacSha1Line);
+
+void BM_AesBlock(benchmark::State& state) {
+  const crypto::Aes128 cipher(crypto::Aes128::key_from_seed(2));
+  crypto::Aes128::Block block{};
+  for (auto _ : state) {
+    block = cipher.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_AesBlock);
+
+void BM_OtpGeneration(benchmark::State& state) {
+  const crypto::Aes128 cipher(crypto::Aes128::key_from_seed(3));
+  std::uint64_t minor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::generate_otp(cipher, 0x1000, {1, ++minor}));
+  }
+}
+BENCHMARK(BM_OtpGeneration);
+
+void BM_CounterPackUnpack(benchmark::State& state) {
+  secure::CounterBlock cb;
+  cb.major = 42;
+  for (std::size_t i = 0; i < kBlocksPerPage; ++i) {
+    cb.minors[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(secure::CounterBlock::unpack(cb.pack()));
+  }
+}
+BENCHMARK(BM_CounterPackUnpack);
+
+void BM_MerkleNodeCompute(benchmark::State& state) {
+  const nvm::NvmLayout layout(1ull << 20);
+  const secure::MerkleEngine engine(crypto::HmacKey::from_seed(4), layout);
+  Line child{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute_node(
+        {1, 0}, [&](const nvm::NodeId&) { return child; }));
+  }
+}
+BENCHMARK(BM_MerkleNodeCompute);
+
+void BM_FullTreeBuild(benchmark::State& state) {
+  const nvm::NvmLayout layout(static_cast<std::uint64_t>(state.range(0)));
+  const secure::MerkleEngine engine(crypto::HmacKey::from_seed(5), layout);
+  Line leaf{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.build_full_tree(
+        [&](const nvm::NodeId&) { return leaf; },
+        [](const nvm::NodeId&, const Line&) {}));
+  }
+}
+BENCHMARK(BM_FullTreeBuild)->Arg(1 << 20)->Arg(16 << 20);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Figure 5(a): system IPC of SC / Osiris Plus / cc-NVM w/o DS / cc-NVM,
+// normalized to the w/o CC baseline, over eight SPEC2006-like workloads.
+//
+// Paper targets (shape, not absolute numbers):
+//   - SC, Osiris Plus and cc-NVM w/o DS land close together, well below
+//     baseline (SC costs 41.4% on average, §2.3);
+//   - cc-NVM sits clearly above them (−18.7% vs baseline, §5.1), a 20.4%
+//     improvement over Osiris Plus (§6);
+//   - cache-resident benchmarks (hmmer, namd) are barely affected.
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "sim/report.h"
+
+int main(int argc, char** argv) {
+  using namespace ccnvm;
+  sim::ExperimentConfig config;
+
+  std::printf("=== Figure 5(a): IPC normalized to w/o CC ===\n");
+  std::printf("(machine: 16 GB PCM, 12-level 4-ary BMT, N=16, M=64, "
+              "WPQ=64, 128 KB meta cache)\n\n");
+  const auto rows = sim::run_figure5_grid(config);
+  const std::vector<core::DesignKind> kinds = {
+      core::DesignKind::kWoCc, core::DesignKind::kStrict,
+      core::DesignKind::kOsirisPlus, core::DesignKind::kCcNvmNoDs,
+      core::DesignKind::kCcNvm};
+  sim::print_table(rows, kinds, "ipc");
+  if (argc > 1) {
+    // Optional: dump the table (and raw per-run numbers) as CSV.
+    sim::write_rows_csv(argv[1], rows, kinds, "ipc");
+    sim::write_raw_csv(std::string(argv[1]) + ".raw.csv", rows);
+    std::printf("\n(csv written to %s)\n", argv[1]);
+  }
+
+  const double sc = sim::geomean_ipc(rows, core::DesignKind::kStrict);
+  const double osiris = sim::geomean_ipc(rows, core::DesignKind::kOsirisPlus);
+  const double ccnvm = sim::geomean_ipc(rows, core::DesignKind::kCcNvm);
+  std::printf("\nSC average slowdown vs w/o CC: %.1f%% (paper: 41.4%%)\n",
+              (1.0 - sc) * 100.0);
+  std::printf("cc-NVM average slowdown vs w/o CC: %.1f%% (paper: 18.7%%)\n",
+              (1.0 - ccnvm) * 100.0);
+  std::printf("cc-NVM IPC gain over Osiris Plus: %.1f%% (paper: 20.4%%)\n",
+              (ccnvm / osiris - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 6(a): sensitivity to the update-times limit N (M fixed at 64).
+//
+// Paper targets (shape): larger N -> longer epochs -> higher IPC and
+// fewer NVM writes for the epoch designs; the effect flattens once N > 32
+// because the other two drain triggers dominate.
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+int main() {
+  using namespace ccnvm;
+  const std::vector<std::uint32_t> limits = {4, 8, 16, 32, 64};
+  const std::vector<core::DesignKind> kinds = {
+      core::DesignKind::kWoCc,  // normalization base
+      core::DesignKind::kOsirisPlus, core::DesignKind::kCcNvmNoDs,
+      core::DesignKind::kCcNvm};
+
+  std::printf("=== Figure 6(a): sweep of update-times limit N (M=64) ===\n");
+  std::printf("normalized to w/o CC, geometric mean over the 8 workloads\n\n");
+  std::printf("%6s | %12s %12s %12s | %12s %12s %12s\n", "N",
+              "OsirisP ipc", "noDS ipc", "ccNVM ipc", "OsirisP wr",
+              "noDS wr", "ccNVM wr");
+
+  for (std::uint32_t n : limits) {
+    sim::ExperimentConfig config;
+    config.measure_refs = 400'000;
+    config.warmup_refs = 100'000;
+    config.design.update_limit = n;
+    const std::vector<sim::BenchmarkRow> rows =
+        sim::run_benchmarks(trace::spec2006_profiles(), kinds, config);
+    std::printf("%6u | %12.3f %12.3f %12.3f | %12.3f %12.3f %12.3f\n", n,
+                sim::geomean_ipc(rows, core::DesignKind::kOsirisPlus),
+                sim::geomean_ipc(rows, core::DesignKind::kCcNvmNoDs),
+                sim::geomean_ipc(rows, core::DesignKind::kCcNvm),
+                sim::geomean_writes(rows, core::DesignKind::kOsirisPlus),
+                sim::geomean_writes(rows, core::DesignKind::kCcNvmNoDs),
+                sim::geomean_writes(rows, core::DesignKind::kCcNvm));
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 6(b): sensitivity to the number of DAQ entries M (N fixed at 16).
+//
+// Paper targets (shape): larger M -> less frequent capacity drains ->
+// better IPC and fewer writes; the benefit slows past M = 48 because the
+// other two triggers take over. M is bounded above by the WPQ (64).
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+int main() {
+  using namespace ccnvm;
+  const std::vector<std::size_t> entries = {32, 40, 48, 56, 64};
+  const std::vector<core::DesignKind> kinds = {core::DesignKind::kWoCc,
+                                               core::DesignKind::kCcNvmNoDs,
+                                               core::DesignKind::kCcNvm};
+
+  std::printf("=== Figure 6(b): sweep of DAQ entries M (N=16) ===\n");
+  std::printf("normalized to w/o CC, geometric mean over the 8 workloads\n\n");
+  std::printf("%6s | %12s %12s | %12s %12s\n", "M", "noDS ipc", "ccNVM ipc",
+              "noDS wr", "ccNVM wr");
+
+  for (std::size_t m : entries) {
+    sim::ExperimentConfig config;
+    config.measure_refs = 400'000;
+    config.warmup_refs = 100'000;
+    config.design.daq_entries = m;
+    const std::vector<sim::BenchmarkRow> rows =
+        sim::run_benchmarks(trace::spec2006_profiles(), kinds, config);
+    std::printf("%6zu | %12.3f %12.3f | %12.3f %12.3f\n", m,
+                sim::geomean_ipc(rows, core::DesignKind::kCcNvmNoDs),
+                sim::geomean_ipc(rows, core::DesignKind::kCcNvm),
+                sim::geomean_writes(rows, core::DesignKind::kCcNvmNoDs),
+                sim::geomean_writes(rows, core::DesignKind::kCcNvm));
+  }
+  return 0;
+}

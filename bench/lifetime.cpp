@@ -1,0 +1,74 @@
+// NVM lifetime / wear analysis (the §5.2 motivation made quantitative:
+// "high memory write traffic ... negatively impacts NVM lifetime").
+//
+// Runs each design over the same functional workload and reports, beyond
+// raw traffic, *where* the writes land: strict consistency rewrites the
+// same upper Merkle-tree lines on every write-back, so its unlevelled
+// lifetime is bounded by a metadata hotspot far hotter than any data
+// line; epoch batching coalesces those rewrites once per drain.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/design.h"
+#include "nvm/wear.h"
+
+using namespace ccnvm;
+using namespace ccnvm::core;
+
+namespace {
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag * 29 + i);
+  }
+  return l;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== NVM wear by design (functional run, 20k write-backs, "
+              "1 MiB device) ===\n\n");
+  std::printf("%-14s %10s %12s %12s %12s %12s %12s\n", "design", "writes",
+              "hottest", "hot-region", "max data", "max ctr", "max MT");
+
+  for (DesignKind kind :
+       {DesignKind::kWoCc, DesignKind::kStrict, DesignKind::kOsirisPlus,
+        DesignKind::kCcNvmNoDs, DesignKind::kCcNvm}) {
+    DesignConfig cfg;
+    cfg.data_capacity = 256 * kPageSize;
+    auto design = make_design(kind, cfg);
+    Rng rng(11);
+    // Zipf-ish mix: half the writes to a 64-page hot set, half uniform.
+    for (std::uint64_t i = 0; i < 20000; ++i) {
+      const std::uint64_t lines = cfg.data_capacity / kLineSize;
+      const Addr addr = rng.chance(0.5)
+                            ? rng.below(lines / 4) * kLineSize
+                            : rng.below(lines) * kLineSize;
+      design->write_back(addr, pattern_line(i));
+    }
+    const nvm::WearSummary wear =
+        nvm::summarize_wear(design->image(), design->layout());
+    const char* region =
+        design->layout().is_mt_addr(wear.hottest_line)      ? "MT node"
+        : design->layout().is_counter_addr(wear.hottest_line) ? "counter"
+        : design->layout().is_dh_addr(wear.hottest_line)      ? "DH"
+                                                              : "data";
+    std::printf("%-14s %10llu %12llu %12s %12llu %12llu %12llu\n",
+                std::string(design->name()).c_str(),
+                static_cast<unsigned long long>(wear.total_writes),
+                static_cast<unsigned long long>(wear.max_line_writes), region,
+                static_cast<unsigned long long>(wear.max_data),
+                static_cast<unsigned long long>(wear.max_counter),
+                static_cast<unsigned long long>(wear.max_mt));
+  }
+
+  std::printf(
+      "\nReading guide: 'hottest' is the most-written line — without wear\n"
+      "levelling it bounds device lifetime (PCM ~1e8 writes/cell). SC's\n"
+      "hotspot is a top-of-tree node rewritten every write-back; cc-NVM\n"
+      "coalesces tree updates once per epoch; Osiris Plus never writes\n"
+      "tree nodes, so its hotspot is a counter line (every Nth update).\n");
+  return 0;
+}

@@ -1,0 +1,218 @@
+// §4.4 evaluation (no figure in the paper, claims in text): crash
+// recovery cost and attack locating across designs.
+//
+// Part 1 — recovery effort vs update limit N: the brute-force retry total
+// is bounded by N per block and equals N_wb in the clean case.
+// Part 2 — attack campaign: random spoof / splice / replay attacks
+// injected after a crash; per design, how many are detected, and how many
+// are *located* (the paper's differentiator: cc-NVM locates, Osiris Plus
+// must drop everything).
+#include <algorithm>
+#include <cstdio>
+
+#include "attacks/injector.h"
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+#include "core/cc_nvm_plus.h"
+#include "core/design.h"
+
+using namespace ccnvm;
+using namespace ccnvm::core;
+
+namespace {
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag * 31 + i);
+  }
+  return l;
+}
+
+DesignConfig base_config(std::uint32_t n = 16) {
+  DesignConfig c;
+  c.data_capacity = 256 * kPageSize;  // 1 MiB functional image
+  c.update_limit = n;
+  return c;
+}
+
+void recovery_effort_table() {
+  std::printf("--- Recovery effort vs update limit N (cc-NVM) ---\n");
+  std::printf("%6s %12s %12s %14s %12s\n", "N", "writebacks", "retries",
+              "counters adv", "clean");
+  for (std::uint32_t n : {4u, 8u, 16u, 32u, 64u}) {
+    CcNvmDesign design(base_config(n), /*deferred_spreading=*/true);
+    Rng rng(n);
+    const std::uint64_t ops = 2000;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      design.write_back(rng.below(4096) * kLineSize, pattern_line(i));
+    }
+    design.crash_power_loss();
+    const RecoveryReport report = design.recover();
+    std::printf("%6u %12llu %12llu %14llu %12s\n", n,
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(report.total_retries),
+                static_cast<unsigned long long>(report.counters_recovered),
+                report.clean ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+enum class AttackType { kSpoofData, kSpoofDh, kSplice, kReplayData,
+                        kReplayCounter };
+
+const char* attack_name(AttackType a) {
+  switch (a) {
+    case AttackType::kSpoofData: return "spoof data";
+    case AttackType::kSpoofDh: return "spoof DH";
+    case AttackType::kSplice: return "splice";
+    case AttackType::kReplayData: return "replay data+DH";
+    case AttackType::kReplayCounter: return "replay counter";
+  }
+  return "?";
+}
+
+struct CampaignResult {
+  int detected = 0;
+  int located = 0;
+  int exact = 0;  // located and the victim pinpointed
+  int clean = 0;  // recovery reported nothing wrong
+};
+
+CampaignResult run_campaign(DesignKind kind, AttackType attack, int trials) {
+  CampaignResult result;
+  for (int t = 0; t < trials; ++t) {
+    auto design = make_design(kind, base_config());
+    auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+    Rng rng(1000 + static_cast<std::uint64_t>(t));
+    const int blocks = 64;
+    for (int i = 0; i < blocks; ++i) {
+      design->write_back(static_cast<Addr>(i) * kLineSize, pattern_line(i));
+    }
+    base->quiesce();
+    const nvm::NvmImage snapshot = design->image().snapshot();
+    // Advance one more epoch so replayed state is genuinely old.
+    design->write_back(0, pattern_line(999));
+    design->write_back(kLineSize, pattern_line(998));
+    base->quiesce();
+    design->crash_power_loss();
+
+    const Addr victim = rng.below(blocks) * kLineSize;
+    switch (attack) {
+      case AttackType::kSpoofData:
+        attacks::spoof_data(*design, victim, rng);
+        break;
+      case AttackType::kSpoofDh:
+        attacks::spoof_dh(*design, victim, rng);
+        break;
+      case AttackType::kSplice:
+        attacks::splice_data(*design, victim,
+                             (victim + 8 * kLineSize) %
+                                 (static_cast<Addr>(blocks) * kLineSize));
+        break;
+      case AttackType::kReplayData:
+        attacks::replay_data(*design, snapshot, 0);
+        break;
+      case AttackType::kReplayCounter:
+        attacks::replay_counter(*design, snapshot, 0);
+        break;
+    }
+    const RecoveryReport report = design->recover();
+    result.detected += report.attack_detected ? 1 : 0;
+    result.located += report.attack_located ? 1 : 0;
+    if (report.attack_located) {
+      const Addr expect =
+          (attack == AttackType::kReplayData ||
+           attack == AttackType::kReplayCounter)
+              ? 0
+              : victim;
+      const bool hit =
+          std::find(report.tampered_blocks.begin(),
+                    report.tampered_blocks.end(), expect) !=
+              report.tampered_blocks.end() ||
+          !report.replayed_nodes.empty();
+      result.exact += hit ? 1 : 0;
+    }
+    result.clean += report.clean ? 1 : 0;
+  }
+  return result;
+}
+
+void attack_campaign_table() {
+  const int trials = 16;
+  std::printf("--- Post-crash attack campaign (%d trials per cell; "
+              "detected/located) ---\n", trials);
+  std::printf("%-16s", "attack \\ design");
+  const DesignKind kinds[] = {DesignKind::kStrict, DesignKind::kOsirisPlus,
+                              DesignKind::kCcNvmNoDs, DesignKind::kCcNvm};
+  for (DesignKind kind : kinds) {
+    std::printf(" %16s", std::string(design_name(kind)).c_str());
+  }
+  std::printf("\n");
+  for (AttackType attack :
+       {AttackType::kSpoofData, AttackType::kSpoofDh, AttackType::kSplice,
+        AttackType::kReplayData, AttackType::kReplayCounter}) {
+    std::printf("%-16s", attack_name(attack));
+    for (DesignKind kind : kinds) {
+      const CampaignResult r = run_campaign(kind, attack, trials);
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%d%%/%d%%", 100 * r.detected / trials,
+                    100 * r.located / trials);
+      std::printf(" %16s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(paper: cc-NVM detects AND locates; Osiris Plus detects via the\n"
+      " rebuilt-root mismatch but cannot locate, so all data is dropped.\n"
+      " Note: Osiris Plus *absorbs* a counter-only rollback silently — its\n"
+      " recovery rolls the counter forward again, which is correct but\n"
+      " indistinguishable from an ordinary crash; cc-NVM pinpoints it.)\n\n");
+}
+
+void replay_window_table() {
+  // The deferred-spreading replay window (§4.3): replay an uncommitted
+  // write-back after a crash; only N_wb/N_retry catches it — and only the
+  // cc-NVM+ extension (per-block update registers, §4.4 closing remark)
+  // can say *which* block.
+  const int trials = 32;
+  std::printf("--- Epoch-window data replay (detect-only for base cc-NVM, "
+              "§4.3) ---\n");
+  for (DesignKind kind : {DesignKind::kCcNvmNoDs, DesignKind::kCcNvm,
+                          DesignKind::kCcNvmPlus}) {
+    int detected = 0, located = 0, exact = 0;
+    for (int t = 0; t < trials; ++t) {
+      auto design = make_design(kind, base_config());
+      auto* cc = dynamic_cast<CcNvmDesign*>(design.get());
+      design->write_back(0x40, pattern_line(1));
+      cc->force_drain();
+      const nvm::NvmImage snapshot = design->image().snapshot();
+      design->write_back(0x40, pattern_line(2));
+      design->crash_power_loss();
+      attacks::replay_data(*design, snapshot, 0x40);
+      const RecoveryReport report = design->recover();
+      detected += report.attack_detected ? 1 : 0;
+      located += report.attack_located ? 1 : 0;
+      exact += std::find(report.tampered_blocks.begin(),
+                         report.tampered_blocks.end(),
+                         Addr{0x40}) != report.tampered_blocks.end()
+                   ? 1
+                   : 0;
+    }
+    std::printf("%-14s: detected %3d%%, located %3d%%, exact block %3d%%\n",
+                std::string(design_name(kind)).c_str(),
+                100 * detected / trials, 100 * located / trials,
+                100 * exact / trials);
+  }
+  std::printf("(expected: base designs 100/0/0; cc-NVM+ 100/100/100)\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Recovery & attack-locating evaluation (§4.4) ===\n\n");
+  recovery_effort_table();
+  attack_campaign_table();
+  replay_window_table();
+  return 0;
+}

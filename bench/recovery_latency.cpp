@@ -1,0 +1,82 @@
+// Recovery latency (§4.4, no figure): how long a post-crash recovery
+// takes, and how it scales with device capacity and the update limit N.
+//
+// Two costs are reported: the modelled hardware cost (HMAC engine
+// evaluations x 80 cycles at 3 GHz — dominated by the full-tree
+// verification of step 1 and the rebuild of step 4) and the measured
+// wall time of this implementation's functional recovery.
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+
+using namespace ccnvm;
+using namespace ccnvm::core;
+
+namespace {
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  l[0] = static_cast<std::uint8_t>(tag);
+  l[1] = static_cast<std::uint8_t>(tag >> 8);
+  return l;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Post-crash recovery latency (cc-NVM) ===\n\n");
+  std::printf("%10s %6s | %10s %10s | %14s %12s\n", "capacity", "N",
+              "retries", "blocks", "hw est. (ms)", "wall (ms)");
+
+  for (std::uint64_t cap : {1ull << 20, 4ull << 20, 16ull << 20}) {
+    for (std::uint32_t n : {16u, 64u}) {
+      DesignConfig cfg;
+      cfg.data_capacity = cap;
+      cfg.update_limit = n;
+      CcNvmDesign design(cfg, /*deferred_spreading=*/true);
+      Rng rng(cap + n);
+      const std::uint64_t blocks = 2000;
+      for (std::uint64_t i = 0; i < blocks; ++i) {
+        design.write_back(rng.below(cap / kLineSize) * kLineSize,
+                          pattern_line(i));
+      }
+      design.crash_power_loss();
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const RecoveryReport report = design.recover();
+      const auto t1 = std::chrono::steady_clock::now();
+      CCNVM_CHECK(report.clean);
+
+      // Hardware cost model: step 1 verifies the stored tree against both
+      // roots (arity tags per internal node + root, twice), step 2 does
+      // one data-HMAC per retry plus one per written block, step 4
+      // rebuilds the tree once.
+      const nvm::NvmLayout& lay = design.layout();
+      std::uint64_t internal = 0;
+      for (std::uint32_t lv = 1; lv <= lay.root_level(); ++lv) {
+        internal += lay.nodes_at_level(lv);
+      }
+      const std::uint64_t hmacs = 2 * internal * nvm::NvmLayout::kArity +
+                                  report.total_retries + blocks +
+                                  internal * nvm::NvmLayout::kArity;
+      const double hw_ms =
+          static_cast<double>(hmacs * cfg.timing.hmac_latency) /
+          (3.0e9 / 1e3);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      std::printf("%8lluMB %6u | %10llu %10llu | %14.2f %12.1f\n",
+                  static_cast<unsigned long long>(cap >> 20), n,
+                  static_cast<unsigned long long>(report.total_retries),
+                  static_cast<unsigned long long>(blocks), hw_ms, wall_ms);
+    }
+  }
+  std::printf(
+      "\nThe hardware estimate is dominated by the two full-tree passes of\n"
+      "step 1 — recovery is O(metadata size), a few ms even at DIMM scale,\n"
+      "run once per power failure. N moves only the retry term, which is\n"
+      "negligible next to the tree passes (the paper's footnote that the\n"
+      "DAQ covers at most 0.01%% of a 16 GB device says the same thing).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Start-Gap wear levelling applied to the secure-metadata hotspots.
+//
+// bench/lifetime shows strict consistency rewrites a top-of-tree line on
+// every write-back — a lifetime-bounding hotspot. Here each design's real
+// metadata write stream (captured via the image's write observer) is
+// replayed through a Start-Gap leveler over the counter+tree region, and
+// the hottest-line wear is compared with and without levelling.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/design.h"
+#include "nvm/start_gap.h"
+#include "nvm/wear.h"
+
+using namespace ccnvm;
+using namespace ccnvm::core;
+
+namespace {
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  l[0] = static_cast<std::uint8_t>(tag);
+  return l;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Start-Gap levelling of metadata wear (psi=16, 20k "
+              "write-backs) ===\n\n");
+  std::printf("%-14s | %14s %14s %14s | %12s\n", "design", "hottest raw",
+              "hottest leveled", "improvement", "copy ovh");
+
+  for (DesignKind kind : {DesignKind::kStrict, DesignKind::kOsirisPlus,
+                          DesignKind::kCcNvm}) {
+    DesignConfig cfg;
+    cfg.data_capacity = 256 * kPageSize;
+    auto design = make_design(kind, cfg);
+    const nvm::NvmLayout& layout = design->layout();
+
+    // Capture the metadata (counter + tree) write stream.
+    std::vector<Addr> stream;
+    design->image().set_write_observer([&](Addr a) {
+      if (layout.is_metadata_addr(a)) stream.push_back(a);
+    });
+    Rng rng(11);
+    for (std::uint64_t i = 0; i < 20000; ++i) {
+      const std::uint64_t lines = cfg.data_capacity / kLineSize;
+      const Addr addr = rng.chance(0.5)
+                            ? rng.below(lines / 4) * kLineSize
+                            : rng.below(lines) * kLineSize;
+      design->write_back(addr, pattern_line(i));
+    }
+    design->image().set_write_observer(nullptr);
+
+    // Raw replay.
+    const nvm::NvmLayout tiny(kPageSize);
+    nvm::NvmImage raw;
+    raw.set_record_contents(false);
+    for (Addr a : stream) raw.write_line(a, Line{});
+    const std::uint64_t hot_raw =
+        nvm::summarize_wear(raw, tiny).max_line_writes;
+
+    // Levelled replay over the whole metadata region.
+    const Addr region_base = layout.data_capacity();
+    const std::uint64_t region_lines =
+        (layout.dh_line_addr(0) - region_base) / kLineSize;
+    nvm::NvmImage lev_img;
+    lev_img.set_record_contents(false);
+    nvm::StartGapLeveler lev(region_base, region_lines, 16);
+    for (Addr a : stream) {
+      lev_img.write_line(lev.remap(a), Line{});
+      lev.note_write(lev_img);
+    }
+    const std::uint64_t hot_lev =
+        nvm::summarize_wear(lev_img, tiny).max_line_writes;
+
+    std::printf("%-14s | %14llu %14llu %13.1fx | %10.1f%%\n",
+                std::string(design->name()).c_str(),
+                static_cast<unsigned long long>(hot_raw),
+                static_cast<unsigned long long>(hot_lev),
+                hot_lev == 0 ? 0.0
+                             : static_cast<double>(hot_raw) /
+                                   static_cast<double>(hot_lev),
+                stream.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(lev.gap_moves()) /
+                          static_cast<double>(stream.size()));
+  }
+  std::printf(
+      "\nLevelling neutralizes SC's tree-top hotspot at ~6%% extra writes\n"
+      "(one line copy per psi=16); cc-NVM's epoch batching already has a\n"
+      "far cooler profile, so it gains less — the two mechanisms compose.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Attack detection and locating, live and post-crash.
+//
+// Plays the adversary of §2.1: spoofing, splicing and replay against the
+// off-chip NVM image, first while the system runs (reads fail
+// immediately), then across a power failure (recovery detects — and for
+// cc-NVM, pinpoints — the tampered lines).
+//
+//   $ ./build/examples/attack_detection
+#include <cstdio>
+#include <memory>
+
+#include "attacks/injector.h"
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+
+using namespace ccnvm;
+
+namespace {
+
+Line payload(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag + i);
+  }
+  return l;
+}
+
+std::unique_ptr<core::CcNvmDesign> fresh_populated() {
+  core::DesignConfig config;
+  config.data_capacity = 64 * kPageSize;
+  auto nvm = std::make_unique<core::CcNvmDesign>(config,
+                                                 /*deferred_spreading=*/true);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    nvm->write_back(i * kLineSize, payload(i));
+  }
+  nvm->force_drain();  // commit the epoch
+  return nvm;
+}
+
+void print_report(const char* what, const core::RecoveryReport& r) {
+  std::printf("%-28s detected=%-3s located=%-3s", what,
+              r.attack_detected ? "YES" : "no",
+              r.attack_located ? "YES" : "no");
+  if (!r.tampered_blocks.empty()) {
+    std::printf("  tampered:");
+    for (Addr a : r.tampered_blocks) std::printf(" %s", addr_str(a).c_str());
+  }
+  if (!r.replayed_nodes.empty()) {
+    std::printf("  replayed metadata: level %u index %llu",
+                r.replayed_nodes[0].level,
+                static_cast<unsigned long long>(r.replayed_nodes[0].index));
+  }
+  if (r.potential_replay) std::printf("  (epoch-window replay: N_retry != N_wb)");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(42);
+
+  std::printf("== Runtime detection (system alive, TCB state on chip) ==\n");
+  {
+    auto nvm_ptr = fresh_populated();
+    auto& nvm = *nvm_ptr;
+    attacks::spoof_data(nvm, 5 * kLineSize, rng);
+    std::printf("spoofed data block 5      -> read integrity: %s\n",
+                nvm.read_block(5 * kLineSize).integrity_ok ? "ok?!" : "FAIL (detected)");
+  }
+  {
+    auto nvm_ptr = fresh_populated();
+    auto& nvm = *nvm_ptr;
+    attacks::splice_data(nvm, 2 * kLineSize, 9 * kLineSize);
+    std::printf("spliced blocks 2 <-> 9    -> reads: %s / %s\n",
+                nvm.read_block(2 * kLineSize).integrity_ok ? "ok?!" : "FAIL",
+                nvm.read_block(9 * kLineSize).integrity_ok ? "ok?!" : "FAIL");
+  }
+  {
+    auto nvm_ptr = fresh_populated();
+    auto& nvm = *nvm_ptr;
+    const nvm::NvmImage snapshot = nvm.image().snapshot();
+    nvm.write_back(7 * kLineSize, payload(777));
+    nvm.force_drain();
+    attacks::replay_data(nvm, snapshot, 7 * kLineSize);
+    std::printf("replayed block 7 (+DH)    -> read integrity: %s\n",
+                nvm.read_block(7 * kLineSize).integrity_ok
+                    ? "ok?!"
+                    : "FAIL (old pair mismatches live counter)");
+  }
+
+  std::printf("\n== Post-crash locating (only NVM + persistent registers"
+              " survive) ==\n");
+  {
+    auto nvm_ptr = fresh_populated();
+    auto& nvm = *nvm_ptr;
+    nvm.crash_power_loss();
+    attacks::spoof_data(nvm, 5 * kLineSize, rng);
+    print_report("spoof data @5:", nvm.recover());
+  }
+  {
+    auto nvm_ptr = fresh_populated();
+    auto& nvm = *nvm_ptr;
+    nvm.crash_power_loss();
+    attacks::spoof_dh(nvm, 11 * kLineSize, rng);
+    print_report("spoof DH @11:", nvm.recover());
+  }
+  {
+    auto nvm_ptr = fresh_populated();
+    auto& nvm = *nvm_ptr;
+    nvm.crash_power_loss();
+    attacks::splice_data(nvm, 2 * kLineSize, 9 * kLineSize);
+    print_report("splice @2<->9:", nvm.recover());
+  }
+  {
+    // Counter-line replay: located by the tree (recovery step 1).
+    auto nvm_ptr = fresh_populated();
+    auto& nvm = *nvm_ptr;
+    const nvm::NvmImage snapshot = nvm.image().snapshot();
+    nvm.write_back(0, payload(500));
+    nvm.force_drain();
+    nvm.crash_power_loss();
+    attacks::replay_counter(nvm, snapshot, 0);
+    print_report("replay counter line:", nvm.recover());
+  }
+  {
+    // The §4.3 window: replay an uncommitted write-back. Detected by the
+    // N_wb/N_retry check; by design not locatable.
+    auto nvm_ptr = fresh_populated();
+    auto& nvm = *nvm_ptr;
+    const nvm::NvmImage snapshot = nvm.image().snapshot();
+    nvm.write_back(3 * kLineSize, payload(999));  // epoch not committed
+    nvm.crash_power_loss();
+    attacks::replay_data(nvm, snapshot, 3 * kLineSize);
+    print_report("replay in epoch window:", nvm.recover());
+  }
+  {
+    auto nvm_ptr = fresh_populated();
+    auto& nvm = *nvm_ptr;
+    nvm.crash_power_loss();
+    print_report("(control: no attack):", nvm.recover());
+  }
+  return 0;
+}

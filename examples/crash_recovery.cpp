@@ -1,0 +1,117 @@
+// A guided tour of the epoch machinery and the atomic draining protocol.
+//
+// Walks through one epoch step by step (DAQ tracking, the two TCB roots,
+// N_wb), then crashes inside every window of the drain protocol and shows
+// that the Merkle tree in NVM always matches one of the roots — the
+// invariant everything else rests on (§4.2).
+//
+//   $ ./build/examples/crash_recovery
+#include <cstdio>
+#include <memory>
+
+#include "core/cc_nvm.h"
+
+using namespace ccnvm;
+
+namespace {
+
+Line payload(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag * 3 + i);
+  }
+  return l;
+}
+
+const char* window_name(core::CcNvmDesign::DrainCrashPoint p) {
+  using P = core::CcNvmDesign::DrainCrashPoint;
+  switch (p) {
+    case P::kMidBatch: return "mid-batch (no end signal)";
+    case P::kAfterBatchBeforeEnd: return "batch queued, before end signal";
+    case P::kAfterEndBeforeCommit: return "after end, before register reset";
+    default: return "none";
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::DesignConfig config;
+  config.data_capacity = 64 * kPageSize;
+
+  std::printf("== One epoch, step by step ==\n");
+  {
+    core::CcNvmDesign nvm(config, /*deferred_spreading=*/true);
+    std::printf("fresh:       DAQ=%zu  N_wb=%llu  ROOT_old==ROOT_new: %s\n",
+                nvm.daq().size(),
+                static_cast<unsigned long long>(nvm.tcb().n_wb),
+                nvm.tcb().root_old == nvm.tcb().root_new ? "yes" : "no");
+
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      nvm.write_back(i * kPageSize, payload(i));
+    }
+    std::printf("3 writes:    DAQ=%zu  N_wb=%llu  counters persisted: %llu "
+                "(metadata cached, not flushed)\n",
+                nvm.daq().size(),
+                static_cast<unsigned long long>(nvm.tcb().n_wb),
+                static_cast<unsigned long long>(
+                    nvm.traffic().counter_writes));
+
+    nvm.force_drain();
+    std::printf("after drain: DAQ=%zu  N_wb=%llu  counters persisted: %llu  "
+                "MT nodes persisted: %llu\n",
+                nvm.daq().size(),
+                static_cast<unsigned long long>(nvm.tcb().n_wb),
+                static_cast<unsigned long long>(nvm.traffic().counter_writes),
+                static_cast<unsigned long long>(nvm.traffic().mt_writes));
+    std::printf("             ROOT_old==ROOT_new: %s (epoch committed)\n",
+                nvm.tcb().root_old == nvm.tcb().root_new ? "yes" : "no");
+  }
+
+  std::printf("\n== Crashing inside every drain window ==\n");
+  using P = core::CcNvmDesign::DrainCrashPoint;
+  for (P point : {P::kMidBatch, P::kAfterBatchBeforeEnd,
+                  P::kAfterEndBeforeCommit}) {
+    core::CcNvmDesign nvm(config, /*deferred_spreading=*/true);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      nvm.write_back(i * kPageSize + (i % 4) * kLineSize, payload(100 + i));
+    }
+    nvm.drain_and_crash(point);
+    const core::RecoveryReport report = nvm.recover();
+    std::printf("%-36s -> recovery %s, retries=%llu\n", window_name(point),
+                report.clean ? "clean" : "FAILED",
+                static_cast<unsigned long long>(report.total_retries));
+    // Everything written before the crash is intact.
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const Addr a = i * kPageSize + (i % 4) * kLineSize;
+      const auto r = nvm.read_block(a);
+      if (!r.integrity_ok || r.plaintext != payload(100 + i)) {
+        std::printf("   DATA LOSS at %s!\n", addr_str(a).c_str());
+        return 1;
+      }
+    }
+    std::printf("   all 8 records verified after recovery\n");
+  }
+
+  std::printf("\n== Mid-epoch crash: counters roll forward via data HMACs ==\n");
+  {
+    core::DesignConfig c = config;
+    c.update_limit = 32;
+    core::CcNvmDesign nvm(c, /*deferred_spreading=*/true);
+    nvm.force_drain();
+    // Hammer one block 10 times without committing an epoch.
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      nvm.write_back(0, payload(i));
+    }
+    std::printf("10 uncommitted write-backs to one block (N_wb=%llu)\n",
+                static_cast<unsigned long long>(nvm.tcb().n_wb));
+    nvm.crash_power_loss();
+    const core::RecoveryReport report = nvm.recover();
+    std::printf("recovery: %llu retries (== N_wb: %s), data = ",
+                static_cast<unsigned long long>(report.total_retries),
+                report.total_retries == 10 ? "yes" : "NO");
+    const auto r = nvm.read_block(0);
+    std::printf("%s\n", r.plaintext == payload(9) ? "newest version" : "STALE");
+  }
+  return 0;
+}

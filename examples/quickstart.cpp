@@ -1,0 +1,78 @@
+// Quickstart: the 60-second tour of cc-NVM.
+//
+// Creates a secure NVM (counter-mode encryption + Bonsai Merkle tree +
+// epoch-based crash consistency), stores a few records, loses power
+// mid-epoch, recovers, and reads everything back.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/cc_nvm.h"
+
+using namespace ccnvm;
+
+namespace {
+
+Line make_record(const std::string& text) {
+  Line line{};
+  std::memcpy(line.data(), text.data(), std::min(text.size(), kLineSize - 1));
+  return line;
+}
+
+std::string record_text(const Line& line) {
+  return reinterpret_cast<const char*>(line.data());
+}
+
+}  // namespace
+
+int main() {
+  // A 1 MiB secure DIMM. In a real deployment this is 16 GB; everything
+  // scales from the capacity (tree depth, metadata regions).
+  core::DesignConfig config;
+  config.data_capacity = 256 * kPageSize;
+  core::CcNvmDesign nvm(config, /*deferred_spreading=*/true);
+
+  std::printf("secure NVM ready: %llu B data, %u-level Merkle tree\n",
+              static_cast<unsigned long long>(nvm.layout().data_capacity()),
+              nvm.layout().tree_levels());
+
+  // Store three records. write_back models a dirty cache line reaching
+  // the memory controller: it is encrypted, MAC'd, and tracked by the
+  // epoch Drainer; the plaintext never touches NVM.
+  nvm.write_back(0 * kLineSize, make_record("alpha: the first record"));
+  nvm.write_back(1 * kLineSize, make_record("beta: the second record"));
+  nvm.write_back(2 * kLineSize, make_record("gamma: the third record"));
+
+  std::printf("3 records written; dirty metadata tracked in DAQ: %zu lines, "
+              "epoch write-backs N_wb=%llu\n",
+              nvm.daq().size(),
+              static_cast<unsigned long long>(nvm.tcb().n_wb));
+  std::printf("NVM ciphertext for record 0 starts: %02x %02x %02x %02x ...\n",
+              nvm.image().read_line(0)[0], nvm.image().read_line(0)[1],
+              nvm.image().read_line(0)[2], nvm.image().read_line(0)[3]);
+
+  // Power failure before any drain committed: the Meta Cache and the
+  // dirty counters in it are gone; NVM still holds the *old* (consistent)
+  // Merkle tree plus the new data and data-HMACs.
+  std::printf("\n*** power failure ***\n\n");
+  nvm.crash_power_loss();
+
+  const core::RecoveryReport report = nvm.recover();
+  std::printf("recovery: %s\n", report.detail.c_str());
+  std::printf("  counters rolled forward: %llu (total HMAC retries %llu, "
+              "matches N_wb)\n",
+              static_cast<unsigned long long>(report.counters_recovered),
+              static_cast<unsigned long long>(report.total_retries));
+  std::printf("  attack detected: %s\n",
+              report.attack_detected ? "YES" : "no");
+
+  for (Addr a : {Addr{0}, Addr{kLineSize}, Addr{2 * kLineSize}}) {
+    const core::ReadResult r = nvm.read_block(a);
+    std::printf("read %-4llu -> integrity=%s  \"%s\"\n",
+                static_cast<unsigned long long>(a),
+                r.integrity_ok ? "ok" : "FAIL", record_text(r.plaintext).c_str());
+  }
+  return 0;
+}

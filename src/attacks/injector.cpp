@@ -1,0 +1,112 @@
+#include "attacks/injector.h"
+
+#include "secure/cme_engine.h"
+
+namespace ccnvm::attacks {
+namespace {
+
+void flip_random_bits(Line& line, Rng& rng, int bits = 4) {
+  for (int i = 0; i < bits; ++i) {
+    const std::uint64_t bit = rng.below(kLineSize * 8);
+    line[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+}  // namespace
+
+void spoof_data(core::SecureNvmDesign& target, Addr addr, Rng& rng) {
+  nvm::NvmImage& image = target.image();
+  Line line = image.read_line(line_base(addr));
+  flip_random_bits(line, rng);
+  image.write_line(line_base(addr), line);
+}
+
+void spoof_dh(core::SecureNvmDesign& target, Addr addr, Rng& rng) {
+  const nvm::NvmLayout& layout = target.layout();
+  nvm::NvmImage& image = target.image();
+  const Addr dh_line_addr = layout.dh_line_addr(addr);
+  Line line = image.read_line(dh_line_addr);
+  // Flip a bit inside this block's own 16-byte tag.
+  const std::size_t off = layout.dh_offset_in_line(addr);
+  const std::uint64_t bit = rng.below(sizeof(Tag128) * 8);
+  line[off + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  image.write_line(dh_line_addr, line);
+}
+
+void spoof_counter(core::SecureNvmDesign& target, Addr data_addr, Rng& rng) {
+  const Addr cline = target.layout().counter_line_addr(data_addr);
+  Line line = target.image().read_line(cline);
+  flip_random_bits(line, rng);
+  target.image().write_line(cline, line);
+}
+
+void spoof_node(core::SecureNvmDesign& target, const nvm::NodeId& id,
+                Rng& rng) {
+  const Addr addr = target.layout().node_addr(id);
+  Line line = target.image().read_line(addr);
+  flip_random_bits(line, rng);
+  target.image().write_line(addr, line);
+}
+
+void splice_data(core::SecureNvmDesign& target, Addr a, Addr b) {
+  const nvm::NvmLayout& layout = target.layout();
+  nvm::NvmImage& image = target.image();
+  const Line ct_a = image.read_line(line_base(a));
+  const Line ct_b = image.read_line(line_base(b));
+  image.write_line(line_base(a), ct_b);
+  image.write_line(line_base(b), ct_a);
+
+  Line dh_a = image.read_line(layout.dh_line_addr(a));
+  Line dh_b = image.read_line(layout.dh_line_addr(b));
+  const Tag128 tag_a =
+      secure::dh_tag_in_line(dh_a, layout.dh_offset_in_line(a));
+  const Tag128 tag_b =
+      secure::dh_tag_in_line(dh_b, layout.dh_offset_in_line(b));
+  if (layout.dh_line_addr(a) == layout.dh_line_addr(b)) {
+    secure::set_dh_tag_in_line(dh_a, layout.dh_offset_in_line(a), tag_b);
+    secure::set_dh_tag_in_line(dh_a, layout.dh_offset_in_line(b), tag_a);
+    image.write_line(layout.dh_line_addr(a), dh_a);
+  } else {
+    secure::set_dh_tag_in_line(dh_a, layout.dh_offset_in_line(a), tag_b);
+    secure::set_dh_tag_in_line(dh_b, layout.dh_offset_in_line(b), tag_a);
+    image.write_line(layout.dh_line_addr(a), dh_a);
+    image.write_line(layout.dh_line_addr(b), dh_b);
+  }
+}
+
+void replay_data(core::SecureNvmDesign& target, const nvm::NvmImage& snapshot,
+                 Addr addr) {
+  const nvm::NvmLayout& layout = target.layout();
+  nvm::NvmImage& image = target.image();
+  image.write_line(line_base(addr), snapshot.read_line(line_base(addr)));
+  // Replay the matching tag too — current tag and old data would be
+  // trivially caught; the §4.3 attack replays the consistent pair.
+  const Addr dh_line_addr = layout.dh_line_addr(addr);
+  Line dh_now = image.read_line(dh_line_addr);
+  const Line dh_then = snapshot.read_line(dh_line_addr);
+  const std::size_t off = layout.dh_offset_in_line(addr);
+  secure::set_dh_tag_in_line(dh_now, off,
+                             secure::dh_tag_in_line(dh_then, off));
+  image.write_line(dh_line_addr, dh_now);
+}
+
+void replay_counter(core::SecureNvmDesign& target,
+                    const nvm::NvmImage& snapshot, Addr data_addr) {
+  const Addr cline = target.layout().counter_line_addr(data_addr);
+  target.image().write_line(cline, snapshot.read_line(cline));
+}
+
+void replay_node(core::SecureNvmDesign& target, const nvm::NvmImage& snapshot,
+                 const nvm::NodeId& id) {
+  const Addr addr = target.layout().node_addr(id);
+  target.image().write_line(addr, snapshot.read_line(addr));
+}
+
+void replay_everything(core::SecureNvmDesign& target,
+                       const nvm::NvmImage& snapshot) {
+  snapshot.for_each_line([&](Addr addr, const Line& value) {
+    target.image().write_line(addr, value);
+  });
+}
+
+}  // namespace ccnvm::attacks

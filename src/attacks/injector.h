@@ -1,0 +1,57 @@
+// Integrity-attack injection (§2.1's threat model, acted out).
+//
+// The adversary owns everything off-chip: these helpers mutate a design's
+// NVM image the way a man-in-the-middle or a stolen-DIMM attacker would.
+// The three canonical attacks:
+//   spoofing  — overwrite a value with a fabricated one,
+//   splicing  — move a valid value to a different address,
+//   replay    — restore a value (and its matching metadata) from an
+//               earlier snapshot of the same location.
+// Replay is the interesting one: the data/DH pair stays internally
+// consistent, so only counter freshness (the Merkle tree, or cc-NVM's
+// N_wb accounting after a crash) can catch it.
+#pragma once
+
+#include "common/rng.h"
+#include "core/design.h"
+#include "nvm/image.h"
+
+namespace ccnvm::attacks {
+
+/// Flips random bits in the ciphertext of the data block at `addr`.
+void spoof_data(core::SecureNvmDesign& target, Addr addr, Rng& rng);
+
+/// Flips the block's stored data-HMAC tag instead of the data.
+void spoof_dh(core::SecureNvmDesign& target, Addr addr, Rng& rng);
+
+/// Corrupts a counter line (metadata spoofing).
+void spoof_counter(core::SecureNvmDesign& target, Addr data_addr, Rng& rng);
+
+/// Corrupts an internal Merkle-tree node.
+void spoof_node(core::SecureNvmDesign& target, const nvm::NodeId& id,
+                Rng& rng);
+
+/// Swaps the ciphertexts *and* DH tags of two blocks — a splicing attack
+/// with maximal attacker effort (moving the MAC along with the data).
+void splice_data(core::SecureNvmDesign& target, Addr a, Addr b);
+
+/// Restores the data block and its DH tag at `addr` from `snapshot` — the
+/// internally consistent replay of §4.3.
+void replay_data(core::SecureNvmDesign& target, const nvm::NvmImage& snapshot,
+                 Addr addr);
+
+/// Restores a counter line from `snapshot` (tree-level replay; detected
+/// and located by recovery step 1).
+void replay_counter(core::SecureNvmDesign& target,
+                    const nvm::NvmImage& snapshot, Addr data_addr);
+
+/// Restores an internal tree node from `snapshot`.
+void replay_node(core::SecureNvmDesign& target, const nvm::NvmImage& snapshot,
+                 const nvm::NodeId& id);
+
+/// Restores a whole consistent NVM state (data, DH, counters, tree) from
+/// `snapshot` — the wholesale rollback only the TCB roots can catch.
+void replay_everything(core::SecureNvmDesign& target,
+                       const nvm::NvmImage& snapshot);
+
+}  // namespace ccnvm::attacks

@@ -1,0 +1,48 @@
+// "Osiris Plus" — the optimized Osiris variant the paper compares against
+// (Ye et al., MICRO'18; §5).
+//
+// Counters follow a stop-loss policy: a counter line persists only every
+// N-th update, and dirty counter evictions are simply *dropped* — the NVM
+// copy is at most N increments stale, and an extra online check rolls a
+// refetched counter forward by brute-forcing the data HMACs (the "cost of
+// extra online checking" the paper cites). Merkle-tree nodes are never
+// persisted at all: the tree is recomputable from counters, and only the
+// root (updated atomically with each write-back, in a persistent TCB
+// register) is needed to authenticate a post-crash rebuild. The price:
+// after an attack the root mismatch says *something* is wrong but nothing
+// says what, so all data must be dropped (§3).
+#pragma once
+
+#include "core/design.h"
+
+namespace ccnvm::baselines {
+
+class OsirisPlusDesign : public core::SecureNvmBase {
+ public:
+  using SecureNvmBase::SecureNvmBase;
+
+  core::DesignKind kind() const override {
+    return core::DesignKind::kOsirisPlus;
+  }
+
+  void quiesce() override;
+
+ protected:
+  std::uint64_t on_write_back_metadata(Addr addr, bool counter_was_cached,
+                                       std::uint64_t crypt_cycles) override;
+  std::uint64_t on_meta_eviction(Addr line_addr, bool dirty) override;
+  std::uint64_t on_overflow(std::uint64_t leaf) override;
+  std::uint64_t fetch_metadata(Addr line_addr) override;
+
+  core::RecoveryMode recovery_mode() const override {
+    return core::RecoveryMode::kOsiris;
+  }
+
+  void augment_recovery_inputs(core::RecoveryInputs& inputs) override {
+    // The MICRO'18 mechanism: counter candidates are screened through the
+    // plaintext-ECC side band before the data-HMAC confirmation.
+    inputs.use_ecc_oracle = true;
+  }
+};
+
+}  // namespace ccnvm::baselines

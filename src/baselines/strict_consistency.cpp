@@ -1,0 +1,39 @@
+#include "baselines/strict_consistency.h"
+
+#include <algorithm>
+
+namespace ccnvm::baselines {
+
+std::uint64_t StrictDesign::on_write_back_metadata(
+    Addr addr, bool counter_was_cached, std::uint64_t crypt_cycles) {
+  // Serial recomputation all the way to the root: each parent HMAC needs
+  // the child's new contents, so the chain itself never overlaps (§2.3);
+  // the data encryption pipeline runs alongside it.
+  std::uint64_t busy = std::max(
+      crypt_cycles,
+      propagate_path(addr, counter_was_cached, /*stop_at_cached=*/false));
+
+  // Atomically flush the branch. Lines stay cached (clean) for reuse.
+  controller_.begin_atomic_batch();
+  const std::vector<Addr> branch = metadata_addrs_for(addr);
+  for (Addr line : branch) {
+    persist_metadata(line, /*batched=*/true);
+    busy += 4;  // on-chip transfer into the WPQ
+  }
+  controller_.end_atomic_batch();
+  for (Addr line : branch) meta_cache_.clean(line);
+  tcb_.root_old = tcb_.root_new;
+  tcb_.n_wb = 0;
+  return busy;
+}
+
+std::uint64_t StrictDesign::on_meta_eviction(Addr line_addr, bool dirty) {
+  // Branches are flushed and cleaned each write-back, so dirty lines exist
+  // only transiently inside the current write-back's propagation; the
+  // pending batch flush covers their final values, making the eviction
+  // write safe (and at worst redundant).
+  if (dirty) persist_metadata(line_addr, /*batched=*/false);
+  return 0;
+}
+
+}  // namespace ccnvm::baselines

@@ -1,0 +1,31 @@
+// "SC" — strict consistency (§2.3, §5).
+//
+// Every write-back atomically persists the data block *and* the whole
+// metadata branch: the counter line and every internal tree node up to the
+// root, recomputed serially (the paper's 12-level/16 GB configuration
+// writes 11 NVM lines of metadata per data line). Atomicity piggybacks on
+// persistent registers as in Osiris; we model it with one WPQ batch per
+// write-back. Maximum safety, ~5.5x write traffic, worst performance.
+#pragma once
+
+#include "core/design.h"
+
+namespace ccnvm::baselines {
+
+class StrictDesign : public core::SecureNvmBase {
+ public:
+  using SecureNvmBase::SecureNvmBase;
+
+  core::DesignKind kind() const override { return core::DesignKind::kStrict; }
+
+ protected:
+  std::uint64_t on_write_back_metadata(Addr addr, bool counter_was_cached,
+                                       std::uint64_t crypt_cycles) override;
+  std::uint64_t on_meta_eviction(Addr line_addr, bool dirty) override;
+
+  core::RecoveryMode recovery_mode() const override {
+    return core::RecoveryMode::kStrict;
+  }
+};
+
+}  // namespace ccnvm::baselines

@@ -1,0 +1,30 @@
+#include "baselines/wo_cc.h"
+
+#include <vector>
+
+namespace ccnvm::baselines {
+
+void WoCcDesign::quiesce() {
+  // Flush bottom-up by tree level: folding a line into its parent dirties
+  // the parent, which a later level pass flushes in turn. Cache-pressure
+  // side effects (a fold can evict-and-refetch lines, re-dirtying an
+  // already-processed level) are swept up by repeating until quiet.
+  for (int rounds = 0; meta_cache_.dirty_count() > 0; ++rounds) {
+    CCNVM_CHECK_MSG(rounds < 16, "quiesce failed to converge");
+    for (std::uint32_t level = 0; level < layout_.root_level(); ++level) {
+      std::vector<Addr> dirty;
+      meta_cache_.for_each_dirty([&](Addr a) {
+        const std::uint32_t line_level =
+            layout_.is_counter_addr(a) ? 0 : layout_.node_id_of(a).level;
+        if (line_level == level) dirty.push_back(a);
+      });
+      for (Addr a : dirty) {
+        persist_metadata(a, /*batched=*/false);
+        meta_cache_.clean(a);
+        (void)fold_into_parent(a);
+      }
+    }
+  }
+}
+
+}  // namespace ccnvm::baselines

@@ -1,0 +1,50 @@
+// "w/o CC" — conventional secure memory without crash consistency (§5).
+//
+// The classic DRAM-era design (Gassend et al. HPCA'03, Rogers et al.
+// MICRO'07): counters and tree nodes live in the Meta Cache, updates stop
+// at the first cached (trusted) node, and a dirty metadata line is written
+// to NVM only when the cache evicts it — folding its tag into its parent
+// on the way out, with no atomicity whatsoever. The Merkle root sits in a
+// *volatile* register. This is the normalization baseline of Figure 5; it
+// has the best performance and no crash story at all.
+#pragma once
+
+#include <algorithm>
+
+#include "core/design.h"
+
+namespace ccnvm::baselines {
+
+class WoCcDesign : public core::SecureNvmBase {
+ public:
+  using SecureNvmBase::SecureNvmBase;
+
+  core::DesignKind kind() const override { return core::DesignKind::kWoCc; }
+
+  void quiesce() override;
+
+ protected:
+  std::uint64_t on_write_back_metadata(Addr addr, bool counter_was_cached,
+                                       std::uint64_t crypt_cycles) override {
+    // Counter/tree updates overlap the encryption pipeline.
+    return std::max(crypt_cycles, propagate_path(addr, counter_was_cached,
+                                                 /*stop_at_cached=*/true));
+  }
+
+  std::uint64_t on_meta_eviction(Addr line_addr, bool dirty) override {
+    if (!dirty) return 0;
+    // Spill-up: write the departing line out, then commit its tag to its
+    // parent. The write comes first because touching the parent can evict
+    // a dirty child of *this* line, whose own spill-up refetches it from
+    // NVM — the NVM copy must already be current by then. Not atomic —
+    // the crash-consistency gap this design embodies.
+    persist_metadata(line_addr, /*batched=*/false);
+    return fold_into_parent(line_addr);
+  }
+
+  core::RecoveryMode recovery_mode() const override {
+    return core::RecoveryMode::kNone;
+  }
+};
+
+}  // namespace ccnvm::baselines

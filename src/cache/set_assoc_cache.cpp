@@ -1,0 +1,125 @@
+#include "cache/set_assoc_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ccnvm::cache {
+
+SetAssocCache::SetAssocCache(const CacheConfig& config) : config_(config) {
+  CCNVM_CHECK_MSG(config.size_bytes % kLineSize == 0,
+                  "cache size must be a whole number of lines");
+  CCNVM_CHECK_MSG(config.ways > 0 && config.num_lines() % config.ways == 0,
+                  "line count must divide evenly into ways");
+  ways_.resize(config.num_lines());
+}
+
+const SetAssocCache::WayState* SetAssocCache::find(Addr line_addr) const {
+  const std::size_t set = set_index(line_addr);
+  const WayState* base = ways_.data() + set * config_.ways;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].line_addr == line_addr) return &base[w];
+  }
+  return nullptr;
+}
+
+SetAssocCache::WayState* SetAssocCache::find(Addr line_addr) {
+  return const_cast<WayState*>(std::as_const(*this).find(line_addr));
+}
+
+AccessOutcome SetAssocCache::access(Addr addr, bool is_write) {
+  const Addr line = line_base(addr);
+  ++tick_;
+
+  if (WayState* hit = find(line)) {
+    hit->lru_stamp = tick_;
+    if (is_write) {
+      hit->dirty = true;
+      ++hit->updates_since_dirty;
+    }
+    ++stats_.hits;
+    return {.hit = true, .evicted = std::nullopt, .evicted_dirty = false};
+  }
+
+  ++stats_.misses;
+
+  // Choose a victim: an invalid way if available, else LRU.
+  const std::size_t set = set_index(line);
+  WayState* base = ways_.data() + set * config_.ways;
+  WayState* victim = &base[0];
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru_stamp < victim->lru_stamp) victim = &base[w];
+  }
+
+  AccessOutcome outcome;
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirty_evictions;
+    outcome.evicted = victim->line_addr;
+    outcome.evicted_dirty = victim->dirty;
+  }
+
+  victim->line_addr = line;
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->lru_stamp = tick_;
+  victim->updates_since_dirty = is_write ? 1 : 0;
+  return outcome;
+}
+
+bool SetAssocCache::is_dirty(Addr addr) const {
+  const WayState* w = find(line_base(addr));
+  return w != nullptr && w->dirty;
+}
+
+std::uint32_t SetAssocCache::updates_since_dirty(Addr addr) const {
+  const WayState* w = find(line_base(addr));
+  return (w != nullptr && w->dirty) ? w->updates_since_dirty : 0;
+}
+
+void SetAssocCache::clean(Addr addr) {
+  if (WayState* w = find(line_base(addr))) {
+    w->dirty = false;
+    w->updates_since_dirty = 0;
+  }
+}
+
+void SetAssocCache::invalidate(Addr addr) {
+  if (WayState* w = find(line_base(addr))) {
+    *w = WayState{};
+  }
+}
+
+void SetAssocCache::invalidate_all() {
+  std::fill(ways_.begin(), ways_.end(), WayState{});
+}
+
+void SetAssocCache::for_each_dirty(const std::function<void(Addr)>& fn) const {
+  for (const WayState& w : ways_) {
+    if (w.valid && w.dirty) fn(w.line_addr);
+  }
+}
+
+void SetAssocCache::for_each_line(
+    const std::function<void(Addr, bool)>& fn) const {
+  for (const WayState& w : ways_) {
+    if (w.valid) fn(w.line_addr, w.dirty);
+  }
+}
+
+std::size_t SetAssocCache::dirty_count() const {
+  std::size_t n = 0;
+  for (const WayState& w : ways_) n += (w.valid && w.dirty) ? 1 : 0;
+  return n;
+}
+
+std::size_t SetAssocCache::valid_count() const {
+  std::size_t n = 0;
+  for (const WayState& w : ways_) n += w.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace ccnvm::cache

@@ -1,0 +1,116 @@
+// Set-associative write-back cache model with LRU replacement.
+//
+// This models *presence and state*, not payload bytes: architectural data
+// contents live in the functional stores (DataStore / MetadataStore), and
+// what the timing + consistency machinery needs from a cache is exactly
+//   - hit/miss behaviour (for latency),
+//   - which line gets evicted and whether it is dirty (for write-backs),
+//   - per-line dirty state and update counts (for cc-NVM's drain trigger
+//     "a metadata line has been updated more than N times since dirty").
+//
+// One class serves L1, L2/LLC and the Meta Cache; they differ only in
+// configuration. All caches in the paper use 64 B lines and LRU.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace ccnvm::cache {
+
+struct CacheConfig {
+  std::size_t size_bytes = 0;
+  std::size_t ways = 1;
+
+  std::size_t num_lines() const { return size_bytes / kLineSize; }
+  std::size_t num_sets() const { return num_lines() / ways; }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Outcome of a cache access, including any victim displaced by the fill.
+struct AccessOutcome {
+  bool hit = false;
+  /// Set when the fill displaced a valid line.
+  std::optional<Addr> evicted;
+  /// True when the displaced line was dirty (needs write-back).
+  bool evicted_dirty = false;
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& config);
+
+  /// Reads or writes the line containing `addr`, allocating on miss
+  /// (allocate-on-write policy, as in the paper's write-back hierarchy).
+  AccessOutcome access(Addr addr, bool is_write);
+
+  /// Touches a line without allocating; returns true on hit.
+  bool probe(Addr addr) const { return find(line_base(addr)) != nullptr; }
+
+  bool is_dirty(Addr addr) const;
+
+  /// Updates since the line last became dirty (0 for clean/absent lines).
+  std::uint32_t updates_since_dirty(Addr addr) const;
+
+  /// Marks a line clean (it was persisted) without evicting it. The line
+  /// stays cached — this is what cc-NVM's drain does: flush dirty metadata
+  /// to the WPQ but keep it hot in the Meta Cache.
+  void clean(Addr addr);
+
+  /// Drops a line entirely (used by tests and crash modelling).
+  void invalidate(Addr addr);
+
+  /// Drops everything (power loss: all on-chip state is gone).
+  void invalidate_all();
+
+  /// Invokes `fn(line_addr)` for every dirty line, in no particular order.
+  void for_each_dirty(const std::function<void(Addr)>& fn) const;
+
+  /// Invokes `fn(line_addr, dirty)` for every valid line.
+  void for_each_line(const std::function<void(Addr, bool)>& fn) const;
+
+  std::size_t dirty_count() const;
+  std::size_t valid_count() const;
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct WayState {
+    Addr line_addr = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru_stamp = 0;
+    std::uint32_t updates_since_dirty = 0;
+  };
+
+  std::size_t set_index(Addr line_addr) const {
+    return static_cast<std::size_t>((line_addr / kLineSize) % config_.num_sets());
+  }
+
+  const WayState* find(Addr line_addr) const;
+  WayState* find(Addr line_addr);
+
+  CacheConfig config_;
+  std::vector<WayState> ways_;  // num_sets * ways, set-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace ccnvm::cache

@@ -1,0 +1,53 @@
+// Little-endian byte (de)serialization helpers.
+//
+// Counter blocks, tree nodes and HMAC inputs are all defined as exact byte
+// layouts; these helpers keep the packing code readable and alignment-safe.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/check.h"
+
+namespace ccnvm {
+
+inline void store_le64(std::span<std::uint8_t> dst, std::size_t off,
+                       std::uint64_t v) {
+  CCNVM_CHECK(off + 8 <= dst.size());
+  for (int i = 0; i < 8; ++i) {
+    dst[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+inline std::uint64_t load_le64(std::span<const std::uint8_t> src,
+                               std::size_t off) {
+  CCNVM_CHECK(off + 8 <= src.size());
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | src[off + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+inline void store_le32(std::span<std::uint8_t> dst, std::size_t off,
+                       std::uint32_t v) {
+  CCNVM_CHECK(off + 4 <= dst.size());
+  for (int i = 0; i < 4; ++i) {
+    dst[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+inline std::uint32_t load_le32(std::span<const std::uint8_t> src,
+                               std::size_t off) {
+  CCNVM_CHECK(off + 4 <= src.size());
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | src[off + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace ccnvm

@@ -1,0 +1,30 @@
+// Internal invariant checking.
+//
+// CCNVM_CHECK guards programming errors and broken invariants: it is always
+// on (these models are simulators, not hot production paths, and a silently
+// corrupted simulation is worthless). Detection of *attacks* is never
+// expressed through CHECK — attacks are expected inputs and are reported
+// through AttackReport values instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccnvm::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CCNVM_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ccnvm::detail
+
+#define CCNVM_CHECK(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::ccnvm::detail::check_failed(#expr, __FILE__, __LINE__, nullptr))
+
+#define CCNVM_CHECK_MSG(expr, msg)                                         \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::ccnvm::detail::check_failed(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,26 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace ccnvm {
+
+std::string addr_str(Addr a) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(a));
+  return buf;
+}
+
+std::string hex_str(std::span<const std::uint8_t> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string tag_str(const Tag128& t) { return hex_str(t.bytes); }
+
+}  // namespace ccnvm

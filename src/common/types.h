@@ -1,0 +1,67 @@
+// Core value types shared by every cc-NVM module.
+//
+// The whole system speaks in 64-byte cache lines over a byte-addressable
+// physical address space, mirroring the paper's configuration (64 B blocks,
+// 4 KB pages, 16 GB NVM by default).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ccnvm {
+
+/// Physical byte address into the NVM address space.
+using Addr = std::uint64_t;
+
+/// Size of one cache line / memory block, in bytes.
+inline constexpr std::size_t kLineSize = 64;
+
+/// Size of one page, in bytes. One counter line covers one page.
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Number of data blocks covered by one counter line (one per page block).
+inline constexpr std::size_t kBlocksPerPage = kPageSize / kLineSize;  // 64
+
+/// Raw contents of one 64-byte line.
+using Line = std::array<std::uint8_t, kLineSize>;
+
+/// A zero-initialized line.
+inline Line zero_line() { return Line{}; }
+
+/// 128-bit authentication tag (truncated HMAC-SHA1), as stored in tree
+/// nodes and the data-HMAC region.
+struct Tag128 {
+  std::array<std::uint8_t, 16> bytes{};
+
+  friend bool operator==(const Tag128&, const Tag128&) = default;
+  friend auto operator<=>(const Tag128&, const Tag128&) = default;
+};
+
+/// Rounds an address down to its containing line.
+constexpr Addr line_base(Addr a) { return a & ~static_cast<Addr>(kLineSize - 1); }
+
+/// Rounds an address down to its containing page.
+constexpr Addr page_base(Addr a) { return a & ~static_cast<Addr>(kPageSize - 1); }
+
+/// Index of the line within its page, in [0, kBlocksPerPage).
+constexpr std::size_t block_in_page(Addr a) {
+  return static_cast<std::size_t>((a % kPageSize) / kLineSize);
+}
+
+/// True if `a` is line-aligned.
+constexpr bool is_line_aligned(Addr a) { return (a % kLineSize) == 0; }
+
+/// Formats an address as 0x-prefixed hex (for diagnostics).
+std::string addr_str(Addr a);
+
+/// Formats a tag as hex (for diagnostics).
+std::string tag_str(const Tag128& t);
+
+/// Formats an arbitrary byte span as hex.
+std::string hex_str(std::span<const std::uint8_t> bytes);
+
+}  // namespace ccnvm

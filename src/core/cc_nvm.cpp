@@ -1,0 +1,190 @@
+#include "core/cc_nvm.h"
+
+#include <algorithm>
+
+namespace ccnvm::core {
+
+std::uint64_t CcNvmDesign::pre_write_back(Addr addr) {
+  // The Drainer must reserve an entry for every metadata line this
+  // write-back can touch — counter line plus full tree path — even with
+  // deferred spreading, where most of them are not dirtied yet (§4.3):
+  // the reservation is what guarantees the eventual drain fits the WPQ.
+  // The data block is forwarded only after *all* addresses are in the
+  // queue (§5.1), one CAM lookup each — this is cc-NVM's residual
+  // write-back blocking cost. It runs in parallel with the encryption and
+  // tree-update phase (§4.2), so it is folded in via max() at the
+  // metadata hook rather than added here.
+  const std::vector<Addr> addrs = metadata_addrs_for(addr);
+  pending_daq_cycles_ = timing_.daq_lookup_latency * addrs.size();
+  if (!daq_.can_accept(addrs)) {
+    // Trigger (1): queue pressure. The drain blocks all further progress.
+    sync_stall_ += drain(DrainCrashPoint::kNone, DrainTrigger::kDaqPressure);
+  }
+  for (Addr a : addrs) {
+    CCNVM_CHECK_MSG(daq_.push(a), "DAQ sized below one write-back's path");
+  }
+  return 0;
+}
+
+void CcNvmDesign::on_metadata_dirtied(Addr line_addr) {
+  // Re-track lines dirtied after a mid-write-back drain cleared the queue;
+  // sizes were reserved in pre_write_back, so this cannot overflow.
+  CCNVM_CHECK_MSG(daq_.push(line_addr), "DAQ overflow on re-track");
+  if (layout_.is_counter_addr(line_addr)) {
+    // A counter update invalidates its whole tree path. With deferred
+    // spreading the path nodes are never dirtied per write-back, so if a
+    // drain cleared the DAQ after pre_write_back's reservation, they
+    // would otherwise be stranded — and the next drain would commit a
+    // tree whose internal nodes are stale w.r.t. this counter.
+    const std::uint64_t leaf = layout_.counter_line_index(line_addr);
+    for (const nvm::NodeId& id : layout_.path_to_root(leaf * kPageSize)) {
+      CCNVM_CHECK_MSG(daq_.push(layout_.node_addr(id)),
+                      "DAQ overflow on path re-track");
+    }
+  }
+}
+
+std::uint64_t CcNvmDesign::on_write_back_metadata(
+    Addr addr, bool counter_was_cached, std::uint64_t crypt_cycles) {
+  // Three parallel hardware activities gate the data's entry to the WPQ:
+  // encryption+data-HMAC, the tree walk (full chain without DS, stop at
+  // first cached node with DS), and the DAQ reservation CAM lookups.
+  std::uint64_t busy = std::max(
+      {crypt_cycles, pending_daq_cycles_,
+       propagate_path(addr, counter_was_cached,
+                      /*stop_at_cached=*/deferred_spreading_)});
+  pending_daq_cycles_ = 0;
+  // Trigger (3): a metadata line exceeded the update limit since it became
+  // dirty — drain so post-crash counter recovery stays within N retries.
+  const Addr cline = layout_.counter_line_addr(addr);
+  if (meta_cache_.updates_since_dirty(cline) > config_.update_limit) {
+    sync_stall_ += drain(DrainCrashPoint::kNone, DrainTrigger::kUpdateLimit);
+  }
+  return busy;
+}
+
+std::uint64_t CcNvmDesign::on_meta_eviction(Addr line_addr, bool dirty) {
+  // Trigger (2): the cache is pushing metadata out. Draining synchronously
+  // keeps the invariant that any *uncached* metadata line's NVM copy is
+  // its committed value — a later fetch must verify against the tree.
+  // Clean lines that the DAQ still tracks (their store value moved past
+  // the NVM copy inside this epoch) drain for the same reason.
+  if (draining_) return 0;  // the drain itself only cleans, never strands
+  if (dirty || daq_.contains(line_addr)) {
+    sync_stall_ += drain(DrainCrashPoint::kNone, DrainTrigger::kDirtyEviction);
+  }
+  return 0;
+}
+
+std::uint64_t CcNvmDesign::on_overflow(std::uint64_t leaf) {
+  // A page re-encryption is in flight: flag it persistently so recovery
+  // knows the N_wb/N_retry identity does not cover this page. The flag
+  // clears when the next drain commits the bumped counter line.
+  tcb_.overflow_pending = true;
+  tcb_.overflow_leaf = leaf;
+  return 0;
+}
+
+std::uint64_t CcNvmDesign::spread_deferred_updates() {
+  // Functionally this always runs: a drain can fire in the middle of a
+  // write-back's path propagation (dirty Meta Cache eviction), and the
+  // committed tree must be consistent with the committed counters, so
+  // every DAQ-tracked node is recomputed from its children. The *cycles*
+  // are charged only under deferred spreading — without DS the nodes are
+  // already current and hardware would not recompute them.
+  const bool charge = deferred_spreading_;
+  std::uint64_t busy = 0;
+  // Collect the tree nodes the epoch reserved, bottom-up: each is
+  // recomputed exactly once per drain (§4.3's "calculated once").
+  std::vector<nvm::NodeId> nodes;
+  for (Addr a : daq_.entries()) {
+    if (layout_.is_mt_addr(a)) nodes.push_back(layout_.node_id_of(a));
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::stable_sort(nodes.begin(), nodes.end(),
+                   [](const nvm::NodeId& a, const nvm::NodeId& b) {
+                     return a.level < b.level;
+                   });
+
+  const bool any_counters = !daq_.empty();
+  for (const nvm::NodeId& id : nodes) {
+    if (functional()) {
+      meta_->set_node(id, merkle_.compute_node(id, [this](const nvm::NodeId& c) {
+                        return meta_->node_line(c);
+                      }));
+    }
+  }
+  if (any_counters && functional()) {
+    // The root is recomputed last and lands in ROOT_new.
+    tcb_.root_new = merkle_.compute_node(
+        {layout_.root_level(), 0},
+        [this](const nvm::NodeId& c) { return meta_->node_line(c); });
+  }
+  if (charge && any_counters) {
+    // Cost model: each tracked line contributes exactly one changed edge
+    // into its parent, so the drain computes one counter-HMAC per DAQ
+    // entry plus one for the root update — each "calculated once per
+    // draining" (§4.3). Unchanged sibling slots keep their tags.
+    const std::uint64_t edges = daq_.size() + 1;
+    busy += edges * timing_.hmac_latency;
+    stats_.hmac_ops += edges;
+  }
+  return busy;
+}
+
+std::uint64_t CcNvmDesign::drain(DrainCrashPoint point,
+                                 DrainTrigger trigger) {
+  CCNVM_CHECK_MSG(!draining_, "nested drain");
+  draining_ = true;
+  ++stats_.drains;
+  ++stats_.drains_by_trigger[static_cast<std::size_t>(trigger)];
+  std::uint64_t busy = 0;
+
+  busy += spread_deferred_updates();
+
+  // Atomic draining protocol (§4.2, steps Õ-œ): start signal, stream the
+  // tracked lines into the WPQ, end signal, then commit the registers.
+  controller_.begin_atomic_batch();
+  const std::vector<Addr> lines = daq_.entries();
+  std::size_t queued = 0;
+  for (Addr a : lines) {
+    persist_metadata(a, /*batched=*/true);
+    busy += 4;  // on-chip transfer into the WPQ
+    ++queued;
+    if (point == DrainCrashPoint::kMidBatch && queued * 2 >= lines.size()) {
+      draining_ = false;
+      return busy;  // caller loses power here
+    }
+  }
+  if (point == DrainCrashPoint::kAfterBatchBeforeEnd) {
+    draining_ = false;
+    return busy;
+  }
+  controller_.end_atomic_batch();
+  if (point == DrainCrashPoint::kAfterEndBeforeCommit) {
+    draining_ = false;
+    return busy;
+  }
+
+  // Commit: the NVM tree now *is* the ROOT_new state.
+  tcb_.root_old = tcb_.root_new;
+  tcb_.n_wb = 0;
+  tcb_.overflow_pending = false;
+  for (Addr a : lines) meta_cache_.clean(a);
+  daq_.clear();
+  on_drain_commit();
+
+  stats_.drain_cycles += busy;
+  draining_ = false;
+  return busy;
+}
+
+void CcNvmDesign::drain_and_crash(DrainCrashPoint point) {
+  CCNVM_CHECK_MSG(point != DrainCrashPoint::kNone,
+                  "use force_drain() for a normal drain");
+  (void)drain(point);
+  crash_power_loss();
+}
+
+}  // namespace ccnvm::core

@@ -1,0 +1,104 @@
+// cc-NVM — the paper's contribution (§4), in both evaluated variants:
+// with deferred spreading ("cc-NVM") and without ("cc-NVM w/o DS").
+//
+// Per write-back: the Drainer reserves DAQ entries for the counter line
+// and every internal node on its tree path (their addresses are
+// deterministic, so this runs in parallel with encryption); the counter is
+// bumped in the Meta Cache; without DS the whole path is recomputed
+// serially up to ROOT_new, with DS the recomputation stops at the first
+// node whose child was already cached, deferring the spread to drain time.
+//
+// A drain — triggered by DAQ pressure, a dirty Meta Cache eviction, or a
+// line exceeding the update limit N — recomputes the deferred nodes
+// bottom-up (each node once per epoch), pushes every DAQ-tracked line into
+// the WPQ between `start` and `end` signals, and commits: ROOT_old takes
+// ROOT_new's value and N_wb resets. ADR makes the batch all-or-nothing, so
+// the NVM tree atomically steps from one consistent state to the next.
+#pragma once
+
+#include "core/daq.h"
+#include "core/design.h"
+
+namespace ccnvm::core {
+
+class CcNvmDesign : public SecureNvmBase {
+ public:
+  /// Crash points inside the drain protocol, for fault-injection tests —
+  /// these are exactly the windows §4.2 argues about.
+  enum class DrainCrashPoint {
+    kNone,
+    kMidBatch,             // some metadata lines in the WPQ, no end signal
+    kAfterBatchBeforeEnd,  // whole batch queued, end signal not yet sent
+    kAfterEndBeforeCommit  // end sent (batch durable), registers not reset
+  };
+
+  CcNvmDesign(const DesignConfig& config, bool deferred_spreading)
+      : SecureNvmBase(config),
+        deferred_spreading_(deferred_spreading),
+        daq_(config.daq_entries) {}
+
+  DesignKind kind() const override {
+    return deferred_spreading_ ? DesignKind::kCcNvm : DesignKind::kCcNvmNoDs;
+  }
+
+  /// §4.2 drain trigger classification (indexes DesignStats'
+  /// drains_by_trigger).
+  enum class DrainTrigger {
+    kDaqPressure = 0,
+    kDirtyEviction = 1,
+    kUpdateLimit = 2,
+    kExplicit = 3
+  };
+
+  /// Runs a drain now (also exposed so examples can checkpoint).
+  std::uint64_t force_drain() {
+    return drain(DrainCrashPoint::kNone, DrainTrigger::kExplicit);
+  }
+
+  /// Fault injection: run a drain and lose power at `point`.
+  void drain_and_crash(DrainCrashPoint point);
+
+  void quiesce() override { (void)drain(DrainCrashPoint::kNone); }
+
+  const DirtyAddressQueue& daq() const { return daq_; }
+  bool deferred_spreading() const { return deferred_spreading_; }
+
+  std::uint64_t consume_sync_stall() override {
+    const std::uint64_t stall = sync_stall_;
+    sync_stall_ = 0;
+    return stall;
+  }
+
+ protected:
+  /// Called when a drain commits (registers reset) — cc-NVM+ clears its
+  /// per-block update registers here.
+  virtual void on_drain_commit() {}
+
+  std::uint64_t pre_write_back(Addr addr) override;
+  std::uint64_t on_write_back_metadata(Addr addr, bool counter_was_cached,
+                                       std::uint64_t crypt_cycles) override;
+  std::uint64_t on_meta_eviction(Addr line_addr, bool dirty) override;
+  std::uint64_t on_overflow(std::uint64_t leaf) override;
+  void on_metadata_dirtied(Addr line_addr) override;
+  RecoveryMode recovery_mode() const override { return RecoveryMode::kCcNvm; }
+  void post_crash_reset() override { daq_.clear(); }
+
+ private:
+  std::uint64_t drain(DrainCrashPoint point,
+                      DrainTrigger trigger = DrainTrigger::kExplicit);
+
+  /// Deferred spreading: recompute every DAQ-tracked tree node (and the
+  /// root) bottom-up from the current counters. Returns cycles.
+  std::uint64_t spread_deferred_updates();
+
+  bool deferred_spreading_;
+  DirtyAddressQueue daq_;
+  bool draining_ = false;
+  /// DAQ reservation time of the in-flight write-back; overlaps with the
+  /// encryption/tree phase and is folded in via max() at the hook.
+  std::uint64_t pending_daq_cycles_ = 0;
+  /// Drain cycles pending delivery to the CPU model (synchronous stall).
+  std::uint64_t sync_stall_ = 0;
+};
+
+}  // namespace ccnvm::core

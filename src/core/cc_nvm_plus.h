@@ -1,0 +1,55 @@
+// cc-NVM+ — the paper's closing extension (§4.4, last paragraph),
+// implemented: "adding more persistent registers to record all the dirty
+// counter addresses in dirty address queue, and the update times of each
+// dirty counter cache can help us to locate the tempered data blocks,
+// with the cost of higher hardware requirements."
+//
+// Concretely, a battery-backed register file shadows the DAQ's counter
+// entries with per-block write-back counts for the current epoch. At
+// recovery, the N_wb == N_retry aggregate check of step 3 becomes
+// block-exact, so a replay of an uncommitted (data, DH) pair — the one
+// attack base cc-NVM can only *detect* — is now *located*.
+//
+// Hardware cost: up to M counter entries x 64 blocks x the update-limit
+// width (ceil(log2 N) bits). At the paper's M=64, N=16 that is 16 Kb of
+// persistent registers — substantial, which is why the paper left it as
+// future work; the runtime behaviour (timing, traffic, epochs) is
+// unchanged from cc-NVM with deferred spreading.
+#pragma once
+
+#include "core/cc_nvm.h"
+
+namespace ccnvm::core {
+
+class CcNvmPlusDesign : public CcNvmDesign {
+ public:
+  explicit CcNvmPlusDesign(const DesignConfig& config)
+      : CcNvmDesign(config, /*deferred_spreading=*/true) {}
+
+  DesignKind kind() const override { return DesignKind::kCcNvmPlus; }
+
+  const PerBlockUpdates& update_registers() const { return updates_; }
+
+ protected:
+  void on_counter_incremented(Addr data_addr) override {
+    auto& counts = updates_[layout_.counter_line_addr(data_addr)];
+    auto& c = counts[block_in_page(data_addr)];
+    if (c < 255) ++c;
+  }
+
+  void on_drain_commit() override { updates_.clear(); }
+
+  void augment_recovery_inputs(RecoveryInputs& inputs) override {
+    inputs.per_block_updates = &updates_;
+  }
+
+  // The registers are persistent: they intentionally survive
+  // crash_power_loss() (the base clears only volatile state); a
+  // successful recovery resets them along with N_wb.
+  void post_recovery_reset() override { updates_.clear(); }
+
+ private:
+  PerBlockUpdates updates_;
+};
+
+}  // namespace ccnvm::core

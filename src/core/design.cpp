@@ -1,0 +1,473 @@
+#include "core/design.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ccnvm::core {
+
+namespace {
+
+bool tag_is_zero(const Tag128& t) {
+  return std::all_of(t.bytes.begin(), t.bytes.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+}  // namespace
+
+std::string_view design_name(DesignKind kind) {
+  switch (kind) {
+    case DesignKind::kWoCc:
+      return "w/o CC";
+    case DesignKind::kStrict:
+      return "SC";
+    case DesignKind::kOsirisPlus:
+      return "Osiris Plus";
+    case DesignKind::kCcNvmNoDs:
+      return "cc-NVM w/o DS";
+    case DesignKind::kCcNvm:
+      return "cc-NVM";
+    case DesignKind::kCcNvmPlus:
+      return "cc-NVM+";
+  }
+  return "?";
+}
+
+SecureNvmBase::SecureNvmBase(const DesignConfig& config)
+    : config_(config),
+      layout_(config.data_capacity),
+      controller_(image_, config.wpq_entries),
+      cme_(config.key_seed),
+      tree_key_(crypto::HmacKey::from_seed(config.key_seed ^
+                                           0x7bee5f00dULL)),
+      merkle_(tree_key_, layout_),
+      meta_(config.functional
+                ? std::make_unique<secure::MetadataStore>(layout_, merkle_)
+                : nullptr),
+      meta_cache_(layout_, config.meta_cache_bytes, config.meta_cache_ways,
+                  config.split_meta_cache),
+      timing_(config_.timing) {
+  CCNVM_CHECK_MSG(config.daq_entries <= config.wpq_entries,
+                  "a drain batch must fit in the WPQ");
+  if (functional()) {
+    // "Format" the DIMM: persist the all-zero-counter tree so the initial
+    // NVM state is consistent with the TCB roots. Counter lines are zero
+    // (the image default), so only internal nodes need writing.
+    for (std::uint32_t level = 1; level < layout_.root_level(); ++level) {
+      for (std::uint64_t i = 0; i < layout_.nodes_at_level(level); ++i) {
+        const nvm::NodeId id{level, i};
+        image_.write_line(layout_.node_addr(id), meta_->node_line(id));
+      }
+    }
+    tcb_.root_new = tcb_.root_old = meta_->root();
+  } else {
+    image_.set_record_contents(false);
+  }
+}
+
+void SecureNvmBase::reset_stats() {
+  stats_ = DesignStats{};
+  controller_.reset_stats();
+  meta_cache_.reset_stats();
+}
+
+Line SecureNvmBase::logical_metadata(Addr line_addr) const {
+  if (!functional()) return zero_line();
+  if (layout_.is_counter_addr(line_addr)) {
+    return meta_->counter(layout_.counter_line_index(line_addr)).pack();
+  }
+  CCNVM_CHECK(layout_.is_mt_addr(line_addr));
+  return meta_->node_line(layout_.node_id_of(line_addr));
+}
+
+std::vector<Addr> SecureNvmBase::metadata_addrs_for(Addr data_addr) const {
+  std::vector<Addr> addrs;
+  addrs.push_back(layout_.counter_line_addr(data_addr));
+  for (const nvm::NodeId& id : layout_.path_to_root(data_addr)) {
+    addrs.push_back(layout_.node_addr(id));
+  }
+  return addrs;
+}
+
+void SecureNvmBase::persist_metadata(Addr line_addr, bool batched) {
+  const Line value = logical_metadata(line_addr);
+  const nvm::LineKind kind = metadata_kind(line_addr);
+  if (batched) {
+    CCNVM_CHECK_MSG(controller_.batch_write(line_addr, value, kind),
+                    "drain batch exceeded the WPQ");
+  } else {
+    controller_.write(line_addr, value, kind);
+  }
+  updates_since_persist_.erase(line_addr);
+}
+
+void SecureNvmBase::note_alert(Addr addr) {
+  ++stats_.runtime_alerts;
+  alerts_.push_back(addr);
+}
+
+std::uint64_t SecureNvmBase::meta_access(Addr line_addr, bool is_write) {
+  std::uint64_t busy = timing_.meta_cache_latency;
+  const cache::AccessOutcome out = meta_cache_.access(line_addr, is_write);
+  if (!out.hit) busy += fetch_metadata(line_addr);
+  if (out.evicted.has_value()) {
+    busy += on_meta_eviction(*out.evicted, out.evicted_dirty);
+  }
+  return busy;
+}
+
+std::uint64_t SecureNvmBase::fetch_metadata(Addr line_addr) {
+  // Fetch from NVM and verify the hash chain: hash the fetched line,
+  // compare against the parent's slot, walking up until a cached
+  // (on-chip, hence trusted) ancestor or the root anchors the chain.
+  std::uint64_t busy = timing_.nvm_read_cycles();
+  nvm::NodeId id = layout_.is_counter_addr(line_addr)
+                       ? nvm::NodeId{0, layout_.counter_line_index(line_addr)}
+                       : layout_.node_id_of(line_addr);
+  while (true) {
+    busy += timing_.hmac_latency;
+    ++stats_.hmac_ops;
+    const nvm::NodeId parent = layout_.parent(id);
+    if (parent.level == layout_.root_level()) break;
+    const Addr parent_addr = layout_.node_addr(parent);
+    if (meta_cache_.probe(parent_addr)) break;
+    busy += timing_.nvm_read_cycles();  // parent fetched for verification
+    id = parent;
+  }
+  if (functional()) {
+    // HMAC collision resistance makes the hardware chain check fail
+    // exactly when the fetched bytes differ from what the (persisted,
+    // consistent) tree committed to — which for chain-persisting designs
+    // is the logical value, since dirty lines are never silently dropped.
+    if (image_.read_line(line_addr) != logical_metadata(line_addr)) {
+      note_alert(line_addr);
+    }
+  }
+  return busy;
+}
+
+std::uint64_t SecureNvmBase::propagate_path(Addr data_addr,
+                                            bool counter_was_cached,
+                                            bool stop_at_cached) {
+  std::uint64_t busy = 0;
+  nvm::NodeId child{0, data_addr / kPageSize};
+  bool child_was_cached = counter_was_cached;
+
+  while (true) {
+    // Deferred spreading (§4.3): once the child was already cached before
+    // this write-back, its pending update is covered by the DAQ and the
+    // spread to the root happens at drain time.
+    if (stop_at_cached && child_was_cached) break;
+
+    const nvm::NodeId parent = layout_.parent(child);
+    busy += timing_.hmac_latency;  // counter-HMAC of the child's new value
+    ++stats_.hmac_ops;
+
+    if (parent.level == layout_.root_level()) {
+      if (functional()) {
+        const Tag128 tag = merkle_.node_tag(meta_->node_line(child));
+        Line root = tcb_.root_new;
+        std::memcpy(root.data() +
+                        layout_.slot_in_parent(child) * sizeof(Tag128),
+                    tag.bytes.data(), sizeof(Tag128));
+        tcb_.root_new = root;
+      }
+      break;
+    }
+
+    const Addr parent_addr = layout_.node_addr(parent);
+    const bool parent_was_cached = meta_cache_.probe(parent_addr);
+    // A cached parent lookup is hidden under the 80-cycle HMAC of the
+    // child; only a miss (fetch + verify) adds to the serial chain.
+    const std::uint64_t access = meta_access(parent_addr, /*is_write=*/true);
+    busy += access > timing_.meta_cache_latency
+                ? access - timing_.meta_cache_latency
+                : 0;
+    if (functional()) {
+      const Tag128 tag = merkle_.node_tag(meta_->node_line(child));
+      Line pline = meta_->node_line(parent);
+      std::memcpy(pline.data() +
+                      layout_.slot_in_parent(child) * sizeof(Tag128),
+                  tag.bytes.data(), sizeof(Tag128));
+      meta_->set_node(parent, pline);
+    }
+    on_metadata_dirtied(parent_addr);
+    child = parent;
+    child_was_cached = parent_was_cached;
+  }
+  return busy;
+}
+
+std::uint64_t SecureNvmBase::fold_into_parent(Addr line_addr) {
+  // One spill-up step: recompute the departing line's tag into its parent
+  // so future chain verification of the NVM copy succeeds.
+  std::uint64_t busy = timing_.hmac_latency;
+  ++stats_.hmac_ops;
+  const nvm::NodeId id =
+      layout_.is_counter_addr(line_addr)
+          ? nvm::NodeId{0, layout_.counter_line_index(line_addr)}
+          : layout_.node_id_of(line_addr);
+  const nvm::NodeId parent = layout_.parent(id);
+  if (parent.level == layout_.root_level()) {
+    if (functional()) {
+      const Tag128 tag = merkle_.node_tag(logical_metadata(line_addr));
+      Line root = tcb_.root_new;
+      std::memcpy(root.data() + layout_.slot_in_parent(id) * sizeof(Tag128),
+                  tag.bytes.data(), sizeof(Tag128));
+      tcb_.root_new = root;
+    }
+    return busy;
+  }
+  const Addr parent_addr = layout_.node_addr(parent);
+  busy += meta_access(parent_addr, /*is_write=*/true);
+  if (functional()) {
+    const Tag128 tag = merkle_.node_tag(logical_metadata(line_addr));
+    Line pline = meta_->node_line(parent);
+    std::memcpy(pline.data() + layout_.slot_in_parent(id) * sizeof(Tag128),
+                tag.bytes.data(), sizeof(Tag128));
+    meta_->set_node(parent, pline);
+  }
+  on_metadata_dirtied(parent_addr);
+  return busy;
+}
+
+std::uint64_t SecureNvmBase::reencrypt_page(
+    std::uint64_t leaf, const secure::CounterBlock& old_counters) {
+  // The minor overflow already bumped the major and zeroed the minors in
+  // the logical counter block; every previously written block must be
+  // re-encrypted under (major+1, 0) with a fresh data HMAC.
+  std::uint64_t busy = 0;
+  if (!functional()) return busy;  // overflow cannot trigger without counters
+  const std::uint64_t new_major = old_counters.major + 1;
+  for (std::size_t b = 0; b < kBlocksPerPage; ++b) {
+    const Addr da = leaf * kPageSize + b * kLineSize;
+    const Addr dh_addr = layout_.dh_line_addr(da);
+    Line dh_line = image_.read_line(dh_addr);
+    const Tag128 stored =
+        secure::dh_tag_in_line(dh_line, layout_.dh_offset_in_line(da));
+    if (tag_is_zero(stored)) continue;  // never written
+
+    const Line ct_old = image_.read_line(da);
+    const Line pt = cme_.crypt(ct_old, da, old_counters.pad_counter(b));
+    const crypto::PadCounter fresh{new_major, 0};
+    const Line ct_new = cme_.crypt(pt, da, fresh);
+    controller_.write(da, ct_new, nvm::LineKind::kData);
+    secure::set_dh_tag_in_line(dh_line, layout_.dh_offset_in_line(da),
+                               cme_.data_hmac(ct_new, da, fresh));
+    controller_.write(dh_addr, dh_line, nvm::LineKind::kDataHmac);
+    busy += 2 * timing_.aes_cycles() + timing_.hmac_latency;
+    stats_.aes_ops += 2;
+    ++stats_.hmac_ops;
+  }
+  return busy;
+}
+
+std::uint64_t SecureNvmBase::write_back(Addr addr, const Line& plaintext) {
+  CCNVM_CHECK_MSG(!crashed_, "write_back on a crashed system");
+  CCNVM_CHECK(layout_.is_data_addr(addr) && is_line_aligned(addr));
+  ++stats_.write_backs;
+
+  std::uint64_t busy = pre_write_back(addr);
+
+  // Counter access: fetch+verify on a miss, dirty the line.
+  const Addr cline = layout_.counter_line_addr(addr);
+  const bool counter_was_cached = meta_cache_.probe(cline);
+  busy += meta_access(cline, /*is_write=*/true);
+  ++updates_since_persist_[cline];
+  on_metadata_dirtied(cline);
+
+  ++tcb_.n_wb;
+
+  const std::uint64_t leaf = addr / kPageSize;
+  const std::size_t block = block_in_page(addr);
+  bool overflow = false;
+  secure::CounterBlock old_counters;
+  if (functional()) {
+    old_counters = meta_->counter(leaf);
+    overflow = meta_->counter(leaf).increment(block);
+  }
+  on_counter_incremented(addr);
+  if (overflow) {
+    ++stats_.page_reencryptions;
+    busy += reencrypt_page(leaf, old_counters);
+    busy += on_overflow(leaf);
+  }
+
+  // Encrypt and MAC the evicted line (controller-side; the NVM writes
+  // themselves are posted and off this blocking path). This latency
+  // overlaps with the design's tree walk / DAQ work — the hook composes
+  // them with max().
+  const std::uint64_t crypt_cycles =
+      timing_.aes_cycles() + timing_.hmac_latency;
+  ++stats_.aes_ops;
+  ++stats_.hmac_ops;
+  const Addr dh_addr = layout_.dh_line_addr(addr);
+  if (functional()) {
+    const crypto::PadCounter pc = meta_->counter(leaf).pad_counter(block);
+    const Line ct = cme_.crypt(plaintext, addr, pc);
+    controller_.write(addr, ct, nvm::LineKind::kData);
+    // ECC over the *plaintext* rides the DIMM side band with the line
+    // (Osiris's recovery oracle; no extra write transaction).
+    image_.write_ecc(addr, secure::ecc_of_line(plaintext).bytes);
+    Line dh_line = image_.read_line(dh_addr);
+    secure::set_dh_tag_in_line(dh_line, layout_.dh_offset_in_line(addr),
+                               cme_.data_hmac(ct, addr, pc));
+    controller_.write(dh_addr, dh_line, nvm::LineKind::kDataHmac);
+  } else {
+    controller_.write(addr, zero_line(), nvm::LineKind::kData);
+    controller_.write(dh_addr, zero_line(), nvm::LineKind::kDataHmac);
+  }
+
+  busy += on_write_back_metadata(addr, counter_was_cached, crypt_cycles);
+  stats_.engine_busy_cycles += busy;
+  return busy;
+}
+
+ReadResult SecureNvmBase::read_block(Addr addr) {
+  CCNVM_CHECK_MSG(!crashed_, "read on a crashed system");
+  CCNVM_CHECK(layout_.is_data_addr(addr) && is_line_aligned(addr));
+  ++stats_.reads;
+
+  ReadResult result;
+  // Data and its DH tag are fetched in parallel from NVM.
+  std::uint64_t latency = timing_.nvm_read_cycles();
+  const Addr cline = layout_.counter_line_addr(addr);
+  const bool counter_hit = meta_cache_.probe(cline);
+  const std::uint64_t meta_busy = meta_access(cline, /*is_write=*/false);
+  if (counter_hit) {
+    // OTP generation overlaps the data fetch (§2.2's caching benefit).
+    latency = std::max(latency, meta_busy + timing_.aes_cycles());
+  } else if (config_.speculative_reads) {
+    // PoisonIvy: don't wait for the metadata fetch/verification chain —
+    // decrypt as soon as the counter value arrives and forward; the
+    // hash checks complete in the background.
+    latency = std::max(latency, timing_.nvm_read_cycles() +
+                                    timing_.aes_cycles());
+  } else {
+    latency += meta_busy + timing_.aes_cycles();
+  }
+  ++stats_.aes_ops;
+  if (!config_.speculative_reads) {
+    latency += timing_.hmac_latency;  // data-HMAC verification
+  }
+  ++stats_.hmac_ops;
+
+  if (functional()) {
+    const Line ct = controller_.read(addr);
+    const Line dh_line = image_.read_line(layout_.dh_line_addr(addr));
+    const Tag128 stored =
+        secure::dh_tag_in_line(dh_line, layout_.dh_offset_in_line(addr));
+    if (tag_is_zero(stored) && ct == zero_line()) {
+      // Never-written memory reads as zero, like a fresh DIMM.
+      result.plaintext = zero_line();
+    } else {
+      const std::uint64_t leaf = addr / kPageSize;
+      const crypto::PadCounter pc =
+          meta_->counter(leaf).pad_counter(block_in_page(addr));
+      if (!(cme_.data_hmac(ct, addr, pc) == stored)) {
+        result.integrity_ok = false;
+        note_alert(addr);
+      }
+      result.plaintext = cme_.crypt(ct, addr, pc);
+    }
+  }
+  result.latency = latency;
+  stats_.read_latency_cycles += latency;
+  return result;
+}
+
+void SecureNvmBase::restore_from_power_down(nvm::NvmImage image,
+                                            const TcbRegisters& tcb) {
+  CCNVM_CHECK_MSG(functional(), "power cycling needs the functional engine");
+  image_ = std::move(image);
+  tcb_ = tcb;
+  controller_.crash();  // no batch can span a power cycle
+  meta_cache_.invalidate_all();
+  updates_since_persist_.clear();
+  alerts_.clear();
+  post_crash_reset();
+  crashed_ = true;
+}
+
+void SecureNvmBase::crash_power_loss() {
+  controller_.crash();
+  meta_cache_.invalidate_all();
+  updates_since_persist_.clear();
+  alerts_.clear();
+  post_crash_reset();
+  crashed_ = true;
+}
+
+RecoveryReport SecureNvmBase::recover() {
+  CCNVM_CHECK_MSG(crashed_, "recover() is a post-crash operation");
+  RecoveryInputs inputs;
+  inputs.layout = &layout_;
+  inputs.image = &image_;
+  inputs.cme = &cme_;
+  inputs.merkle = &merkle_;
+  inputs.tcb = tcb_;
+  inputs.update_limit = config_.update_limit;
+  inputs.mode = recovery_mode();
+  augment_recovery_inputs(inputs);
+  RecoveryManager manager(inputs);
+  RecoveryReport report = manager.run();
+
+  if (report.metadata_recovered && functional()) {
+    // Reinstall the repaired image as the logical state and resume.
+    for (std::uint64_t leaf = 0; leaf < layout_.num_pages(); ++leaf) {
+      meta_->counter(leaf) = secure::CounterBlock::unpack(image_.read_line(
+          layout_.data_capacity() + leaf * kLineSize));
+    }
+    for (std::uint32_t level = 1; level < layout_.root_level(); ++level) {
+      for (std::uint64_t i = 0; i < layout_.nodes_at_level(level); ++i) {
+        const nvm::NodeId id{level, i};
+        meta_->set_node(id, image_.read_line(layout_.node_addr(id)));
+      }
+    }
+    meta_->set_node({layout_.root_level(), 0}, report.recovered_root);
+    tcb_.root_new = tcb_.root_old = report.recovered_root;
+    tcb_.n_wb = 0;
+    tcb_.overflow_pending = false;
+    crashed_ = false;
+    post_recovery_reset();
+  }
+  return report;
+}
+
+std::vector<Addr> SecureNvmBase::audit_image() {
+  CCNVM_CHECK_MSG(functional(), "audit requires the functional engine");
+  quiesce();
+  std::vector<Addr> bad;
+  const bool tree_in_nvm = recovery_mode() != RecoveryMode::kOsiris;
+
+  for (std::uint64_t leaf = 0; leaf < layout_.num_pages(); ++leaf) {
+    const Addr caddr = layout_.data_capacity() + leaf * kLineSize;
+    if (image_.read_line(caddr) != meta_->counter(leaf).pack()) {
+      bad.push_back(caddr);
+    }
+    for (std::size_t b = 0; b < kBlocksPerPage; ++b) {
+      const Addr da = leaf * kPageSize + b * kLineSize;
+      const Line dh_line = image_.read_line(layout_.dh_line_addr(da));
+      const Tag128 stored =
+          secure::dh_tag_in_line(dh_line, layout_.dh_offset_in_line(da));
+      if (tag_is_zero(stored)) continue;
+      const Line ct = image_.read_line(da);
+      if (!(cme_.data_hmac(ct, da, meta_->counter(leaf).pad_counter(b)) ==
+            stored)) {
+        bad.push_back(da);
+      }
+    }
+  }
+  if (tree_in_nvm) {
+    for (std::uint32_t level = 1; level < layout_.root_level(); ++level) {
+      for (std::uint64_t i = 0; i < layout_.nodes_at_level(level); ++i) {
+        const nvm::NodeId id{level, i};
+        if (image_.read_line(layout_.node_addr(id)) != meta_->node_line(id)) {
+          bad.push_back(layout_.node_addr(id));
+        }
+      }
+    }
+  }
+  return bad;
+}
+
+}  // namespace ccnvm::core

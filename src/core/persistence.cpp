@@ -1,0 +1,93 @@
+#include "core/persistence.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "nvm/image_io.h"
+
+namespace ccnvm::core {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'N', 'V', 'M', 'T', 'C', 'B'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+std::string tcb_path(const std::string& path) { return path + ".tcb"; }
+
+bool save_tcb(const std::string& path, const TcbRegisters& tcb) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  std::uint8_t buf[8 + kLineSize * 2 + 8 + 1 + 8];
+  std::size_t off = 0;
+  std::memcpy(buf + off, kMagic, 8);
+  off += 8;
+  std::memcpy(buf + off, tcb.root_new.data(), kLineSize);
+  off += kLineSize;
+  std::memcpy(buf + off, tcb.root_old.data(), kLineSize);
+  off += kLineSize;
+  for (int i = 0; i < 8; ++i) {
+    buf[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(tcb.n_wb >> (8 * i));
+  }
+  off += 8;
+  buf[off++] = tcb.overflow_pending ? 1 : 0;
+  for (int i = 0; i < 8; ++i) {
+    buf[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(tcb.overflow_leaf >> (8 * i));
+  }
+  off += 8;
+  return std::fwrite(buf, off, 1, f.get()) == 1;
+}
+
+bool load_tcb(const std::string& path, TcbRegisters& tcb) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  std::uint8_t buf[8 + kLineSize * 2 + 8 + 1 + 8];
+  if (std::fread(buf, sizeof(buf), 1, f.get()) != 1) return false;
+  if (std::memcmp(buf, kMagic, 8) != 0) return false;
+  std::size_t off = 8;
+  std::memcpy(tcb.root_new.data(), buf + off, kLineSize);
+  off += kLineSize;
+  std::memcpy(tcb.root_old.data(), buf + off, kLineSize);
+  off += kLineSize;
+  tcb.n_wb = 0;
+  for (int i = 7; i >= 0; --i) {
+    tcb.n_wb = (tcb.n_wb << 8) | buf[off + static_cast<std::size_t>(i)];
+  }
+  off += 8;
+  tcb.overflow_pending = buf[off++] != 0;
+  tcb.overflow_leaf = 0;
+  for (int i = 7; i >= 0; --i) {
+    tcb.overflow_leaf =
+        (tcb.overflow_leaf << 8) | buf[off + static_cast<std::size_t>(i)];
+  }
+  return true;
+}
+
+}  // namespace
+
+bool power_down_to_file(const std::string& path, SecureNvmBase& design) {
+  CCNVM_CHECK_MSG(design.crashed(),
+                  "power_down_to_file models post-power-loss state; call "
+                  "crash_power_loss() (after quiesce() for an orderly "
+                  "shutdown) first");
+  if (!nvm::save_image(path, design.image())) return false;
+  return save_tcb(tcb_path(path), design.tcb());
+}
+
+bool restore_from_file(const std::string& path, SecureNvmBase& design) {
+  nvm::NvmImage image;
+  if (!nvm::load_image(path, image)) return false;
+  TcbRegisters tcb;
+  if (!load_tcb(tcb_path(path), tcb)) return false;
+  design.restore_from_power_down(std::move(image), tcb);
+  return true;
+}
+
+}  // namespace ccnvm::core

@@ -1,0 +1,34 @@
+// Host-process power cycling: serialize everything that physically
+// survives a power failure — the DIMM image (nvm/image_io.h) and the
+// battery-backed TCB registers — so a secure NVM can be powered down in
+// one process and brought back up in another.
+//
+// Usage for an unexpected power loss:
+//   design.crash_power_loss();
+//   core::power_down_to_file("dimm.img", design);
+//   ... process exits; later, a new process:
+//   core::CcNvmDesign design(same_config, true);   // same keys!
+//   core::restore_from_file("dimm.img", design);
+//   auto report = design.recover();
+//
+// The cryptographic keys are derived from DesignConfig::key_seed and are
+// *not* stored in the file — as in real hardware, they live in the TCB
+// (fuses), and an image restored under different keys is garbage.
+#pragma once
+
+#include <string>
+
+#include "core/design.h"
+
+namespace ccnvm::core {
+
+/// Saves the design's NVM image and persistent registers. The design must
+/// be in the crashed state (power has conceptually been lost already).
+bool power_down_to_file(const std::string& path, SecureNvmBase& design);
+
+/// Restores a file written by power_down_to_file into a freshly
+/// constructed design with the same configuration and key seed, leaving
+/// it crashed and ready for recover().
+bool restore_from_file(const std::string& path, SecureNvmBase& design);
+
+}  // namespace ccnvm::core

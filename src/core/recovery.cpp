@@ -1,0 +1,395 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+
+#include "secure/counter_block.h"
+#include "secure/ecc.h"
+
+namespace ccnvm::core {
+
+using nvm::NodeId;
+using secure::CounterBlock;
+
+namespace {
+
+bool tag_is_zero(const Tag128& t) {
+  return std::all_of(t.bytes.begin(), t.bytes.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+}  // namespace
+
+bool RecoveryManager::block_written(Addr data_addr) const {
+  const Addr dh_line = in_.layout->dh_line_addr(data_addr);
+  if (!in_.image->has_line(dh_line)) return false;
+  return !tag_is_zero(stored_dh(data_addr));
+}
+
+Tag128 RecoveryManager::stored_dh(Addr data_addr) const {
+  const Line line = in_.image->read_line(in_.layout->dh_line_addr(data_addr));
+  return secure::dh_tag_in_line(line,
+                                in_.layout->dh_offset_in_line(data_addr));
+}
+
+RecoveryReport RecoveryManager::run() {
+  switch (in_.mode) {
+    case RecoveryMode::kNone: {
+      RecoveryReport report;
+      report.unrecoverable = true;
+      report.detail =
+          "w/o CC keeps the Merkle root in a volatile register; after power "
+          "loss nothing in NVM can be authenticated";
+      return report;
+    }
+    case RecoveryMode::kStrict:
+      return run_strict();
+    case RecoveryMode::kOsiris:
+      return run_osiris();
+    case RecoveryMode::kCcNvm:
+      return run_cc_nvm();
+  }
+  CCNVM_CHECK_MSG(false, "unknown recovery mode");
+  return {};
+}
+
+RecoveryManager::CounterRecovery RecoveryManager::recover_counters() const {
+  const nvm::NvmLayout& layout = *in_.layout;
+  CounterRecovery out;
+  out.blocks.resize(layout.num_pages());
+
+  for (std::uint64_t leaf = 0; leaf < layout.num_pages(); ++leaf) {
+    const Addr counter_addr = layout.data_capacity() + leaf * kLineSize;
+    const CounterBlock persisted =
+        CounterBlock::unpack(in_.image->read_line(counter_addr));
+    const bool overflow_page =
+        in_.tcb.overflow_pending && in_.tcb.overflow_leaf == leaf;
+
+    if (overflow_page) {
+      recover_overflow_page(leaf, persisted, out);
+      continue;
+    }
+
+    CounterBlock cb = persisted;
+    for (std::size_t b = 0; b < kBlocksPerPage; ++b) {
+      const Addr data_addr = leaf * kPageSize + b * kLineSize;
+      if (!block_written(data_addr)) continue;
+
+      const Line ciphertext = in_.image->read_line(data_addr);
+      const Tag128 want = stored_dh(data_addr);
+
+      // Candidate counters in increment order: the persisted minor and up
+      // to N steps forward (N bounds per-line staleness via the
+      // update-limit drain trigger).
+      bool found = false;
+      for (std::uint64_t k = 0; k <= in_.update_limit; ++k) {
+        const std::uint64_t minor = cb.minors[b] + k;
+        if (minor > CounterBlock::kMinorMax) break;
+        const crypto::PadCounter cand{cb.major, minor};
+        if (in_.use_ecc_oracle && in_.image->has_ecc(data_addr)) {
+          // Osiris: cheap plaintext-ECC filter before the HMAC authority.
+          ++out.ecc_checks;
+          const Line guess = in_.cme->crypt(ciphertext, data_addr, cand);
+          secure::EccBits stored;
+          stored.bytes = in_.image->read_ecc(data_addr);
+          if (!secure::line_matches_ecc(guess, stored)) continue;
+        }
+        if (in_.cme->data_hmac(ciphertext, data_addr, cand) == want) {
+          cb.minors[b] = static_cast<std::uint8_t>(minor);
+          out.retries += k;
+          out.per_block_retries[data_addr] = k;
+          if (k > 0) ++out.advanced;
+          found = true;
+          break;
+        }
+      }
+      if (!found) out.failed_blocks.push_back(data_addr);
+    }
+    out.blocks[leaf] = cb;
+  }
+  return out;
+}
+
+void RecoveryManager::recover_overflow_page(std::uint64_t leaf,
+                                            const CounterBlock& persisted,
+                                            CounterRecovery& out) const {
+  // A flagged overflow means the crash hit the page re-encryption window:
+  // every block is either already re-encrypted under (major+1, small
+  // minor) or still under the old (major, stale minor). Recovery decides
+  // per block — the two counter families cannot both match one data HMAC —
+  // and then *completes* the re-encryption so the page ends uniformly at
+  // major+1, which is the only state a single counter line can describe.
+  const nvm::NvmLayout& layout = *in_.layout;
+  CounterBlock cb;
+  cb.major = persisted.major + 1;
+  cb.minors.fill(0);
+
+  for (std::size_t b = 0; b < kBlocksPerPage; ++b) {
+    const Addr data_addr = leaf * kPageSize + b * kLineSize;
+    if (!block_written(data_addr)) continue;
+    const Line ciphertext = in_.image->read_line(data_addr);
+    const Tag128 want = stored_dh(data_addr);
+
+    bool found = false;
+    // New family first: (major+1, 0..N).
+    for (std::uint64_t m = 0; m <= in_.update_limit && !found; ++m) {
+      const crypto::PadCounter cand{persisted.major + 1, m};
+      if (in_.cme->data_hmac(ciphertext, data_addr, cand) == want) {
+        cb.minors[b] = static_cast<std::uint8_t>(m);
+        out.overflow_retries += m;
+        out.retries += m;
+        found = true;
+      }
+    }
+    // Old family: (major, persisted minor .. +N); complete the
+    // re-encryption for blocks the crash left behind.
+    for (std::uint64_t k = 0; k <= in_.update_limit && !found; ++k) {
+      const std::uint64_t minor = persisted.minors[b] + k;
+      if (minor > CounterBlock::kMinorMax) break;
+      const crypto::PadCounter old_cand{persisted.major, minor};
+      if (in_.cme->data_hmac(ciphertext, data_addr, old_cand) == want) {
+        const Line plaintext = in_.cme->crypt(ciphertext, data_addr, old_cand);
+        const crypto::PadCounter fresh{persisted.major + 1, 0};
+        const Line new_ct = in_.cme->crypt(plaintext, data_addr, fresh);
+        in_.image->write_line(data_addr, new_ct);
+        Line dh_line = in_.image->read_line(layout.dh_line_addr(data_addr));
+        secure::set_dh_tag_in_line(
+            dh_line, layout.dh_offset_in_line(data_addr),
+            in_.cme->data_hmac(new_ct, data_addr, fresh));
+        in_.image->write_line(layout.dh_line_addr(data_addr), dh_line);
+        cb.minors[b] = 0;
+        out.overflow_retries += k;
+        out.retries += k;
+        ++out.advanced;
+        found = true;
+      }
+    }
+    if (!found) out.failed_blocks.push_back(data_addr);
+  }
+  out.blocks[leaf] = cb;
+}
+
+Line RecoveryManager::rebuild_tree(const std::vector<CounterBlock>& blocks,
+                                   bool persist) const {
+  const nvm::NvmLayout& layout = *in_.layout;
+  const auto leaf_reader = [&](const NodeId& id) -> Line {
+    CCNVM_CHECK(id.level == 0);
+    return blocks[id.index].pack();
+  };
+  const auto writer = [&](const NodeId& id, const Line& value) {
+    if (persist) in_.image->write_line(layout.node_addr(id), value);
+  };
+  const Line root = in_.merkle->build_full_tree(leaf_reader, writer);
+  if (persist) {
+    for (std::uint64_t leaf = 0; leaf < layout.num_pages(); ++leaf) {
+      in_.image->write_line(layout.data_capacity() + leaf * kLineSize,
+                            blocks[leaf].pack());
+    }
+  }
+  return root;
+}
+
+RecoveryReport RecoveryManager::run_strict() {
+  RecoveryReport report;
+  const nvm::NvmLayout& layout = *in_.layout;
+  // Under strict consistency the NVM metadata is the newest metadata;
+  // verification is a direct pass, no brute-forcing.
+  const auto reader = [&](const NodeId& id) -> Line {
+    if (id.level == 0) {
+      return in_.image->read_line(layout.data_capacity() +
+                                  id.index * kLineSize);
+    }
+    return in_.image->read_line(layout.node_addr(id));
+  };
+  const auto bad = in_.merkle->find_inconsistencies(reader, in_.tcb.root_new);
+  for (const NodeId& id : bad) {
+    report.replayed_nodes.push_back(id);
+    if (id.level == 0) {
+      report.tampered_blocks.push_back(id.index * kPageSize);
+    }
+  }
+  // Check every written block's data HMAC against its (current) counter.
+  for (std::uint64_t leaf = 0; leaf < layout.num_pages(); ++leaf) {
+    const CounterBlock cb = CounterBlock::unpack(
+        in_.image->read_line(layout.data_capacity() + leaf * kLineSize));
+    for (std::size_t b = 0; b < kBlocksPerPage; ++b) {
+      const Addr data_addr = leaf * kPageSize + b * kLineSize;
+      if (!block_written(data_addr)) continue;
+      const Line ct = in_.image->read_line(data_addr);
+      if (!(in_.cme->data_hmac(ct, data_addr, cb.pad_counter(b)) ==
+            stored_dh(data_addr))) {
+        report.tampered_blocks.push_back(data_addr);
+      }
+    }
+  }
+  report.attack_detected =
+      !report.replayed_nodes.empty() || !report.tampered_blocks.empty();
+  report.attack_located = report.attack_detected;
+  report.metadata_recovered = !report.attack_detected;
+  report.recovered_root = in_.tcb.root_new;
+  report.clean = !report.attack_detected;
+  if (report.clean) report.detail = "strict consistency: NVM state current";
+  return report;
+}
+
+RecoveryReport RecoveryManager::run_osiris() {
+  RecoveryReport report;
+  const CounterRecovery rec = recover_counters();
+  report.total_retries = rec.retries;
+  report.counters_recovered = rec.advanced;
+  report.ecc_checks = rec.ecc_checks;
+
+  const Line rebuilt_root = rebuild_tree(rec.blocks, /*persist=*/false);
+  const bool root_matches = rebuilt_root == in_.tcb.root_new;
+
+  if (!rec.failed_blocks.empty() || !root_matches) {
+    // Osiris detects the attack (root mismatch / HMAC exhaustion) but has
+    // no second root to localize against: any spoofing or splicing also
+    // poisons the reconstructed root, so nothing can be trusted (§3).
+    report.attack_detected = true;
+    report.attack_located = false;
+    report.data_dropped = true;
+    report.detail = rec.failed_blocks.empty()
+                        ? "rebuilt root mismatches TCB root: replay "
+                          "somewhere, all data dropped"
+                        : "data HMAC exhaustion during counter recovery; "
+                          "root unrecoverable, all data dropped";
+    return report;
+  }
+
+  (void)rebuild_tree(rec.blocks, /*persist=*/true);
+  report.metadata_recovered = true;
+  report.recovered_root = rebuilt_root;
+  report.clean = true;
+  report.detail = "counters restored within the update limit";
+  return report;
+}
+
+RecoveryReport RecoveryManager::run_cc_nvm() {
+  RecoveryReport report;
+  const nvm::NvmLayout& layout = *in_.layout;
+
+  // ---- Step 1: locate tree-level replay attacks. ------------------------
+  const auto nvm_reader = [&](const NodeId& id) -> Line {
+    if (id.level == 0) {
+      return in_.image->read_line(layout.data_capacity() +
+                                  id.index * kLineSize);
+    }
+    return in_.image->read_line(layout.node_addr(id));
+  };
+  const auto bad_new =
+      in_.merkle->find_inconsistencies(nvm_reader, in_.tcb.root_new);
+  const auto bad_old =
+      in_.merkle->find_inconsistencies(nvm_reader, in_.tcb.root_old);
+
+  const bool matches_new = bad_new.empty();
+  const bool matches_old = bad_old.empty();
+  if (!matches_new && !matches_old) {
+    // The epoch invariant says the NVM tree always matches one root in the
+    // absence of attacks, so any two mismatching parent/child nodes
+    // pinpoint replayed (or tampered) metadata.
+    report.attack_detected = true;
+    report.attack_located = true;
+    // Report against the committed root: those are the lines that diverge
+    // from the last known-good persisted state.
+    for (const NodeId& id : bad_old) {
+      report.replayed_nodes.push_back(id);
+      if (id.level == 0) {
+        report.tampered_blocks.push_back(id.index * kPageSize);
+      }
+    }
+    report.detail = "Merkle tree in NVM matches neither TCB root: replayed "
+                    "metadata located";
+    return report;
+  }
+
+  // ---- Step 2: recover stalled counters, locate spoofing/splicing. ------
+  const CounterRecovery rec = recover_counters();
+  report.total_retries = rec.retries;
+  report.counters_recovered = rec.advanced;
+  if (!rec.failed_blocks.empty()) {
+    report.attack_detected = true;
+    report.attack_located = true;
+    report.tampered_blocks = rec.failed_blocks;
+    report.detail = "data HMAC exhausted after N retries: spoofed/spliced "
+                    "data or DH located";
+    return report;
+  }
+
+  // ---- Step 3: N_wb vs N_retry — the deferred-spreading replay check. ---
+  // If the tree matches ROOT_new while the roots differ, the crash hit the
+  // window after the drain's end signal but before the register reset: the
+  // committed counters already contain every write-back, so zero retries
+  // are expected. Otherwise the persisted counters are N_wb increments
+  // behind. A flagged overflow page is excluded (its retries are not
+  // 1:1 with write-backs); the overflow flag itself bounds that window.
+  const bool committed =
+      matches_new && !(matches_old && in_.tcb.root_old == in_.tcb.root_new);
+  const std::uint64_t expected = committed ? 0 : in_.tcb.n_wb;
+
+  // cc-NVM+ extension: with per-block update registers, the comparison is
+  // block-exact, so an epoch-window replay is *located*, not just
+  // detected.
+  if (in_.per_block_updates != nullptr) {
+    const nvm::NvmLayout& lay = *in_.layout;
+    std::vector<Addr> mismatched;
+    for (const auto& [cline, counts] : *in_.per_block_updates) {
+      const std::uint64_t leaf = lay.counter_line_index(cline);
+      if (in_.tcb.overflow_pending && in_.tcb.overflow_leaf == leaf) continue;
+      for (std::size_t b = 0; b < kBlocksPerPage; ++b) {
+        const Addr da = leaf * kPageSize + b * kLineSize;
+        const auto it = rec.per_block_retries.find(da);
+        const std::uint64_t actual =
+            it == rec.per_block_retries.end() ? 0 : it->second;
+        const std::uint64_t want = committed ? 0 : counts[b];
+        if (actual != want) mismatched.push_back(da);
+      }
+    }
+    // Retries on a block whose counter line the registers do not track
+    // are equally impossible without an attack.
+    for (const auto& [da, actual] : rec.per_block_retries) {
+      if (actual == 0) continue;
+      const Addr cline = lay.counter_line_addr(da);
+      if (in_.tcb.overflow_pending &&
+          in_.tcb.overflow_leaf == da / kPageSize) {
+        continue;
+      }
+      if (!in_.per_block_updates->contains(cline)) mismatched.push_back(da);
+    }
+    if (!mismatched.empty()) {
+      report.attack_detected = true;
+      report.attack_located = true;
+      report.potential_replay = true;
+      report.tampered_blocks = mismatched;
+      report.detail = "per-block update registers: replayed data/DH pair(s) "
+                      "located inside the epoch window (cc-NVM+ extension)";
+      return report;
+    }
+  }
+
+  const std::uint64_t comparable = rec.retries - rec.overflow_retries;
+  if (in_.per_block_updates == nullptr && !in_.tcb.overflow_pending &&
+      comparable != expected) {
+    report.attack_detected = true;
+    report.attack_located = false;
+    report.potential_replay = true;
+    report.detail = "N_retry != N_wb: data/DH pair replayed inside the "
+                    "deferred-spreading window (detected, not locatable)";
+    return report;
+  }
+  if (in_.tcb.overflow_pending && comparable > expected) {
+    report.attack_detected = true;
+    report.attack_located = false;
+    report.potential_replay = true;
+    report.detail = "N_retry exceeds N_wb despite overflow tolerance";
+    return report;
+  }
+
+  // ---- Step 4: rebuild the tree from the recovered counters. ------------
+  report.recovered_root = rebuild_tree(rec.blocks, /*persist=*/true);
+  report.metadata_recovered = true;
+  report.clean = true;
+  report.detail = "counters recovered, Merkle tree rebuilt";
+  return report;
+}
+
+}  // namespace ccnvm::core

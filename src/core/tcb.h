@@ -1,0 +1,41 @@
+// Persistent registers inside the trusted computing base.
+//
+// These are the only on-chip state that survives a power failure (the
+// paper assumes a handful of battery/capacitor-backed registers, as Osiris
+// does). cc-NVM adds three to the classic single-root design:
+//
+//   ROOT_new — the newest logical Merkle root; updated on write-backs
+//              (eagerly without deferred spreading, lazily with it).
+//   ROOT_old — the root the *NVM-resident* tree was last committed
+//              against; updated only at drain-commit time. The invariant
+//              "the tree in NVM always matches at least one of the two
+//              roots" is what makes replay attacks locatable after crashes.
+//   N_wb     — write-back events since the last committed drain; compared
+//              against the recovery retry total to detect the replay
+//              window deferred spreading opens (§4.3/§4.4).
+//
+// We additionally carry an overflow flag (an extension in the spirit of
+// the paper's closing remark about extra persistent registers): it marks
+// the window in which a minor-counter overflow is re-encrypting a page,
+// where the N_wb == N_retry identity does not hold and the check must be
+// conservatively skipped for that page.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ccnvm::core {
+
+struct TcbRegisters {
+  Line root_new{};
+  Line root_old{};
+  std::uint64_t n_wb = 0;
+
+  /// Extension: set before a page re-encryption begins, cleared when the
+  /// drain that persists its counter line commits.
+  bool overflow_pending = false;
+  std::uint64_t overflow_leaf = 0;
+};
+
+}  // namespace ccnvm::core

@@ -1,0 +1,41 @@
+// AES-128 block encryption (FIPS 197), encrypt direction only.
+//
+// Counter-mode encryption never decrypts with the block cipher: both
+// directions XOR the data with the same one-time pad, and the pad is
+// produced by *encrypting* the seed. Hence only the forward cipher is
+// implemented.
+//
+// This is a plain table-free software implementation (S-box lookup per
+// byte). It is not constant-time — it models a hardware AES engine inside
+// a simulator; the timing the architecture sees is the configured 72 ns
+// pipeline latency, not this code's wall time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ccnvm::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+  using Key = std::array<std::uint8_t, kKeySize>;
+
+  /// Expands the round keys once; encrypt() is then reusable.
+  explicit Aes128(const Key& key);
+
+  /// Derives a deterministic key from a 64-bit seed (simulation only).
+  static Key key_from_seed(std::uint64_t seed);
+
+  /// Encrypts one 16-byte block.
+  Block encrypt(const Block& plaintext) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_{};
+};
+
+}  // namespace ccnvm::crypto

@@ -1,0 +1,65 @@
+#include "crypto/hmac_sha1.h"
+
+#include <cstring>
+
+namespace ccnvm::crypto {
+
+HmacKey HmacKey::from_seed(std::uint64_t seed) {
+  // Expand the seed through SHA-1 so that related seeds give unrelated keys.
+  std::uint8_t material[16];
+  for (int i = 0; i < 8; ++i) {
+    material[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+    material[8 + i] = static_cast<std::uint8_t>(~seed >> (8 * i));
+  }
+  HmacKey key;
+  key.bytes = Sha1::hash(material);
+  return key;
+}
+
+HmacSha1::HmacSha1(const HmacKey& key) {
+  // Key is 20 bytes (< 64), so it is zero-padded to the block size.
+  std::array<std::uint8_t, 64> ipad{};
+  std::memcpy(ipad.data(), key.bytes.data(), key.bytes.size());
+  opad_ = ipad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] ^= 0x36;
+    opad_[i] ^= 0x5c;
+  }
+  inner_.update(ipad);
+}
+
+void HmacSha1::update_u64(std::uint64_t v) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  inner_.update(buf);
+}
+
+Sha1::Digest HmacSha1::finalize() {
+  const Sha1::Digest inner_digest = inner_.finalize();
+  Sha1 outer;
+  outer.update(opad_);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Tag128 HmacSha1::finalize_tag() {
+  const Sha1::Digest full = finalize();
+  Tag128 tag;
+  std::memcpy(tag.bytes.data(), full.data(), tag.bytes.size());
+  return tag;
+}
+
+Sha1::Digest hmac_sha1(const HmacKey& key,
+                       std::span<const std::uint8_t> message) {
+  HmacSha1 mac(key);
+  mac.update(message);
+  return mac.finalize();
+}
+
+Tag128 hmac_tag(const HmacKey& key, std::span<const std::uint8_t> message) {
+  HmacSha1 mac(key);
+  mac.update(message);
+  return mac.finalize_tag();
+}
+
+}  // namespace ccnvm::crypto

@@ -1,0 +1,53 @@
+// HMAC-SHA1 (RFC 2104) with 128-bit truncation.
+//
+// Both metadata layers of the Bonsai Merkle Tree use keyed MACs:
+//   * data HMACs:    HMAC(key, encrypted block || address || counter)
+//   * counter HMACs: HMAC(key, child node contents || node id)
+// The paper stores 128-bit codewords, so tags are the first 16 bytes of the
+// 20-byte HMAC-SHA1 output (the standard HMAC truncation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+#include "crypto/sha1.h"
+
+namespace ccnvm::crypto {
+
+/// Secret HMAC key held in the TCB. 160 bits (one SHA-1 block-friendly key).
+struct HmacKey {
+  std::array<std::uint8_t, 20> bytes{};
+
+  /// Derives a deterministic key from a 64-bit seed (for tests/simulation;
+  /// a real TCB would provision this from a hardware RNG / fuses).
+  static HmacKey from_seed(std::uint64_t seed);
+
+  friend bool operator==(const HmacKey&, const HmacKey&) = default;
+};
+
+/// Full 20-byte HMAC-SHA1 of `message` under `key`.
+Sha1::Digest hmac_sha1(const HmacKey& key,
+                       std::span<const std::uint8_t> message);
+
+/// 128-bit truncated HMAC-SHA1, the tag format used throughout the BMT.
+Tag128 hmac_tag(const HmacKey& key, std::span<const std::uint8_t> message);
+
+/// Incremental variant for multi-part messages (avoids concatenation
+/// buffers on hot simulation paths).
+class HmacSha1 {
+ public:
+  explicit HmacSha1(const HmacKey& key);
+
+  void update(std::span<const std::uint8_t> data) { inner_.update(data); }
+  void update_u64(std::uint64_t v);
+
+  Sha1::Digest finalize();
+  Tag128 finalize_tag();
+
+ private:
+  std::array<std::uint8_t, 64> opad_{};
+  Sha1 inner_;
+};
+
+}  // namespace ccnvm::crypto

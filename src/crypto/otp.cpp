@@ -1,0 +1,40 @@
+#include "crypto/otp.h"
+
+#include <cstring>
+
+namespace ccnvm::crypto {
+
+Line generate_otp(const Aes128& cipher, Addr addr, const PadCounter& counter) {
+  Line pad{};
+  for (std::size_t i = 0; i < kLineSize / Aes128::kBlockSize; ++i) {
+    Aes128::Block seed{};
+    // Seed layout: [addr | major | minor ^ (index << 56)] — the index is
+    // folded into the top byte of the minor field, which never reaches
+    // that range (minors are 7-bit in the architectural counter format).
+    for (int b = 0; b < 8; ++b) {
+      seed[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(addr >> (8 * b));
+    }
+    for (int b = 0; b < 4; ++b) {
+      seed[static_cast<std::size_t>(8 + b)] =
+          static_cast<std::uint8_t>(counter.major >> (8 * b));
+      seed[static_cast<std::size_t>(12 + b)] =
+          static_cast<std::uint8_t>(counter.minor >> (8 * b));
+    }
+    seed[15] ^= static_cast<std::uint8_t>(i << 4);
+    const Aes128::Block block = cipher.encrypt(seed);
+    std::memcpy(pad.data() + i * Aes128::kBlockSize, block.data(),
+                Aes128::kBlockSize);
+  }
+  return pad;
+}
+
+Line xor_pad(const Line& line, const Line& pad) {
+  Line out;
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    out[i] = static_cast<std::uint8_t>(line[i] ^ pad[i]);
+  }
+  return out;
+}
+
+}  // namespace ccnvm::crypto

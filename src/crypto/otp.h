@@ -1,0 +1,35 @@
+// One-time pad generation for counter-mode encryption (CME).
+//
+// Seed uniqueness is the entire security argument of CME (§2.2): the pad
+// for a 64-byte line is AES-128 over four seed blocks, each combining
+//   (line address, major counter, minor counter, intra-line block index).
+// Different addresses → different seeds (spatial uniqueness); every
+// write-back bumps the counter → different seeds over time (temporal
+// uniqueness).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "crypto/aes128.h"
+
+namespace ccnvm::crypto {
+
+/// Counter value that parameterizes a pad: split-counter scheme with a
+/// per-page major counter and per-block minor counter.
+struct PadCounter {
+  std::uint64_t major = 0;
+  std::uint64_t minor = 0;
+
+  friend bool operator==(const PadCounter&, const PadCounter&) = default;
+};
+
+/// Generates the 64-byte one-time pad for the line at `addr` under
+/// `counter`. Deterministic: the same (key, addr, counter) always yields
+/// the same pad, which is what makes decryption (same XOR) work.
+Line generate_otp(const Aes128& cipher, Addr addr, const PadCounter& counter);
+
+/// XORs `line` with the pad — used for both encryption and decryption.
+Line xor_pad(const Line& line, const Line& pad);
+
+}  // namespace ccnvm::crypto

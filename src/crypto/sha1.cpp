@@ -1,0 +1,118 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace ccnvm::crypto {
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t i = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    i = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (i + 64 <= data.size()) {
+    process_block(data.data() + i);
+    i += 64;
+  }
+  if (i < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + i, data.size() - i);
+    buffered_ = data.size() - i;
+  }
+}
+
+Sha1::Digest Sha1::finalize() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit big-endian
+  // message length.
+  const std::uint8_t one = 0x80;
+  update({&one, 1});
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) {
+    update({&zero, 1});
+  }
+  std::uint8_t len[8];
+  for (int i = 0; i < 8; ++i) {
+    len[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  update(len);
+
+  Digest out{};
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(i * 4)] =
+        static_cast<std::uint8_t>(state_[i] >> 24);
+    out[static_cast<std::size_t>(i * 4 + 1)] =
+        static_cast<std::uint8_t>(state_[i] >> 16);
+    out[static_cast<std::size_t>(i * 4 + 2)] =
+        static_cast<std::uint8_t>(state_[i] >> 8);
+    out[static_cast<std::size_t>(i * 4 + 3)] =
+        static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+}  // namespace ccnvm::crypto

@@ -1,0 +1,57 @@
+// SHA-1 (FIPS 180-4).
+//
+// The paper authenticates memory with HMACs "based on SHA-1" (Rogers et
+// al., MICRO'07), so we implement SHA-1 itself rather than substituting a
+// different hash: recovery correctness in tests depends on real collision-
+// free behaviour over the exact byte layouts the architecture defines.
+// (SHA-1 is cryptographically broken for adversarial collision resistance
+// in general, but it is the paper's primitive and adequate for a simulator.)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ccnvm::crypto {
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Sha1 h;
+///   h.update(bytes);
+///   auto digest = h.finalize();   // 20 bytes; hasher must not be reused
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  /// Restores the initial state so the object can hash a new message.
+  void reset();
+
+  /// Absorbs `data` into the running hash.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Pads, finishes, and returns the digest. The object must be reset()
+  /// before further use.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data) {
+    Sha1 h;
+    h.update(data);
+    return h.finalize();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace ccnvm::crypto

@@ -1,0 +1,78 @@
+#include "nvm/controller.h"
+
+namespace ccnvm::nvm {
+
+void MemoryController::account_write(LineKind kind) {
+  switch (kind) {
+    case LineKind::kData:
+      ++stats_.data_writes;
+      break;
+    case LineKind::kCounter:
+      ++stats_.counter_writes;
+      break;
+    case LineKind::kMtNode:
+      ++stats_.mt_writes;
+      break;
+    case LineKind::kDataHmac:
+      ++stats_.dh_writes;
+      break;
+  }
+}
+
+void MemoryController::write(Addr addr, const Line& value, LineKind kind) {
+  image_->write_line(addr, value);
+  account_write(kind);
+}
+
+Line MemoryController::read(Addr addr) {
+  ++stats_.reads;
+  // Read-own-write: an open batch may hold a newer version than media.
+  for (auto it = batch_.rbegin(); it != batch_.rend(); ++it) {
+    if (it->addr == line_base(addr)) return it->value;
+  }
+  return image_->read_line(line_base(addr));
+}
+
+void MemoryController::begin_atomic_batch() {
+  CCNVM_CHECK_MSG(!batch_open_, "nested atomic batches are not defined");
+  CCNVM_CHECK_MSG(batch_.empty(), "stale batch entries");
+  batch_open_ = true;
+}
+
+bool MemoryController::batch_write(Addr addr, const Line& value,
+                                   LineKind kind) {
+  CCNVM_CHECK_MSG(batch_open_, "batch_write outside start/end window");
+  if (batch_.size() >= wpq_entries_) return false;
+  // Coalesce re-writes of the same line within one batch (the WPQ holds
+  // one entry per line address).
+  for (auto& entry : batch_) {
+    if (entry.addr == line_base(addr)) {
+      entry.value = value;
+      entry.kind = kind;
+      return true;
+    }
+  }
+  batch_.push_back({line_base(addr), value, kind});
+  return true;
+}
+
+void MemoryController::end_atomic_batch() {
+  CCNVM_CHECK_MSG(batch_open_, "end signal without start");
+  // Commit point: from here ADR guarantees media durability, so the model
+  // persists synchronously.
+  for (const PendingWrite& w : batch_) {
+    image_->write_line(w.addr, w.value);
+    account_write(w.kind);
+  }
+  batch_.clear();
+  batch_open_ = false;
+}
+
+std::size_t MemoryController::crash() {
+  const std::size_t dropped = batch_.size();
+  batch_.clear();
+  batch_open_ = false;
+  return dropped;
+}
+
+}  // namespace ccnvm::nvm

@@ -1,0 +1,132 @@
+// Sparse NVM contents.
+//
+// NvmImage is the ground truth of what survives a power failure: a map
+// from line address to 64-byte contents. It is deliberately *dumb* — no
+// crypto, no layout knowledge — because that is what the threat model
+// says about off-chip memory: bytes an adversary can read and overwrite
+// at will. Attack injection (src/attacks) mutates an NvmImage directly;
+// replay attacks restore lines from an earlier snapshot of it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace ccnvm::nvm {
+
+class NvmImage {
+ public:
+  /// Reads the line at `addr` (must be line-aligned). Never-written lines
+  /// read as zero, like a fresh DIMM.
+  Line read_line(Addr addr) const {
+    CCNVM_CHECK(is_line_aligned(addr));
+    const auto it = lines_.find(addr);
+    return it == lines_.end() ? zero_line() : it->second;
+  }
+
+  void write_line(Addr addr, const Line& value) {
+    CCNVM_CHECK(is_line_aligned(addr));
+    if (record_contents_) lines_[addr] = value;
+    ++write_count_;
+    ++wear_[addr];
+    if (write_observer_) write_observer_(addr);
+  }
+
+  /// Registers a callback invoked on every line write (address tracing —
+  /// e.g. capturing a design's write stream for wear-levelling studies).
+  void set_write_observer(std::function<void(Addr)> observer) {
+    write_observer_ = std::move(observer);
+  }
+
+  /// Lifetime write count of one line (wear accounting; see nvm/wear.h).
+  std::uint64_t wear_of(Addr addr) const {
+    const auto it = wear_.find(line_base(addr));
+    return it == wear_.end() ? 0 : it->second;
+  }
+
+  /// Visits every line ever written with its write count.
+  template <typename Fn>
+  void for_each_worn_line(Fn&& fn) const {
+    for (const auto& [addr, count] : wear_) fn(addr, count);
+  }
+
+  void reset_wear() { wear_.clear(); }
+
+  /// Timing-only simulations disable content recording: writes are still
+  /// counted but the map stays empty, keeping multi-gigabyte-footprint
+  /// sweeps cheap.
+  void set_record_contents(bool record) { record_contents_ = record; }
+
+  // --- ECC side band ------------------------------------------------------
+  // Standard ECC DIMMs carry 8 ECC bytes alongside each 64 B line; they
+  // travel with the line (no extra write transaction). Osiris's recovery
+  // uses them as a counter oracle (see secure/ecc.h).
+
+  void write_ecc(Addr addr, const std::array<std::uint8_t, 8>& ecc) {
+    CCNVM_CHECK(is_line_aligned(addr));
+    if (record_contents_) ecc_[addr] = ecc;
+  }
+
+  std::array<std::uint8_t, 8> read_ecc(Addr addr) const {
+    const auto it = ecc_.find(line_base(addr));
+    return it == ecc_.end() ? std::array<std::uint8_t, 8>{} : it->second;
+  }
+
+  bool has_ecc(Addr addr) const { return ecc_.contains(line_base(addr)); }
+
+  // --- Deserialization entry points (see nvm/image_io.h) ------------------
+  // Unlike write_line, these restore state without counting writes or
+  // wear — loading an image is not a memory operation.
+
+  void restore_line(Addr addr, const Line& value) {
+    CCNVM_CHECK(is_line_aligned(addr));
+    lines_[addr] = value;
+  }
+  void restore_ecc(Addr addr, const std::array<std::uint8_t, 8>& ecc) {
+    CCNVM_CHECK(is_line_aligned(addr));
+    ecc_[addr] = ecc;
+  }
+  void restore_wear(Addr addr, std::uint64_t count) {
+    CCNVM_CHECK(is_line_aligned(addr));
+    wear_[addr] = count;
+  }
+
+  /// Visits every ECC side-band entry (for serialization).
+  template <typename Fn>
+  void for_each_ecc(Fn&& fn) const {
+    for (const auto& [addr, ecc] : ecc_) fn(addr, ecc);
+  }
+
+  bool has_line(Addr addr) const {
+    return lines_.contains(line_base(addr));
+  }
+
+  /// Deep copy, used for replay-attack snapshots and crash modelling.
+  NvmImage snapshot() const { return *this; }
+
+  /// Visits every populated line (order unspecified).
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const auto& [addr, value] : lines_) fn(addr, value);
+  }
+
+  /// Total line writes ever applied (functional count; the timing-visible
+  /// traffic accounting lives in the memory-controller stats).
+  std::uint64_t write_count() const { return write_count_; }
+
+  std::size_t populated_lines() const { return lines_.size(); }
+
+ private:
+  std::unordered_map<Addr, Line> lines_;
+  std::unordered_map<Addr, std::array<std::uint8_t, 8>> ecc_;
+  std::unordered_map<Addr, std::uint64_t> wear_;
+  std::function<void(Addr)> write_observer_;
+  std::uint64_t write_count_ = 0;
+  bool record_contents_ = true;
+};
+
+}  // namespace ccnvm::nvm

@@ -1,0 +1,112 @@
+#include "nvm/image_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace ccnvm::nvm {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'N', 'V', 'M', 'I', 'M', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool put_u64(std::FILE* f, std::uint64_t v) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return std::fwrite(buf, 8, 1, f) == 1;
+}
+
+bool get_u64(std::FILE* f, std::uint64_t* v) {
+  std::uint8_t buf[8];
+  if (std::fread(buf, 8, 1, f) != 1) return false;
+  *v = 0;
+  for (int i = 7; i >= 0; --i) *v = (*v << 8) | buf[i];
+  return true;
+}
+
+}  // namespace
+
+bool save_image(const std::string& path, const NvmImage& image) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+
+  std::uint8_t header[12];
+  std::memcpy(header, kMagic, 8);
+  for (int i = 0; i < 4; ++i) {
+    header[8 + i] = static_cast<std::uint8_t>(kVersion >> (8 * i));
+  }
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) return false;
+
+  bool ok = put_u64(f.get(), image.populated_lines());
+  image.for_each_line([&](Addr addr, const Line& value) {
+    ok = ok && put_u64(f.get(), addr) &&
+         std::fwrite(value.data(), kLineSize, 1, f.get()) == 1;
+  });
+
+  std::uint64_t ecc_count = 0;
+  image.for_each_ecc([&](Addr, const auto&) { ++ecc_count; });
+  ok = ok && put_u64(f.get(), ecc_count);
+  image.for_each_ecc([&](Addr addr, const std::array<std::uint8_t, 8>& ecc) {
+    ok = ok && put_u64(f.get(), addr) &&
+         std::fwrite(ecc.data(), 8, 1, f.get()) == 1;
+  });
+
+  std::uint64_t wear_count = 0;
+  image.for_each_worn_line([&](Addr, std::uint64_t) { ++wear_count; });
+  ok = ok && put_u64(f.get(), wear_count);
+  image.for_each_worn_line([&](Addr addr, std::uint64_t count) {
+    ok = ok && put_u64(f.get(), addr) && put_u64(f.get(), count);
+  });
+  return ok;
+}
+
+bool load_image(const std::string& path, NvmImage& image) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+
+  std::uint8_t header[12];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1) return false;
+  if (std::memcmp(header, kMagic, 8) != 0) return false;
+  std::uint32_t version = 0;
+  for (int i = 3; i >= 0; --i) version = (version << 8) | header[8 + i];
+  if (version != kVersion) return false;
+
+  std::uint64_t line_count = 0;
+  if (!get_u64(f.get(), &line_count)) return false;
+  for (std::uint64_t i = 0; i < line_count; ++i) {
+    std::uint64_t addr = 0;
+    Line value;
+    if (!get_u64(f.get(), &addr)) return false;
+    if (std::fread(value.data(), kLineSize, 1, f.get()) != 1) return false;
+    image.restore_line(addr, value);
+  }
+
+  std::uint64_t ecc_count = 0;
+  if (!get_u64(f.get(), &ecc_count)) return false;
+  for (std::uint64_t i = 0; i < ecc_count; ++i) {
+    std::uint64_t addr = 0;
+    std::array<std::uint8_t, 8> ecc{};
+    if (!get_u64(f.get(), &addr)) return false;
+    if (std::fread(ecc.data(), 8, 1, f.get()) != 1) return false;
+    image.restore_ecc(addr, ecc);
+  }
+
+  std::uint64_t wear_count = 0;
+  if (!get_u64(f.get(), &wear_count)) return false;
+  for (std::uint64_t i = 0; i < wear_count; ++i) {
+    std::uint64_t addr = 0, count = 0;
+    if (!get_u64(f.get(), &addr) || !get_u64(f.get(), &count)) return false;
+    image.restore_wear(addr, count);
+  }
+  return true;
+}
+
+}  // namespace ccnvm::nvm

@@ -1,0 +1,28 @@
+// NVM image (de)serialization — the DIMM's contents across a real power
+// cycle of the *host process*.
+//
+// Everything that physically survives power loss is serialized: line
+// contents, the ECC side band, and (for analysis continuity) wear
+// counters. Volatile state is naturally absent — a loaded image is
+// exactly the post-crash world RecoveryManager expects.
+//
+// Format (little-endian):
+//   [8B magic "CCNVMIMG"][4B version]
+//   [8B line count]    count x { 8B addr, 64B data }
+//   [8B ecc count]     count x { 8B addr, 8B ecc }
+//   [8B wear count]    count x { 8B addr, 8B writes }
+#pragma once
+
+#include <string>
+
+#include "nvm/image.h"
+
+namespace ccnvm::nvm {
+
+bool save_image(const std::string& path, const NvmImage& image);
+
+/// Loads an image saved by save_image. Returns false (leaving `image`
+/// unspecified) on I/O or format errors.
+bool load_image(const std::string& path, NvmImage& image);
+
+}  // namespace ccnvm::nvm

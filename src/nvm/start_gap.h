@@ -1,0 +1,94 @@
+// Start-Gap wear levelling (Qureshi et al., MICRO'09).
+//
+// The lifetime analysis (nvm/wear.h, bench/lifetime) shows secure-NVM
+// designs concentrate wear on a few metadata lines — SC's top-of-tree
+// node takes a write per write-back. Start-Gap is the standard low-cost
+// remedy: N logical lines live in N+1 physical slots; a "gap" slot walks
+// through the region one step every psi writes, and a "start" offset
+// advances once per full gap rotation. Every line therefore visits every
+// slot over time, levelling wear with two registers and one extra
+// line-copy per psi writes.
+//
+// Mapping (the paper's): PA = (LA + Start) mod N; if PA >= Gap: PA += 1.
+// Gap movement: mem[Gap] = mem[Gap-1]; Gap -= 1. On Gap == 0 the gap
+// wraps: mem[0] = mem[N]; Gap = N; Start = (Start+1) mod N.
+//
+// This is a substrate feature: the remapping layer sits below the secure
+// designs (address translation in the memory controller), so it is
+// orthogonal to — and composable with — everything in src/core.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "nvm/image.h"
+
+namespace ccnvm::nvm {
+
+class StartGapLeveler {
+ public:
+  /// Levels a region of `lines` logical lines starting at `base`; the
+  /// physical footprint is lines+1 slots. `psi` is the gap-movement
+  /// period in writes (the paper's psi=100 keeps overhead at 1%).
+  StartGapLeveler(Addr base, std::uint64_t lines, std::uint32_t psi)
+      : base_(base), lines_(lines), psi_(psi), gap_(lines) {
+    CCNVM_CHECK(lines >= 2 && psi >= 1);
+  }
+
+  /// Logical line address -> physical line address.
+  Addr remap(Addr logical) const {
+    CCNVM_CHECK(in_region(logical));
+    const std::uint64_t la = (logical - base_) / kLineSize;
+    std::uint64_t pa = (la + start_) % lines_;
+    if (pa >= gap_) ++pa;
+    return base_ + pa * kLineSize;
+  }
+
+  /// Accounts one write to the region; every psi-th write moves the gap,
+  /// copying one line inside `image` (the extra wear of levelling).
+  /// Returns true when a gap move happened.
+  bool note_write(NvmImage& image) {
+    if (++writes_ % psi_ != 0) return false;
+    move_gap(image);
+    return true;
+  }
+
+  bool in_region(Addr a) const {
+    return a >= base_ && a < base_ + lines_ * kLineSize;
+  }
+
+  /// Physical slots used, for capacity planning: lines + 1.
+  std::uint64_t physical_slots() const { return lines_ + 1; }
+
+  std::uint64_t gap() const { return gap_; }
+  std::uint64_t start() const { return start_; }
+  std::uint64_t gap_moves() const { return gap_moves_; }
+
+ private:
+  void move_gap(NvmImage& image) {
+    if (gap_ == 0) {
+      // Wrap: the line in the last slot slides into slot 0 and the start
+      // offset advances — one full rotation shifted every line by one.
+      image.write_line(base_,
+                       image.read_line(base_ + lines_ * kLineSize));
+      gap_ = lines_;
+      start_ = (start_ + 1) % lines_;
+    } else {
+      image.write_line(base_ + gap_ * kLineSize,
+                       image.read_line(base_ + (gap_ - 1) * kLineSize));
+      --gap_;
+    }
+    ++gap_moves_;
+  }
+
+  Addr base_;
+  std::uint64_t lines_;
+  std::uint32_t psi_;
+  std::uint64_t start_ = 0;
+  std::uint64_t gap_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t gap_moves_ = 0;
+};
+
+}  // namespace ccnvm::nvm

@@ -1,0 +1,38 @@
+// Timing parameters of the modelled machine (§5 of the paper).
+//
+// All latencies are expressed in CPU cycles at the paper's 3 GHz clock.
+// ns-specified device latencies are converted at 3 cycles/ns.
+#pragma once
+
+#include <cstdint>
+
+namespace ccnvm::nvm {
+
+struct TimingParams {
+  /// CPU clock, cycles per nanosecond.
+  std::uint64_t cycles_per_ns = 3;
+
+  // Cache hierarchy (paper §5).
+  std::uint64_t l1_latency = 2;
+  std::uint64_t l2_latency = 20;
+  std::uint64_t meta_cache_latency = 32;
+
+  // PCM device (Lee et al., ISCA'09 parameters used by the paper).
+  std::uint64_t nvm_read_ns = 60;
+  std::uint64_t nvm_write_ns = 150;
+
+  // Crypto engines.
+  std::uint64_t aes_latency_ns = 72;   // full OTP generation (ACME)
+  std::uint64_t hmac_latency = 80;     // SHA-1 HMAC, cycles
+
+  // cc-NVM specific.
+  std::uint64_t daq_lookup_latency = 32;  // dirty-address-queue CAM lookup
+
+  std::uint64_t nvm_read_cycles() const { return nvm_read_ns * cycles_per_ns; }
+  std::uint64_t nvm_write_cycles() const {
+    return nvm_write_ns * cycles_per_ns;
+  }
+  std::uint64_t aes_cycles() const { return aes_latency_ns * cycles_per_ns; }
+};
+
+}  // namespace ccnvm::nvm

@@ -1,0 +1,21 @@
+#include "secure/cme_engine.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace ccnvm::secure {
+
+Tag128 dh_tag_in_line(const Line& line, std::size_t off) {
+  CCNVM_CHECK(off % sizeof(Tag128) == 0 && off + sizeof(Tag128) <= kLineSize);
+  Tag128 tag;
+  std::memcpy(tag.bytes.data(), line.data() + off, sizeof(Tag128));
+  return tag;
+}
+
+void set_dh_tag_in_line(Line& line, std::size_t off, const Tag128& tag) {
+  CCNVM_CHECK(off % sizeof(Tag128) == 0 && off + sizeof(Tag128) <= kLineSize);
+  std::memcpy(line.data() + off, tag.bytes.data(), sizeof(Tag128));
+}
+
+}  // namespace ccnvm::secure

@@ -1,0 +1,58 @@
+// Counter-mode encryption engine + data-HMAC computation (the non-tree
+// half of the Bonsai scheme, §2.2).
+//
+//   ciphertext = plaintext XOR OTP(key_enc, addr, counter)
+//   data HMAC  = HMAC(key_mac, ciphertext || addr || major || minor)
+//
+// Including the address in the HMAC defeats splicing; including the
+// counter defeats replay (given the counter itself is tree-protected);
+// the MAC over the ciphertext defeats spoofing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "crypto/aes128.h"
+#include "crypto/hmac_sha1.h"
+#include "crypto/otp.h"
+
+namespace ccnvm::secure {
+
+class CmeEngine {
+ public:
+  /// Both keys live in the TCB; the seed stands in for key provisioning.
+  explicit CmeEngine(std::uint64_t key_seed)
+      : cipher_(crypto::Aes128::key_from_seed(key_seed)),
+        mac_key_(crypto::HmacKey::from_seed(key_seed ^ 0xA5A5A5A5A5A5A5A5ULL)) {}
+
+  /// Encrypts (or decrypts — same XOR) `line` at `addr` under `counter`.
+  Line crypt(const Line& line, Addr addr,
+             const crypto::PadCounter& counter) const {
+    return crypto::xor_pad(line, crypto::generate_otp(cipher_, addr, counter));
+  }
+
+  /// Computes the data HMAC over the *encrypted* block.
+  Tag128 data_hmac(const Line& ciphertext, Addr addr,
+                   const crypto::PadCounter& counter) const {
+    crypto::HmacSha1 mac(mac_key_);
+    mac.update(ciphertext);
+    mac.update_u64(addr);
+    mac.update_u64(counter.major);
+    mac.update_u64(counter.minor);
+    return mac.finalize_tag();
+  }
+
+  const crypto::HmacKey& mac_key() const { return mac_key_; }
+
+ private:
+  crypto::Aes128 cipher_;
+  crypto::HmacKey mac_key_;
+};
+
+/// Reads the 16-byte tag at offset `off` of a data-HMAC line.
+Tag128 dh_tag_in_line(const Line& line, std::size_t off);
+
+/// Writes the 16-byte tag at offset `off` of a data-HMAC line.
+void set_dh_tag_in_line(Line& line, std::size_t off, const Tag128& tag);
+
+}  // namespace ccnvm::secure

@@ -1,0 +1,40 @@
+#include "secure/counter_block.h"
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace ccnvm::secure {
+
+Line CounterBlock::pack() const {
+  Line line{};
+  store_le64(line, 0, major);
+  // Bit-pack 64 x 7-bit minors into the remaining 56 bytes.
+  std::size_t bit = 0;
+  for (std::size_t i = 0; i < kBlocksPerPage; ++i) {
+    CCNVM_CHECK_MSG(minors[i] <= kMinorMax, "minor out of range");
+    for (std::uint8_t b = 0; b < kMinorBits; ++b, ++bit) {
+      if ((minors[i] >> b) & 1u) {
+        line[8 + bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+  }
+  return line;
+}
+
+CounterBlock CounterBlock::unpack(const Line& line) {
+  CounterBlock cb;
+  cb.major = load_le64(line, 0);
+  std::size_t bit = 0;
+  for (std::size_t i = 0; i < kBlocksPerPage; ++i) {
+    std::uint8_t v = 0;
+    for (std::uint8_t b = 0; b < kMinorBits; ++b, ++bit) {
+      if ((line[8 + bit / 8] >> (bit % 8)) & 1u) {
+        v |= static_cast<std::uint8_t>(1u << b);
+      }
+    }
+    cb.minors[i] = v;
+  }
+  return cb;
+}
+
+}  // namespace ccnvm::secure

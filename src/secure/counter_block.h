@@ -1,0 +1,54 @@
+// Split-counter encryption-counter line (Rogers et al., MICRO'07; Yan et
+// al., ISCA'06), the leaf-node format of the Bonsai Merkle tree.
+//
+// One 64-byte line covers one 4 KB page: a 64-bit major counter shared by
+// the page plus 64 seven-bit minor counters, one per 64 B block. Each block
+// write-back increments the block's minor counter; when a minor counter
+// would wrap, the major counter is incremented, every minor resets to
+// zero, and the whole page must be re-encrypted under the new counters
+// (the overflow path — rare, but modelled in full because crash recovery
+// has to survive it; see core/recovery.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "crypto/otp.h"
+
+namespace ccnvm::secure {
+
+struct CounterBlock {
+  static constexpr std::uint8_t kMinorBits = 7;
+  static constexpr std::uint8_t kMinorMax = (1u << kMinorBits) - 1;  // 127
+
+  std::uint64_t major = 0;
+  std::array<std::uint8_t, kBlocksPerPage> minors{};
+
+  /// The (major, minor) pair that seeds the pad for block `block`.
+  crypto::PadCounter pad_counter(std::size_t block) const {
+    return {major, minors[block]};
+  }
+
+  /// Advances block `block` for one write-back. Returns true when the
+  /// minor wrapped: `major` has been incremented, all minors are zero, and
+  /// the caller must re-encrypt the entire page.
+  bool increment(std::size_t block) {
+    if (minors[block] == kMinorMax) {
+      ++major;
+      minors.fill(0);
+      return true;
+    }
+    ++minors[block];
+    return false;
+  }
+
+  /// Serializes to the architectural 64 B layout: little-endian major in
+  /// bytes [0,8), then 64 seven-bit minors bit-packed into bytes [8,64).
+  Line pack() const;
+  static CounterBlock unpack(const Line& line);
+
+  friend bool operator==(const CounterBlock&, const CounterBlock&) = default;
+};
+
+}  // namespace ccnvm::secure

@@ -1,0 +1,104 @@
+#include "secure/merkle.h"
+
+#include <cstring>
+#include <map>
+
+namespace ccnvm::secure {
+
+Tag128 MerkleEngine::node_tag(const Line& contents) const {
+  crypto::HmacSha1 mac(key_);
+  mac.update(contents);
+  return mac.finalize_tag();
+}
+
+Line MerkleEngine::compute_node(const NodeId& id,
+                                const NodeReader& read_child) const {
+  CCNVM_CHECK_MSG(id.level >= 1, "leaves are counter lines, not computed");
+  Line node{};
+  for (std::uint64_t slot = 0; slot < NvmLayout::kArity; ++slot) {
+    const NodeId child = layout_->child(id, slot);
+    const Line contents = node_exists(child) ? read_child(child) : zero_line();
+    const Tag128 tag = node_tag(contents);
+    std::memcpy(node.data() + slot * sizeof(Tag128), tag.bytes.data(),
+                sizeof(Tag128));
+  }
+  return node;
+}
+
+Line MerkleEngine::build_full_tree(const NodeReader& read,
+                                   const NodeWriter& write) const {
+  // Cache computed nodes so each is derived exactly once.
+  std::map<NodeId, Line> computed;
+  const NodeReader reader = [&](const NodeId& id) -> Line {
+    if (id.level == 0) return read(id);
+    const auto it = computed.find(id);
+    CCNVM_CHECK_MSG(it != computed.end(), "bottom-up order violated");
+    return it->second;
+  };
+
+  for (std::uint32_t level = 1; level <= layout_->root_level(); ++level) {
+    const std::uint64_t count = layout_->nodes_at_level(level);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const NodeId id{level, i};
+      const Line node = compute_node(id, reader);
+      computed[id] = node;
+      if (level < layout_->root_level()) write(id, node);
+    }
+  }
+  return computed[root_id()];
+}
+
+std::vector<NodeId> MerkleEngine::find_inconsistencies(const NodeReader& read,
+                                                       const Line& root) const {
+  std::vector<NodeId> bad;
+  // For every internal node (and the root), recompute from the stored
+  // children and compare against the stored value. A mismatch at parent P
+  // means some child's stored contents are not what P committed to — we
+  // report the child(ren) whose tag slot disagrees, which is the replayed
+  // or tampered node.
+  for (std::uint32_t level = 1; level <= layout_->root_level(); ++level) {
+    const std::uint64_t count = layout_->nodes_at_level(level);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const NodeId id{level, i};
+      const Line stored =
+          (level == layout_->root_level()) ? root : read(id);
+      for (std::uint64_t slot = 0; slot < NvmLayout::kArity; ++slot) {
+        const NodeId child = layout_->child(id, slot);
+        const Line contents =
+            node_exists(child) ? read(child) : zero_line();
+        const Tag128 expect = node_tag(contents);
+        Tag128 stored_tag;
+        std::memcpy(stored_tag.bytes.data(),
+                    stored.data() + slot * sizeof(Tag128), sizeof(Tag128));
+        if (!(stored_tag == expect) && node_exists(child)) {
+          bad.push_back(child);
+        }
+      }
+    }
+  }
+  return bad;
+}
+
+std::optional<NodeId> MerkleEngine::verify_path(Addr data_addr,
+                                                const NodeReader& read,
+                                                const Line& root) const {
+  const NodeId leaf{0, data_addr / kPageSize};
+  NodeId child = leaf;
+  while (true) {
+    const NodeId par = layout_->parent(child);
+    const Line parent_line =
+        (par.level == layout_->root_level()) ? root : read(par);
+    const Line child_contents = read(child);
+    const Tag128 expect = node_tag(child_contents);
+    Tag128 stored_tag;
+    std::memcpy(stored_tag.bytes.data(),
+                parent_line.data() + layout_->slot_in_parent(child) *
+                                         sizeof(Tag128),
+                sizeof(Tag128));
+    if (!(stored_tag == expect)) return child;
+    if (par.level == layout_->root_level()) return std::nullopt;
+    child = par;
+  }
+}
+
+}  // namespace ccnvm::secure

@@ -1,0 +1,80 @@
+// Bonsai Merkle tree engine (§2.2, Figure 1).
+//
+// Geometry comes from NvmLayout: leaves (level 0) are the counter lines,
+// internal nodes (levels 1 .. root-1) live in NVM, and the root lives in a
+// TCB register. Every node is a 64-byte line holding kArity 128-bit
+// counter-HMACs over the children's *contents* — position binding is
+// implicit in path verification, as in a standard Merkle tree: relocating
+// a node changes which parent slot its hash is checked against, and the
+// leaf counters themselves are bound to data addresses through the data
+// HMACs.
+//
+// The engine is deliberately storage-agnostic: callers pass reader/writer
+// functions, so the same code computes over the TCB's logical state, over
+// an NVM image during recovery, or over a hypothetical state in tests.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/hmac_sha1.h"
+#include "nvm/layout.h"
+
+namespace ccnvm::secure {
+
+using nvm::NodeId;
+using nvm::NvmLayout;
+
+class MerkleEngine {
+ public:
+  using NodeReader = std::function<Line(const NodeId&)>;
+  using NodeWriter = std::function<void(const NodeId&, const Line&)>;
+
+  MerkleEngine(const crypto::HmacKey& key, const NvmLayout& layout)
+      : key_(key), layout_(&layout) {}
+
+  /// Counter-HMAC of a node's contents.
+  Tag128 node_tag(const Line& contents) const;
+
+  /// Recomputes node `id` (level >= 1) from its children via `read_child`.
+  /// Children beyond the last real node at a level hash as zero lines, so
+  /// incomplete bottom levels are well defined.
+  Line compute_node(const NodeId& id, const NodeReader& read_child) const;
+
+  /// Root node id for this geometry.
+  NodeId root_id() const { return {layout_->root_level(), 0}; }
+
+  /// Rebuilds the whole tree bottom-up from leaves. `read` must serve
+  /// level-0 reads (counter lines); every computed internal node is handed
+  /// to `write` and also served back to further computation. Returns the
+  /// root line.
+  Line build_full_tree(const NodeReader& read, const NodeWriter& write) const;
+
+  /// Verifies the stored tree (served by `read`, including level 0 leaves
+  /// and internal nodes) against `root`. Returns every node id whose
+  /// stored contents disagree with the value recomputed from its children
+  /// — for a replay of node X, this reports X (parent mismatch localizes
+  /// the replayed subtree, recovery step 1 of §4.4).
+  std::vector<NodeId> find_inconsistencies(const NodeReader& read,
+                                           const Line& root) const;
+
+  /// Verifies only the path covering `data_addr` (runtime read-side
+  /// verification). Returns the first mismatching node bottom-up, or
+  /// nullopt when the path checks out against `root`.
+  std::optional<NodeId> verify_path(Addr data_addr, const NodeReader& read,
+                                    const Line& root) const;
+
+  const NvmLayout& layout() const { return *layout_; }
+
+ private:
+  bool node_exists(const NodeId& id) const {
+    return id.index < layout_->nodes_at_level(id.level);
+  }
+
+  crypto::HmacKey key_;
+  const NvmLayout* layout_;
+};
+
+}  // namespace ccnvm::secure

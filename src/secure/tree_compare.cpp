@@ -1,0 +1,37 @@
+#include "secure/tree_compare.h"
+
+namespace ccnvm::secure {
+namespace {
+
+TreeGeometry build(std::uint64_t capacity_bytes, std::uint64_t leaves,
+                   std::uint64_t arity, std::uint64_t flat_mac_bytes) {
+  TreeGeometry g;
+  g.capacity_bytes = capacity_bytes;
+  g.leaves = leaves;
+  g.flat_mac_bytes = flat_mac_bytes;
+  std::uint64_t level = leaves;
+  while (level > 1) {
+    level = (level + arity - 1) / arity;
+    ++g.depth;
+    if (level > 1) g.interior_nodes += level;  // the root stays on chip
+  }
+  if (g.depth == 0) g.depth = 1;  // a single leaf still hashes to a root
+  return g;
+}
+
+}  // namespace
+
+TreeGeometry bonsai_geometry(std::uint64_t capacity_bytes,
+                             std::uint64_t arity) {
+  const std::uint64_t pages = capacity_bytes / kPageSize;
+  const std::uint64_t blocks = capacity_bytes / kLineSize;
+  return build(capacity_bytes, pages, arity, blocks * sizeof(Tag128));
+}
+
+TreeGeometry traditional_geometry(std::uint64_t capacity_bytes,
+                                  std::uint64_t arity) {
+  const std::uint64_t blocks = capacity_bytes / kLineSize;
+  return build(capacity_bytes, blocks, arity, 0);
+}
+
+}  // namespace ccnvm::secure

@@ -1,0 +1,162 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <atomic>
+#include <thread>
+
+#include "common/check.h"
+
+namespace ccnvm::sim {
+
+namespace {
+
+const DesignRun& find_run(const BenchmarkRow& row, core::DesignKind kind) {
+  for (const DesignRun& run : row.runs) {
+    if (run.kind == kind) return run;
+  }
+  CCNVM_CHECK_MSG(false, "design not part of this row");
+  return row.runs.front();
+}
+
+}  // namespace
+
+double BenchmarkRow::ipc_norm(core::DesignKind kind) const {
+  const double base = runs.front().result.ipc;
+  return base == 0.0 ? 0.0 : find_run(*this, kind).result.ipc / base;
+}
+
+double BenchmarkRow::writes_norm(core::DesignKind kind) const {
+  const double base = static_cast<double>(runs.front().result.nvm_writes);
+  // A fully cache-resident run writes nothing under any design; report
+  // parity rather than poisoning downstream means with a 0/0.
+  if (base == 0.0) return 1.0;
+  return static_cast<double>(find_run(*this, kind).result.nvm_writes) / base;
+}
+
+DesignRun run_single(const trace::WorkloadProfile& profile,
+                     core::DesignKind kind, const ExperimentConfig& config) {
+  SystemConfig sys;
+  sys.kind = kind;
+  sys.design = config.design;
+  System system(sys);
+  // Identical streams per design: same profile, same seed.
+  trace::TraceGenerator gen(profile, config.seed);
+  system.run(gen, config.warmup_refs);
+  system.reset_measurement();
+  system.run(gen, config.measure_refs);
+  return {kind, system.result()};
+}
+
+BenchmarkRow run_benchmark(const trace::WorkloadProfile& profile,
+                           const std::vector<core::DesignKind>& kinds,
+                           const ExperimentConfig& config) {
+  BenchmarkRow row;
+  row.benchmark = profile.name;
+  for (core::DesignKind kind : kinds) {
+    row.runs.push_back(run_single(profile, kind, config));
+  }
+  return row;
+}
+
+std::vector<BenchmarkRow> run_benchmarks(
+    const std::vector<trace::WorkloadProfile>& profiles,
+    const std::vector<core::DesignKind>& kinds,
+    const ExperimentConfig& config) {
+  std::vector<BenchmarkRow> rows(profiles.size());
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    rows[p].benchmark = profiles[p].name;
+    rows[p].runs.resize(kinds.size());
+  }
+
+  // Every (workload, design) cell is independent; fan out on a simple
+  // work queue. Each worker writes only its own pre-sized slot.
+  const std::size_t tasks = profiles.size() * kinds.size();
+  std::size_t workers = config.max_threads != 0
+                            ? config.max_threads
+                            : std::thread::hardware_concurrency();
+  workers = std::max<std::size_t>(1, std::min(workers, tasks));
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < tasks;
+         i = next.fetch_add(1)) {
+      const std::size_t p = i / kinds.size();
+      const std::size_t k = i % kinds.size();
+      rows[p].runs[k] = run_single(profiles[p], kinds[k], config);
+    }
+  };
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return rows;
+}
+
+std::vector<BenchmarkRow> run_figure5_grid(const ExperimentConfig& config) {
+  const std::vector<core::DesignKind> kinds = {
+      core::DesignKind::kWoCc, core::DesignKind::kStrict,
+      core::DesignKind::kOsirisPlus, core::DesignKind::kCcNvmNoDs,
+      core::DesignKind::kCcNvm};
+  return run_benchmarks(trace::spec2006_profiles(), kinds, config);
+}
+
+namespace {
+
+double geomean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(std::max(v, 1e-9));
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace
+
+double geomean_ipc(const std::vector<BenchmarkRow>& rows,
+                   core::DesignKind kind) {
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const BenchmarkRow& row : rows) values.push_back(row.ipc_norm(kind));
+  return geomean(values);
+}
+
+double geomean_writes(const std::vector<BenchmarkRow>& rows,
+                      core::DesignKind kind) {
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const BenchmarkRow& row : rows) values.push_back(row.writes_norm(kind));
+  return geomean(values);
+}
+
+void print_table(const std::vector<BenchmarkRow>& rows,
+                 const std::vector<core::DesignKind>& kinds,
+                 const std::string& metric) {
+  CCNVM_CHECK(metric == "ipc" || metric == "writes");
+  std::printf("%-12s", "benchmark");
+  for (core::DesignKind kind : kinds) {
+    std::printf(" %14s", std::string(core::design_name(kind)).c_str());
+  }
+  std::printf("\n");
+  for (const BenchmarkRow& row : rows) {
+    std::printf("%-12s", row.benchmark.c_str());
+    for (core::DesignKind kind : kinds) {
+      const double v =
+          metric == "ipc" ? row.ipc_norm(kind) : row.writes_norm(kind);
+      std::printf(" %14.3f", v);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-12s", "average");
+  for (core::DesignKind kind : kinds) {
+    const double v = metric == "ipc" ? geomean_ipc(rows, kind)
+                                     : geomean_writes(rows, kind);
+    std::printf(" %14.3f", v);
+  }
+  std::printf("\n");
+}
+
+}  // namespace ccnvm::sim

@@ -1,0 +1,80 @@
+// Experiment harness shared by the benchmark binaries: runs
+// (workload x design) grids with warm-up, normalizes IPC and NVM write
+// traffic to the w/o CC baseline, and prints the paper-style tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+#include "trace/trace.h"
+
+namespace ccnvm::sim {
+
+struct ExperimentConfig {
+  /// References fed before measurement starts (cache warm-up).
+  std::uint64_t warmup_refs = 200'000;
+  /// Measured references per run.
+  std::uint64_t measure_refs = 1'000'000;
+  std::uint64_t seed = 2019;
+  /// Worker threads for grid runs (each (workload, design) simulation is
+  /// independent and deterministic). 0 = hardware concurrency.
+  std::size_t max_threads = 0;
+  /// Paper machine: 16 GB DIMM -> 12-level tree. Timing-only mode.
+  core::DesignConfig design = [] {
+    core::DesignConfig d;
+    d.data_capacity = 16ull << 30;
+    d.functional = false;
+    return d;
+  }();
+};
+
+struct DesignRun {
+  core::DesignKind kind;
+  SimResult result{};
+};
+
+struct BenchmarkRow {
+  std::string benchmark;
+  std::vector<DesignRun> runs;  // first entry is the normalization base
+
+  double ipc_norm(core::DesignKind kind) const;
+  double writes_norm(core::DesignKind kind) const;
+};
+
+/// Runs one (workload, design) simulation: warm-up, reset, measure.
+DesignRun run_single(const trace::WorkloadProfile& profile,
+                     core::DesignKind kind, const ExperimentConfig& config);
+
+/// Runs one workload through every design in `kinds` (the first one is
+/// the normalization base, conventionally kWoCc).
+BenchmarkRow run_benchmark(const trace::WorkloadProfile& profile,
+                           const std::vector<core::DesignKind>& kinds,
+                           const ExperimentConfig& config);
+
+/// Runs a whole grid in parallel across `config.max_threads` workers.
+/// Results are identical to the serial path (every run is seeded and
+/// independent); only wall time changes.
+std::vector<BenchmarkRow> run_benchmarks(
+    const std::vector<trace::WorkloadProfile>& profiles,
+    const std::vector<core::DesignKind>& kinds,
+    const ExperimentConfig& config);
+
+/// Runs the full Figure-5 grid: all eight SPEC profiles x all designs,
+/// plus a geometric-mean summary row named "average".
+std::vector<BenchmarkRow> run_figure5_grid(const ExperimentConfig& config);
+
+/// Geometric mean across rows of the normalized metric.
+double geomean_ipc(const std::vector<BenchmarkRow>& rows,
+                   core::DesignKind kind);
+double geomean_writes(const std::vector<BenchmarkRow>& rows,
+                      core::DesignKind kind);
+
+/// Prints a paper-style normalized table ("ipc" or "writes") to stdout.
+void print_table(const std::vector<BenchmarkRow>& rows,
+                 const std::vector<core::DesignKind>& kinds,
+                 const std::string& metric);
+
+}  // namespace ccnvm::sim

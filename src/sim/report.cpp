@@ -1,0 +1,84 @@
+#include "sim/report.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace ccnvm::sim {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool write_rows_csv(const std::string& path,
+                    const std::vector<BenchmarkRow>& rows,
+                    const std::vector<core::DesignKind>& kinds,
+                    const std::string& metric) {
+  CCNVM_CHECK(metric == "ipc" || metric == "writes");
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+
+  std::fprintf(f.get(), "benchmark");
+  for (core::DesignKind kind : kinds) {
+    std::fprintf(f.get(), ",%s", std::string(core::design_name(kind)).c_str());
+  }
+  std::fprintf(f.get(), "\n");
+  for (const BenchmarkRow& row : rows) {
+    std::fprintf(f.get(), "%s", row.benchmark.c_str());
+    for (core::DesignKind kind : kinds) {
+      std::fprintf(f.get(), ",%.6f",
+                   metric == "ipc" ? row.ipc_norm(kind)
+                                   : row.writes_norm(kind));
+    }
+    std::fprintf(f.get(), "\n");
+  }
+  std::fprintf(f.get(), "average");
+  for (core::DesignKind kind : kinds) {
+    std::fprintf(f.get(), ",%.6f",
+                 metric == "ipc" ? geomean_ipc(rows, kind)
+                                 : geomean_writes(rows, kind));
+  }
+  std::fprintf(f.get(), "\n");
+  return true;
+}
+
+bool write_raw_csv(const std::string& path,
+                   const std::vector<BenchmarkRow>& rows) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(),
+               "benchmark,design,instructions,cycles,ipc,nvm_writes,"
+               "data_writes,dh_writes,counter_writes,mt_writes,write_backs,"
+               "drains,hmac_ops,engine_busy_cycles,l2_hit_rate,"
+               "meta_hit_rate\n");
+  for (const BenchmarkRow& row : rows) {
+    for (const DesignRun& run : row.runs) {
+      const SimResult& r = run.result;
+      std::fprintf(
+          f.get(),
+          "%s,%s,%llu,%llu,%.6f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+          "%llu,%.4f,%.4f\n",
+          row.benchmark.c_str(), r.name.c_str(),
+          static_cast<unsigned long long>(r.instructions),
+          static_cast<unsigned long long>(r.cycles), r.ipc,
+          static_cast<unsigned long long>(r.nvm_writes),
+          static_cast<unsigned long long>(r.traffic.data_writes),
+          static_cast<unsigned long long>(r.traffic.dh_writes),
+          static_cast<unsigned long long>(r.traffic.counter_writes),
+          static_cast<unsigned long long>(r.traffic.mt_writes),
+          static_cast<unsigned long long>(r.design_stats.write_backs),
+          static_cast<unsigned long long>(r.design_stats.drains),
+          static_cast<unsigned long long>(r.design_stats.hmac_ops),
+          static_cast<unsigned long long>(r.design_stats.engine_busy_cycles),
+          r.l2_stats.hit_rate(), r.meta_stats.hit_rate());
+    }
+  }
+  return true;
+}
+
+}  // namespace ccnvm::sim

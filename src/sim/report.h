@@ -1,0 +1,28 @@
+// Machine-readable experiment output.
+//
+// The bench binaries print paper-style tables for humans; these helpers
+// additionally emit CSV so results can be plotted/regressed without
+// screen-scraping (`fig5_ipc fig5a.csv` writes alongside the table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace ccnvm::sim {
+
+/// Writes a normalized-metric grid: one row per benchmark plus the
+/// geometric-mean row, one column per design. `metric` is "ipc" or
+/// "writes". Returns false on I/O failure.
+bool write_rows_csv(const std::string& path,
+                    const std::vector<BenchmarkRow>& rows,
+                    const std::vector<core::DesignKind>& kinds,
+                    const std::string& metric);
+
+/// Writes the raw per-run numbers (IPC, cycles, traffic breakdown, cache
+/// hit rates) for deeper analysis.
+bool write_raw_csv(const std::string& path,
+                   const std::vector<BenchmarkRow>& rows);
+
+}  // namespace ccnvm::sim

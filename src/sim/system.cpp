@@ -1,0 +1,168 @@
+#include "sim/system.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace ccnvm::sim {
+
+System::System(const SystemConfig& config)
+    : config_(config),
+      design_(core::make_design(config.kind, config.design)),
+      l2_(config.l2) {
+  CCNVM_CHECK_MSG(config.cores >= 1, "need at least one core");
+  for (std::size_t c = 0; c < config.cores; ++c) l1s_.emplace_back(config.l1);
+}
+
+Line System::store_value(Addr line_addr) {
+  // Deterministic store payload: address + store sequence number, so the
+  // cross-check can verify decryption end-to-end.
+  Line v{};
+  store_le64(v, 0, line_addr);
+  store_le64(v, 8, ++store_seq_);
+  return v;
+}
+
+void System::write_back_l2_victim(Addr victim) {
+  const Line value = config_.design.functional
+                         ? contents_[victim]
+                         : zero_line();
+  const std::uint64_t busy = design_->write_back(victim, value);
+  // Drains block the whole engine (no eviction makes progress, §4.2):
+  // they extend the engine's busy timeline ahead of this write-back.
+  const std::uint64_t drain_stall = design_->consume_sync_stall();
+  if (config_.model_device_contention) {
+    // Posted NVM writes occupy the (banked) device.
+    const std::uint64_t writes = design_->traffic().total_writes();
+    const std::uint64_t new_lines = writes - last_total_writes_;
+    last_total_writes_ = writes;
+    device_busy_until_ =
+        std::max(device_busy_until_, cycles_) +
+        new_lines * config_.design.timing.nvm_write_cycles() /
+            config_.nvm_banks;
+  }
+  // Write-backs are serviced serially by the secure engine, off the load
+  // critical path; completion times queue up behind each other.
+  engine_busy_until_ =
+      std::max(engine_busy_until_, cycles_) + drain_stall + busy;
+  wb_completions_.push_back(engine_busy_until_);
+  while (!wb_completions_.empty() && wb_completions_.front() <= cycles_) {
+    wb_completions_.pop_front();
+  }
+  // Only a sustained eviction stream that fills the write queue stalls
+  // the CPU: wait until occupancy drops below the configured depth.
+  if (wb_completions_.size() >= config_.wb_queue_depth) {
+    const std::size_t overflow =
+        wb_completions_.size() - config_.wb_queue_depth + 1;
+    cycles_ = std::max(cycles_, wb_completions_[overflow - 1]);
+    while (!wb_completions_.empty() && wb_completions_.front() <= cycles_) {
+      wb_completions_.pop_front();
+    }
+  }
+}
+
+void System::run_mixed(std::vector<trace::TraceGenerator>& gens,
+                       std::uint64_t refs_per_core) {
+  CCNVM_CHECK_MSG(gens.size() == l1s_.size(), "one generator per core");
+  // Each core's program lives in its own slice of the data space.
+  const std::uint64_t slice =
+      config_.design.data_capacity / l1s_.size() & ~(kPageSize - 1);
+  for (std::uint64_t i = 0; i < refs_per_core; ++i) {
+    for (std::size_t core = 0; core < gens.size(); ++core) {
+      trace::MemRef ref = gens[core].next();
+      ref.addr = (ref.addr % slice) + core * slice;
+      step(ref, core);
+    }
+  }
+}
+
+void System::step(const trace::MemRef& ref, std::size_t core) {
+  instructions_ += 1 + ref.gap_instrs;
+  cycles_ += ref.gap_instrs;  // non-memory instructions retire 1/cycle
+
+  const Addr line = line_base(ref.addr);
+  const auto& timing = config_.design.timing;
+  std::uint64_t latency = timing.l1_latency;
+
+  const cache::AccessOutcome l1_out = l1s_[core].access(line, ref.is_write);
+  if (!l1_out.hit) {
+    latency += timing.l2_latency;
+    const cache::AccessOutcome l2_out = l2_.access(line, /*is_write=*/false);
+    if (!l2_out.hit) {
+      // LLC miss: the secure read path. Reads are prioritized over queued
+      // write-backs (§5.2: metadata writes are off the critical path), so
+      // no engine wait here — back-pressure arrives only through a full
+      // write queue in write_back_l2_victim.
+      const core::ReadResult rr = design_->read_block(line);
+      // A metadata miss on the read path can evict dirty metadata and
+      // force a drain; the read completes only after it.
+      latency += design_->consume_sync_stall();
+      if (config_.model_device_contention && device_busy_until_ > cycles_) {
+        latency += device_busy_until_ - cycles_;
+      }
+      if (config_.design.functional && config_.check_data) {
+        CCNVM_CHECK_MSG(rr.integrity_ok, "unexpected integrity failure");
+        const auto it = contents_.find(line);
+        const Line expect = it == contents_.end() ? zero_line() : it->second;
+        CCNVM_CHECK_MSG(rr.plaintext == expect,
+                        "decrypted value diverged from written value");
+      }
+      latency += rr.latency;
+    }
+    if (l2_out.evicted.has_value() && l2_out.evicted_dirty) {
+      write_back_l2_victim(*l2_out.evicted);
+    }
+    if (l1_out.evicted.has_value() && l1_out.evicted_dirty) {
+      // L1 victim folds into L2 (background; no added latency).
+      const cache::AccessOutcome fold = l2_.access(*l1_out.evicted,
+                                                   /*is_write=*/true);
+      if (fold.evicted.has_value() && fold.evicted_dirty) {
+        write_back_l2_victim(*fold.evicted);
+      }
+    }
+  } else if (ref.is_write) {
+    // L1 write hit: nothing reaches L2 yet (write-back hierarchy).
+  }
+
+  if (ref.is_write && config_.design.functional) {
+    contents_[line] = store_value(line);
+  }
+  cycles_ += latency;
+}
+
+void System::run(trace::TraceGenerator& gen, std::uint64_t num_refs) {
+  for (std::uint64_t i = 0; i < num_refs; ++i) step(gen.next());
+}
+
+void System::reset_measurement() {
+  cycles_ = 0;
+  instructions_ = 0;
+  engine_busy_until_ = 0;
+  device_busy_until_ = 0;
+  last_total_writes_ = 0;
+  wb_completions_.clear();
+  for (auto& l1 : l1s_) l1.reset_stats();
+  l2_.reset_stats();
+  auto* base = dynamic_cast<core::SecureNvmBase*>(design_.get());
+  CCNVM_CHECK(base != nullptr);
+  base->reset_stats();
+}
+
+SimResult System::result() const {
+  SimResult r;
+  r.name = std::string(design_->name());
+  r.instructions = instructions_;
+  r.cycles = cycles_;
+  r.ipc = cycles_ == 0 ? 0.0
+                       : static_cast<double>(instructions_) /
+                             static_cast<double>(cycles_);
+  r.traffic = design_->traffic();
+  r.nvm_writes = r.traffic.total_writes();
+  r.design_stats = design_->stats();
+  r.l1_stats = l1s_.front().stats();
+  r.l2_stats = l2_.stats();
+  r.meta_stats = design_->meta_cache_stats();
+  return r;
+}
+
+}  // namespace ccnvm::sim

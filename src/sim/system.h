@@ -1,0 +1,125 @@
+// Full-system model: CPU reference stream -> L1 -> L2/LLC -> secure NVM.
+//
+// Cycle accounting follows the paper's §5 machine: 3 GHz, L1 32 KB 2-way
+// (2 cycles), shared L2 256 KB 8-way (20 cycles), the secure memory
+// controller behind it. Loads charge their full miss latency; dirty L2
+// evictions invoke the design's write-back path, whose blocking time
+// occupies the secure engine — a later miss that arrives while the engine
+// is busy stalls. That single contention point is where the five designs
+// separate (§5.1): SC / Osiris Plus / cc-NVM w/o DS hold the engine for a
+// serial HMAC chain to the root per write-back, cc-NVM only for the DAQ
+// reservation, w/o CC for almost nothing.
+//
+// IPC is instructions (memory references + modelled gap instructions,
+// one per cycle when not blocked on memory) over total cycles. Absolute
+// values differ from gem5's out-of-order core; the normalized comparisons
+// of Figures 5-6 are the reproduction target.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/set_assoc_cache.h"
+#include "core/design.h"
+#include "trace/trace.h"
+
+namespace ccnvm::sim {
+
+struct SystemConfig {
+  core::DesignKind kind = core::DesignKind::kCcNvm;
+  core::DesignConfig design{};
+  cache::CacheConfig l1{.size_bytes = 32ull << 10, .ways = 2};
+  cache::CacheConfig l2{.size_bytes = 256ull << 10, .ways = 8};
+  /// Write-backs the memory controller can have in flight before new
+  /// fills (and hence the CPU) stall. Bursts below this depth are
+  /// absorbed off the critical path; an eviction stream that outruns the
+  /// secure engine stalls. The small default reflects the few
+  /// miss-status/writeback buffers between the LLC and the engine — the
+  /// engine's per-write-back blocking (the designs' key difference, §5.1)
+  /// reaches the core quickly, as in the paper's in-order write path.
+  std::size_t wb_queue_depth = 2;
+  /// Model the NVM device's write occupancy (bank-shared): posted writes
+  /// consume device time and delay reads that arrive while it is busy.
+  /// Off by default — the paper observes bandwidth is not the bottleneck
+  /// (§5.2); bench/bandwidth_ablation turns it on to verify that.
+  bool model_device_contention = false;
+  std::size_t nvm_banks = 16;
+  /// Cross-check decrypted reads against the values written back
+  /// (functional mode only).
+  bool check_data = true;
+  /// Cores for multi-programmed runs: private L1 per core, shared L2 and
+  /// secure engine. The paper evaluates single-core; >1 is this repo's
+  /// extension probing how write-back pressure scales (see
+  /// bench/multiprogram). Cores interleave round-robin on one clock — a
+  /// serialization approximation that preserves relative comparisons.
+  std::size_t cores = 1;
+};
+
+struct SimResult {
+  std::string name;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double ipc = 0.0;
+  std::uint64_t nvm_writes = 0;  // total line writes to media
+  nvm::TrafficStats traffic{};
+  core::DesignStats design_stats{};
+  cache::CacheStats l1_stats{};
+  cache::CacheStats l2_stats{};
+  cache::CacheStats meta_stats{};
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  /// Feeds `num_refs` references from `gen` through the hierarchy.
+  void run(trace::TraceGenerator& gen, std::uint64_t num_refs);
+
+  /// Same, from any source with a `MemRef next()` (e.g. a ReplaySource
+  /// over a saved trace file).
+  template <typename Source>
+  void run_source(Source& source, std::uint64_t num_refs) {
+    for (std::uint64_t i = 0; i < num_refs; ++i) step(source.next());
+  }
+
+  /// Feeds one reference (exposed for custom drivers).
+  void step(const trace::MemRef& ref, std::size_t core = 0);
+
+  /// Multi-programmed run: one generator per core, round-robin, each
+  /// core's addresses relocated into its own slice of the data space.
+  void run_mixed(std::vector<trace::TraceGenerator>& gens,
+                 std::uint64_t refs_per_core);
+
+  /// Clears cycle/traffic counters but keeps cache and NVM state — call
+  /// between warm-up and measurement.
+  void reset_measurement();
+
+  SimResult result() const;
+
+  core::SecureNvmDesign& design() { return *design_; }
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  void write_back_l2_victim(Addr victim);
+  Line store_value(Addr line_addr);
+
+  SystemConfig config_;
+  std::unique_ptr<core::SecureNvmDesign> design_;
+  std::vector<cache::SetAssocCache> l1s_;  // one per core
+  cache::SetAssocCache l2_;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t engine_busy_until_ = 0;
+  std::uint64_t device_busy_until_ = 0;
+  std::uint64_t last_total_writes_ = 0;
+  std::deque<std::uint64_t> wb_completions_;
+  std::uint64_t store_seq_ = 0;
+
+  /// Current logical contents per line (functional cross-checking).
+  std::unordered_map<Addr, Line> contents_;
+};
+
+}  // namespace ccnvm::sim

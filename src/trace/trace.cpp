@@ -1,0 +1,154 @@
+#include "trace/trace.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace ccnvm::trace {
+
+TraceGenerator::TraceGenerator(const WorkloadProfile& profile,
+                               std::uint64_t seed)
+    : profile_(profile), rng_(seed) {
+  CCNVM_CHECK_MSG(profile.working_set_bytes >= kPageSize,
+                  "working set smaller than a page");
+  ws_lines_ = profile.working_set_bytes / kLineSize;
+  hot_lines_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(ws_lines_) * profile.hot_fraction));
+  cursor_ = 0;
+}
+
+Addr TraceGenerator::random_line_in(std::uint64_t region_lines,
+                                    std::uint64_t base_line) {
+  return (base_line + rng_.below(region_lines)) * kLineSize;
+}
+
+MemRef TraceGenerator::next() {
+  MemRef ref;
+  if (touches_left_ > 0) {
+    --touches_left_;
+  } else {
+    if (rng_.chance(profile_.seq_prob)) {
+      // Continue the sequential run, wrapping at the working-set end.
+      cursor_ = (cursor_ + kLineSize) % (ws_lines_ * kLineSize);
+    } else if (rng_.chance(profile_.hot_prob)) {
+      cursor_ = random_line_in(hot_lines_, 0);
+    } else {
+      cursor_ = random_line_in(ws_lines_, 0);
+    }
+    touches_left_ =
+        profile_.touches_per_line > 0 ? profile_.touches_per_line - 1 : 0;
+  }
+  ref.addr = cursor_;
+  ref.is_write = rng_.chance(profile_.write_fraction);
+  // Geometric gap with the configured mean: P(k) = p(1-p)^k.
+  const double p = 1.0 / (1.0 + profile_.mean_gap);
+  std::uint32_t gap = 0;
+  while (!rng_.chance(p) && gap < 64) ++gap;
+  ref.gap_instrs = gap;
+  return ref;
+}
+
+std::vector<MemRef> TraceGenerator::take(std::size_t n) {
+  std::vector<MemRef> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+std::vector<WorkloadProfile> spec2006_profiles() {
+  // Shapes chosen to mirror the published memory behaviour of each
+  // benchmark: lbm/libquantum/leslie3d/milc are memory-intensive with
+  // streaming access; gcc/soplex have large, irregular footprints;
+  // hmmer/namd are cache-resident compute codes.
+  return {
+      {.name = "leslie3d",
+       .working_set_bytes = 24ull << 20,
+       .write_fraction = 0.36,
+       .seq_prob = 0.96,
+       .hot_prob = 0.55,
+       .hot_fraction = 0.006,
+       .mean_gap = 7.0,
+       .touches_per_line = 8},
+      {.name = "libquantum",
+       .working_set_bytes = 32ull << 20,
+       .write_fraction = 0.24,
+       .seq_prob = 0.985,
+       .hot_prob = 0.30,
+       .hot_fraction = 0.004,
+       .mean_gap = 6.0,
+       .touches_per_line = 8},
+      {.name = "gcc",
+       .working_set_bytes = 8ull << 20,
+       .write_fraction = 0.31,
+       .seq_prob = 0.50,
+       .hot_prob = 0.93,
+       .hot_fraction = 0.06,
+       .mean_gap = 8.0,
+       .touches_per_line = 4},
+      {.name = "lbm",
+       .working_set_bytes = 48ull << 20,
+       .write_fraction = 0.49,
+       .seq_prob = 0.98,
+       .hot_prob = 0.25,
+       .hot_fraction = 0.003,
+       .mean_gap = 6.0,
+       .touches_per_line = 8},
+      {.name = "soplex",
+       .working_set_bytes = 16ull << 20,
+       .write_fraction = 0.21,
+       .seq_prob = 0.60,
+       .hot_prob = 0.90,
+       .hot_fraction = 0.05,
+       .mean_gap = 8.0,
+       .touches_per_line = 4},
+      {.name = "hmmer",
+       .working_set_bytes = 1ull << 20,
+       .write_fraction = 0.42,
+       .seq_prob = 0.70,
+       .hot_prob = 0.93,
+       .hot_fraction = 0.18,
+       .mean_gap = 6.0,
+       .touches_per_line = 6},
+      {.name = "milc",
+       .working_set_bytes = 32ull << 20,
+       .write_fraction = 0.30,
+       .seq_prob = 0.95,
+       .hot_prob = 0.40,
+       .hot_fraction = 0.005,
+       .mean_gap = 7.0,
+       .touches_per_line = 8},
+      {.name = "namd",
+       .working_set_bytes = 1ull << 19,
+       .write_fraction = 0.26,
+       .seq_prob = 0.60,
+       .hot_prob = 0.95,
+       .hot_fraction = 0.4,
+       .mean_gap = 8.0,
+       .touches_per_line = 6},
+  };
+}
+
+WorkloadProfile profile_by_name(const std::string& name) {
+  for (const WorkloadProfile& p : spec2006_profiles()) {
+    if (p.name == name) return p;
+  }
+  CCNVM_CHECK_MSG(false, "unknown workload profile");
+  return {};
+}
+
+TraceStats analyze(const std::vector<MemRef>& refs) {
+  TraceStats stats;
+  std::unordered_set<Addr> lines;
+  for (const MemRef& r : refs) {
+    ++stats.refs;
+    stats.writes += r.is_write ? 1 : 0;
+    stats.instructions += 1 + r.gap_instrs;
+    lines.insert(line_base(r.addr));
+  }
+  stats.distinct_lines = lines.size();
+  return stats;
+}
+
+}  // namespace ccnvm::trace

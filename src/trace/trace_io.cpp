@@ -1,0 +1,90 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace ccnvm::trace {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'N', 'V', 'M', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+constexpr std::size_t kRecordSize = 8 + 1 + 4;
+
+}  // namespace
+
+bool save_trace(const std::string& path, const std::vector<MemRef>& refs) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+
+  std::uint8_t header[8 + 4 + 8];
+  std::memcpy(header, kMagic, 8);
+  put_u32(header + 8, kVersion);
+  put_u64(header + 12, refs.size());
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) return false;
+
+  for (const MemRef& r : refs) {
+    std::uint8_t rec[kRecordSize];
+    put_u64(rec, r.addr);
+    rec[8] = r.is_write ? 1 : 0;
+    put_u32(rec + 9, r.gap_instrs);
+    if (std::fwrite(rec, kRecordSize, 1, f.get()) != 1) return false;
+  }
+  return true;
+}
+
+std::vector<MemRef> load_trace(const std::string& path, bool* ok) {
+  if (ok != nullptr) *ok = false;
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return {};
+
+  std::uint8_t header[8 + 4 + 8];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1) return {};
+  if (std::memcmp(header, kMagic, 8) != 0) return {};
+  if (get_u32(header + 8) != kVersion) return {};
+  const std::uint64_t count = get_u64(header + 12);
+
+  std::vector<MemRef> refs;
+  refs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint8_t rec[kRecordSize];
+    if (std::fread(rec, kRecordSize, 1, f.get()) != 1) return {};
+    MemRef r;
+    r.addr = get_u64(rec);
+    r.is_write = rec[8] != 0;
+    r.gap_instrs = get_u32(rec + 9);
+    refs.push_back(r);
+  }
+  if (ok != nullptr) *ok = true;
+  return refs;
+}
+
+}  // namespace ccnvm::trace

@@ -1,0 +1,48 @@
+// Trace (de)serialization.
+//
+// Synthetic generators are deterministic, but saved traces make runs
+// portable across tools (inspect a stream, replay the exact same
+// references into a different simulator build, or import an externally
+// captured trace). The format is a dense little-endian binary:
+//
+//   [8B magic "CCNVMTRC"][4B version][8B count]
+//   count x { 8B addr, 1B is_write, 4B gap_instrs }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "trace/trace.h"
+
+namespace ccnvm::trace {
+
+/// Writes `refs` to `path`. Returns false on I/O failure.
+bool save_trace(const std::string& path, const std::vector<MemRef>& refs);
+
+/// Reads a trace written by save_trace. Returns an empty vector on any
+/// I/O or format error (and sets *ok to false when provided).
+std::vector<MemRef> load_trace(const std::string& path, bool* ok = nullptr);
+
+/// A MemRef source with the same interface shape as TraceGenerator, fed
+/// from a materialized trace (wraps around at the end).
+class ReplaySource {
+ public:
+  explicit ReplaySource(std::vector<MemRef> refs) : refs_(std::move(refs)) {
+    CCNVM_CHECK_MSG(!refs_.empty(), "empty trace");
+  }
+
+  MemRef next() {
+    const MemRef ref = refs_[pos_];
+    pos_ = (pos_ + 1) % refs_.size();
+    return ref;
+  }
+
+  std::size_t size() const { return refs_.size(); }
+
+ private:
+  std::vector<MemRef> refs_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ccnvm::trace

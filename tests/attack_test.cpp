@@ -1,0 +1,281 @@
+// Attack-detection matrix: spoofing / splicing / replay, at runtime and
+// across crashes, against each design's claimed capability (§3, §4.4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attacks/injector.h"
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+#include "core/design.h"
+
+namespace ccnvm::core {
+namespace {
+
+using attacks::replay_counter;
+using attacks::replay_data;
+using attacks::replay_everything;
+using attacks::splice_data;
+using attacks::spoof_counter;
+using attacks::spoof_data;
+using attacks::spoof_dh;
+using attacks::spoof_node;
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag * 11 + i);
+  }
+  return l;
+}
+
+DesignConfig small_config() {
+  DesignConfig c;
+  c.data_capacity = 64 * kPageSize;
+  return c;
+}
+
+bool located(const RecoveryReport& r, Addr addr) {
+  return std::find(r.tampered_blocks.begin(), r.tampered_blocks.end(),
+                   line_base(addr)) != r.tampered_blocks.end();
+}
+
+// Writes some data, quiesces (so metadata is persisted), and crashes.
+void populate_quiesce_crash(SecureNvmBase& design, int blocks = 20) {
+  for (int i = 0; i < blocks; ++i) {
+    design.write_back(static_cast<Addr>(i) * kLineSize, pattern_line(i));
+  }
+  design.quiesce();
+  design.crash_power_loss();
+}
+
+// ---------------- Runtime detection ----------------
+
+TEST(RuntimeAttackTest, SpoofedDataFailsRead) {
+  auto design = make_design(DesignKind::kCcNvm, small_config());
+  design->write_back(0x40, pattern_line(1));
+  Rng rng(1);
+  spoof_data(*design, 0x40, rng);
+  EXPECT_FALSE(design->read_block(0x40).integrity_ok);
+}
+
+TEST(RuntimeAttackTest, SpoofedDhFailsRead) {
+  auto design = make_design(DesignKind::kCcNvm, small_config());
+  design->write_back(0x40, pattern_line(1));
+  Rng rng(1);
+  spoof_dh(*design, 0x40, rng);
+  EXPECT_FALSE(design->read_block(0x40).integrity_ok);
+}
+
+TEST(RuntimeAttackTest, SplicedDataFailsRead) {
+  auto design = make_design(DesignKind::kCcNvm, small_config());
+  design->write_back(0 * kLineSize, pattern_line(1));
+  design->write_back(9 * kLineSize, pattern_line(2));
+  splice_data(*design, 0 * kLineSize, 9 * kLineSize);
+  // The moved MAC binds the other address: both reads must fail.
+  EXPECT_FALSE(design->read_block(0 * kLineSize).integrity_ok);
+  EXPECT_FALSE(design->read_block(9 * kLineSize).integrity_ok);
+}
+
+TEST(RuntimeAttackTest, ReplayedDataFailsReadAtRuntime) {
+  // At runtime the live counter is on-chip, so even a consistent old
+  // (data, DH) pair mismatches the newer counter.
+  auto design = make_design(DesignKind::kCcNvm, small_config());
+  design->write_back(0x40, pattern_line(1));
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  base->quiesce();
+  const nvm::NvmImage snapshot = design->image().snapshot();
+  design->write_back(0x40, pattern_line(2));
+  replay_data(*design, snapshot, 0x40);
+  EXPECT_FALSE(design->read_block(0x40).integrity_ok);
+}
+
+TEST(RuntimeAttackTest, AuditFindsTamperedMetadata) {
+  auto design = make_design(DesignKind::kCcNvm, small_config());
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  for (int i = 0; i < 10; ++i) {
+    design->write_back(static_cast<Addr>(i) * kPageSize, pattern_line(i));
+  }
+  base->quiesce();
+  Rng rng(3);
+  spoof_counter(*design, 2 * kPageSize, rng);
+  const auto bad = base->audit_image();
+  ASSERT_FALSE(bad.empty());
+  EXPECT_EQ(bad.front(), design->layout().counter_line_addr(2 * kPageSize));
+}
+
+// ---------------- Post-crash: cc-NVM locates ----------------
+
+class CcNvmPostCrashAttackTest : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<CcNvmDesign> make() {
+    return std::make_unique<CcNvmDesign>(small_config(), GetParam());
+  }
+};
+
+TEST_P(CcNvmPostCrashAttackTest, SpoofedDataIsLocated) {
+  auto design = make();
+  populate_quiesce_crash(*design);
+  Rng rng(7);
+  spoof_data(*design, 5 * kLineSize, rng);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_TRUE(report.attack_located);
+  EXPECT_TRUE(located(report, 5 * kLineSize));
+  EXPECT_EQ(report.tampered_blocks.size(), 1u) << "only the victim reported";
+}
+
+TEST_P(CcNvmPostCrashAttackTest, SpoofedDhIsLocated) {
+  auto design = make();
+  populate_quiesce_crash(*design);
+  Rng rng(7);
+  spoof_dh(*design, 6 * kLineSize, rng);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_TRUE(report.attack_located);
+  EXPECT_TRUE(located(report, 6 * kLineSize));
+}
+
+TEST_P(CcNvmPostCrashAttackTest, SplicedDataIsLocated) {
+  auto design = make();
+  populate_quiesce_crash(*design);
+  splice_data(*design, 2 * kLineSize, 11 * kLineSize);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_TRUE(report.attack_located);
+  EXPECT_TRUE(located(report, 2 * kLineSize));
+  EXPECT_TRUE(located(report, 11 * kLineSize));
+}
+
+TEST_P(CcNvmPostCrashAttackTest, ReplayedCounterLineIsLocated) {
+  auto design = make();
+  // Epoch 1: populate and commit — snapshot.
+  for (int i = 0; i < 4; ++i) {
+    design->write_back(static_cast<Addr>(i) * kPageSize, pattern_line(i));
+  }
+  design->force_drain();
+  const nvm::NvmImage snapshot = design->image().snapshot();
+  // Epoch 2: advance page 1's counter and commit the newer tree.
+  design->write_back(1 * kPageSize, pattern_line(100));
+  design->force_drain();
+  design->crash_power_loss();
+  // Roll page 1's counter line back: parent/child mismatch (§4.4 step 1).
+  replay_counter(*design, snapshot, 1 * kPageSize);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_TRUE(report.attack_located);
+  ASSERT_FALSE(report.replayed_nodes.empty());
+  bool found = false;
+  for (const auto& id : report.replayed_nodes) {
+    found |= (id == nvm::NodeId{0, 1});
+  }
+  EXPECT_TRUE(found) << "the replayed counter line is pinpointed";
+}
+
+TEST_P(CcNvmPostCrashAttackTest, DataReplayInEpochWindowIsDetected) {
+  // The §4.3 attack: crash with uncommitted write-backs, replay one of
+  // them to its pre-epoch version. The consistent old tree masks it —
+  // only the N_wb / N_retry comparison catches it (detected, not located).
+  auto design = make();
+  design->write_back(0x40, pattern_line(1));
+  design->force_drain();
+  const nvm::NvmImage snapshot = design->image().snapshot();
+  design->write_back(0x40, pattern_line(2));  // uncommitted epoch
+  design->crash_power_loss();
+  replay_data(*design, snapshot, 0x40);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected) << report.detail;
+  EXPECT_TRUE(report.potential_replay);
+  EXPECT_FALSE(report.attack_located) << "this window is detect-only";
+}
+
+TEST_P(CcNvmPostCrashAttackTest, WholesaleRollbackIsDetected) {
+  auto design = make();
+  for (int i = 0; i < 4; ++i) {
+    design->write_back(static_cast<Addr>(i) * kPageSize, pattern_line(i));
+  }
+  design->force_drain();
+  const nvm::NvmImage snapshot = design->image().snapshot();
+  design->write_back(0, pattern_line(50));
+  design->force_drain();  // both roots move past the snapshot
+  design->crash_power_loss();
+  replay_everything(*design, snapshot);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected)
+      << "an internally consistent old image must still mismatch the roots";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, CcNvmPostCrashAttackTest,
+                         ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "WithDS" : "WithoutDS";
+                         });
+
+// ---------------- Post-crash: the baselines' limits ----------------
+
+TEST(BaselinePostCrashAttackTest, OsirisDetectsButCannotLocate) {
+  auto design = make_design(DesignKind::kOsirisPlus, small_config());
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  populate_quiesce_crash(*base);
+  Rng rng(9);
+  spoof_data(*design, 5 * kLineSize, rng);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_FALSE(report.attack_located) << "Osiris cannot pick out the block";
+  EXPECT_TRUE(report.data_dropped) << "all data must go (§3)";
+}
+
+TEST(BaselinePostCrashAttackTest, StrictLocatesSpoofedData) {
+  auto design = make_design(DesignKind::kStrict, small_config());
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  populate_quiesce_crash(*base);
+  Rng rng(9);
+  spoof_data(*design, 3 * kLineSize, rng);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_TRUE(report.attack_located);
+  EXPECT_TRUE(located(report, 3 * kLineSize));
+}
+
+TEST(BaselinePostCrashAttackTest, NoAttackMeansCleanReports) {
+  for (DesignKind kind : {DesignKind::kStrict, DesignKind::kOsirisPlus,
+                          DesignKind::kCcNvmNoDs, DesignKind::kCcNvm}) {
+    auto design = make_design(kind, small_config());
+    auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+    populate_quiesce_crash(*base);
+    const RecoveryReport report = design->recover();
+    EXPECT_TRUE(report.clean) << design_name(kind) << ": " << report.detail;
+    EXPECT_FALSE(report.attack_detected) << design_name(kind);
+  }
+}
+
+// Property sweep: random single-block spoofing anywhere in the written
+// region is always located by cc-NVM, exactly.
+class SpoofSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpoofSweepTest, RandomVictimAlwaysLocated) {
+  CcNvmDesign design(small_config(), /*deferred_spreading=*/true);
+  Rng rng(GetParam());
+  const int blocks = 30;
+  for (int i = 0; i < blocks; ++i) {
+    design.write_back(static_cast<Addr>(i) * kLineSize, pattern_line(i));
+  }
+  design.quiesce();
+  design.crash_power_loss();
+  const Addr victim = rng.below(blocks) * kLineSize;
+  if (rng.chance(0.5)) {
+    spoof_data(design, victim, rng);
+  } else {
+    spoof_dh(design, victim, rng);
+  }
+  const RecoveryReport report = design.recover();
+  ASSERT_TRUE(report.attack_located);
+  EXPECT_TRUE(located(report, victim));
+  EXPECT_EQ(report.tampered_blocks.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpoofSweepTest,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace ccnvm::core

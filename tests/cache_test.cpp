@@ -1,0 +1,141 @@
+// Unit tests for the set-associative LRU cache model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/set_assoc_cache.h"
+#include "common/rng.h"
+
+namespace ccnvm::cache {
+namespace {
+
+CacheConfig tiny() { return {.size_bytes = 4 * kLineSize, .ways = 2}; }
+
+TEST(CacheTest, MissThenHit) {
+  SetAssocCache c(tiny());
+  EXPECT_FALSE(c.access(0x0, false).hit);
+  EXPECT_TRUE(c.access(0x0, false).hit);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheTest, SubLineAddressesShareALine) {
+  SetAssocCache c(tiny());
+  EXPECT_FALSE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x13f, true).hit);
+  EXPECT_TRUE(c.is_dirty(0x100));
+}
+
+TEST(CacheTest, WriteMakesDirty) {
+  SetAssocCache c(tiny());
+  c.access(0x0, false);
+  EXPECT_FALSE(c.is_dirty(0x0));
+  c.access(0x0, true);
+  EXPECT_TRUE(c.is_dirty(0x0));
+}
+
+TEST(CacheTest, LruEvictsOldest) {
+  // 2 sets x 2 ways; lines 0x0, 0x80, 0x100 all map to set 0.
+  SetAssocCache c(tiny());
+  c.access(0x0, false);
+  c.access(0x80, false);
+  c.access(0x0, false);  // refresh 0x0; LRU victim is now 0x80
+  const AccessOutcome out = c.access(0x100, false);
+  ASSERT_TRUE(out.evicted.has_value());
+  EXPECT_EQ(*out.evicted, 0x80u);
+  EXPECT_FALSE(out.evicted_dirty);
+  EXPECT_TRUE(c.probe(0x0));
+  EXPECT_FALSE(c.probe(0x80));
+}
+
+TEST(CacheTest, DirtyEvictionReported) {
+  SetAssocCache c(tiny());
+  c.access(0x0, true);
+  c.access(0x80, false);
+  const AccessOutcome out = c.access(0x100, false);
+  // 0x0 is LRU despite being dirty.
+  ASSERT_TRUE(out.evicted.has_value());
+  EXPECT_EQ(*out.evicted, 0x0u);
+  EXPECT_TRUE(out.evicted_dirty);
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(CacheTest, UpdateCountTracksWritesSinceDirty) {
+  SetAssocCache c(tiny());
+  c.access(0x0, true);
+  c.access(0x0, true);
+  c.access(0x0, true);
+  EXPECT_EQ(c.updates_since_dirty(0x0), 3u);
+  c.clean(0x0);
+  EXPECT_EQ(c.updates_since_dirty(0x0), 0u);
+  EXPECT_TRUE(c.probe(0x0)) << "clean() must not evict";
+  c.access(0x0, true);
+  EXPECT_EQ(c.updates_since_dirty(0x0), 1u);
+}
+
+TEST(CacheTest, ReadAfterCleanDoesNotDirty) {
+  SetAssocCache c(tiny());
+  c.access(0x0, true);
+  c.clean(0x0);
+  c.access(0x0, false);
+  EXPECT_FALSE(c.is_dirty(0x0));
+}
+
+TEST(CacheTest, InvalidateAllModelsPowerLoss) {
+  SetAssocCache c(tiny());
+  c.access(0x0, true);
+  c.access(0x40, true);
+  EXPECT_EQ(c.valid_count(), 2u);
+  c.invalidate_all();
+  EXPECT_EQ(c.valid_count(), 0u);
+  EXPECT_EQ(c.dirty_count(), 0u);
+}
+
+TEST(CacheTest, ForEachDirtyVisitsExactlyDirtyLines) {
+  SetAssocCache c({.size_bytes = 64 * kLineSize, .ways = 8});
+  std::set<Addr> dirty;
+  for (Addr a = 0; a < 16 * kLineSize; a += kLineSize) {
+    const bool write = (a / kLineSize) % 3 == 0;
+    c.access(a, write);
+    if (write) dirty.insert(a);
+  }
+  std::set<Addr> seen;
+  c.for_each_dirty([&](Addr a) { seen.insert(a); });
+  EXPECT_EQ(seen, dirty);
+}
+
+TEST(CacheTest, FullyAssociativeSingleSet) {
+  SetAssocCache c({.size_bytes = 8 * kLineSize, .ways = 8});
+  for (Addr a = 0; a < 8 * kLineSize; a += kLineSize) c.access(a, false);
+  EXPECT_EQ(c.stats().evictions, 0u);
+  const auto out = c.access(8 * kLineSize, false);
+  EXPECT_TRUE(out.evicted.has_value());
+  EXPECT_EQ(*out.evicted, 0u) << "LRU in a full set is the first line";
+}
+
+// Property: under random access streams, hit+miss counts always add up and
+// the number of valid lines never exceeds capacity.
+class CachePropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CachePropertyTest, InvariantsUnderRandomStream) {
+  const auto [size_lines, ways] = GetParam();
+  SetAssocCache c({.size_bytes = size_lines * kLineSize, .ways = ways});
+  Rng rng(size_lines * 131 + ways);
+  for (int i = 0; i < 20000; ++i) {
+    const Addr a = rng.below(4 * size_lines) * kLineSize;
+    c.access(a, rng.chance(0.4));
+    ASSERT_LE(c.valid_count(), size_lines);
+    ASSERT_LE(c.dirty_count(), c.valid_count());
+  }
+  EXPECT_EQ(c.stats().hits + c.stats().misses, 20000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CachePropertyTest,
+    ::testing::Values(std::tuple{8u, 1u}, std::tuple{8u, 8u},
+                      std::tuple{64u, 2u}, std::tuple{64u, 8u},
+                      std::tuple{256u, 4u}));
+
+}  // namespace
+}  // namespace ccnvm::cache

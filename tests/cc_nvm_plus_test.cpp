@@ -1,0 +1,158 @@
+// cc-NVM+ (the §4.4-closing extension): persistent per-block update
+// registers upgrade epoch-window replays from detected to located, with
+// otherwise unchanged behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attacks/injector.h"
+#include "common/rng.h"
+#include "core/cc_nvm_plus.h"
+
+namespace ccnvm::core {
+namespace {
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag * 13 + i);
+  }
+  return l;
+}
+
+DesignConfig small_config() {
+  DesignConfig c;
+  c.data_capacity = 64 * kPageSize;
+  return c;
+}
+
+bool located(const RecoveryReport& r, Addr addr) {
+  return std::find(r.tampered_blocks.begin(), r.tampered_blocks.end(),
+                   line_base(addr)) != r.tampered_blocks.end();
+}
+
+TEST(CcNvmPlusTest, EpochWindowReplayIsLocated) {
+  // The attack base cc-NVM can only detect (§4.3): replay an uncommitted
+  // write-back. cc-NVM+ pinpoints the block.
+  CcNvmPlusDesign design(small_config());
+  design.write_back(0x40, pattern_line(1));
+  design.force_drain();
+  const nvm::NvmImage snapshot = design.image().snapshot();
+  design.write_back(0x40, pattern_line(2));
+  design.write_back(0x80, pattern_line(3));  // innocent bystander
+  design.crash_power_loss();
+  attacks::replay_data(design, snapshot, 0x40);
+
+  const RecoveryReport report = design.recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_TRUE(report.potential_replay);
+  EXPECT_TRUE(report.attack_located) << "the + registers make it locatable";
+  EXPECT_TRUE(located(report, 0x40));
+  EXPECT_FALSE(located(report, 0x80)) << "bystander must not be accused";
+}
+
+TEST(CcNvmPlusTest, MultipleWindowReplaysAllLocated) {
+  CcNvmPlusDesign design(small_config());
+  for (Addr a : {Addr{0x0}, Addr{0x40}, Addr{0x80}, Addr{0xc0}}) {
+    design.write_back(a, pattern_line(a));
+  }
+  design.force_drain();
+  const nvm::NvmImage snapshot = design.image().snapshot();
+  for (Addr a : {Addr{0x0}, Addr{0x40}, Addr{0x80}, Addr{0xc0}}) {
+    design.write_back(a, pattern_line(a + 1));
+  }
+  design.crash_power_loss();
+  attacks::replay_data(design, snapshot, 0x40);
+  attacks::replay_data(design, snapshot, 0xc0);
+
+  const RecoveryReport report = design.recover();
+  ASSERT_TRUE(report.attack_located);
+  EXPECT_TRUE(located(report, 0x40));
+  EXPECT_TRUE(located(report, 0xc0));
+  EXPECT_FALSE(located(report, 0x0));
+  EXPECT_FALSE(located(report, 0x80));
+}
+
+TEST(CcNvmPlusTest, CleanCrashHasNoFalsePositives) {
+  CcNvmPlusDesign design(small_config());
+  Rng rng(3);
+  std::unordered_map<Addr, std::uint64_t> latest;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const Addr addr = rng.below(4096) * kLineSize;
+    design.write_back(addr, pattern_line(i));
+    latest[addr] = i;
+  }
+  design.crash_power_loss();
+  const RecoveryReport report = design.recover();
+  ASSERT_TRUE(report.clean) << report.detail;
+  for (const auto& [addr, tag] : latest) {
+    EXPECT_EQ(design.read_block(addr).plaintext, pattern_line(tag));
+  }
+}
+
+TEST(CcNvmPlusTest, CrashInCommitWindowIsClean) {
+  CcNvmPlusDesign design(small_config());
+  design.write_back(0, pattern_line(1));
+  design.write_back(kPageSize, pattern_line(2));
+  design.drain_and_crash(CcNvmDesign::DrainCrashPoint::kAfterEndBeforeCommit);
+  const RecoveryReport report = design.recover();
+  EXPECT_TRUE(report.clean) << report.detail;
+}
+
+TEST(CcNvmPlusTest, RegistersClearAfterRecovery) {
+  CcNvmPlusDesign design(small_config());
+  design.write_back(0, pattern_line(1));
+  EXPECT_FALSE(design.update_registers().empty());
+  design.crash_power_loss();
+  EXPECT_FALSE(design.update_registers().empty())
+      << "the registers are persistent across power loss";
+  ASSERT_TRUE(design.recover().clean);
+  EXPECT_TRUE(design.update_registers().empty());
+}
+
+TEST(CcNvmPlusTest, RegistersClearAtDrainCommit) {
+  CcNvmPlusDesign design(small_config());
+  design.write_back(0, pattern_line(1));
+  EXPECT_FALSE(design.update_registers().empty());
+  design.force_drain();
+  EXPECT_TRUE(design.update_registers().empty());
+}
+
+TEST(CcNvmPlusTest, SpoofingStillLocated) {
+  CcNvmPlusDesign design(small_config());
+  for (int i = 0; i < 8; ++i) {
+    design.write_back(static_cast<Addr>(i) * kLineSize, pattern_line(i));
+  }
+  design.quiesce();
+  design.crash_power_loss();
+  Rng rng(5);
+  attacks::spoof_data(design, 3 * kLineSize, rng);
+  const RecoveryReport report = design.recover();
+  EXPECT_TRUE(report.attack_located);
+  EXPECT_TRUE(located(report, 3 * kLineSize));
+}
+
+TEST(CcNvmPlusTest, RuntimeBehaviourMatchesCcNvm) {
+  // The registers change only recovery; traffic, drains and blocking must
+  // be identical to cc-NVM with DS for the same write-back stream.
+  DesignConfig cfg = small_config();
+  CcNvmPlusDesign plus(cfg);
+  CcNvmDesign base(cfg, /*deferred_spreading=*/true);
+  Rng rng(7);
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const Addr addr = rng.below(2048) * kLineSize;
+    plus.write_back(addr, pattern_line(i));
+    base.write_back(addr, pattern_line(i));
+  }
+  EXPECT_EQ(plus.traffic().total_writes(), base.traffic().total_writes());
+  EXPECT_EQ(plus.stats().drains, base.stats().drains);
+  EXPECT_EQ(plus.stats().engine_busy_cycles, base.stats().engine_busy_cycles);
+}
+
+TEST(CcNvmPlusTest, FactoryProducesIt) {
+  auto design = make_design(DesignKind::kCcNvmPlus, small_config());
+  EXPECT_EQ(design->name(), "cc-NVM+");
+}
+
+}  // namespace
+}  // namespace ccnvm::core

@@ -1,0 +1,264 @@
+// cc-NVM specific machinery: DAQ, drain triggers, the atomic draining
+// protocol with crash injection at every window of §4.2, and epoch
+// register semantics.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+#include "core/daq.h"
+
+namespace ccnvm::core {
+namespace {
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag * 197 + i * 3);
+  }
+  return l;
+}
+
+DesignConfig cfg(std::size_t daq = 64, std::uint32_t n = 16) {
+  DesignConfig c;
+  c.data_capacity = 64 * kPageSize;
+  c.daq_entries = daq;
+  c.update_limit = n;
+  return c;
+}
+
+// ---------------- DirtyAddressQueue unit tests ----------------
+
+TEST(DaqTest, PushUntilFull) {
+  DirtyAddressQueue q(3);
+  EXPECT_TRUE(q.push(0x0));
+  EXPECT_TRUE(q.push(0x40));
+  EXPECT_TRUE(q.push(0x80));
+  EXPECT_FALSE(q.push(0xc0)) << "capacity reached";
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(DaqTest, DuplicatesAreFree) {
+  DirtyAddressQueue q(2);
+  EXPECT_TRUE(q.push(0x0));
+  EXPECT_TRUE(q.push(0x0));
+  EXPECT_TRUE(q.push(0x0));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(DaqTest, SubLineAddressesCollapse) {
+  DirtyAddressQueue q(2);
+  EXPECT_TRUE(q.push(0x100));
+  EXPECT_TRUE(q.push(0x13f));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.contains(0x110));
+}
+
+TEST(DaqTest, CanAcceptCountsOnlyFreshLines) {
+  DirtyAddressQueue q(3);
+  ASSERT_TRUE(q.push(0x0));
+  ASSERT_TRUE(q.push(0x40));
+  EXPECT_TRUE(q.can_accept({0x0, 0x40})) << "all duplicates";
+  EXPECT_TRUE(q.can_accept({0x0, 0x80})) << "one fresh, one free slot";
+  EXPECT_FALSE(q.can_accept({0x80, 0xc0})) << "two fresh, one slot";
+  EXPECT_TRUE(q.can_accept({0x80, 0x80})) << "same fresh line twice";
+}
+
+TEST(DaqTest, ClearEmptiesEverything) {
+  DirtyAddressQueue q(4);
+  ASSERT_TRUE(q.push(0x0));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.contains(0x0));
+}
+
+// ---------------- Epoch / drain behaviour ----------------
+
+TEST(CcNvmTest, MetadataStaysCachedNotPersistedMidEpoch) {
+  CcNvmDesign design(cfg(), /*deferred_spreading=*/true);
+  design.write_back(0, pattern_line(1));
+  // Mid-epoch: data + DH persisted, metadata only tracked.
+  EXPECT_EQ(design.traffic().data_writes, 1u);
+  EXPECT_EQ(design.traffic().dh_writes, 1u);
+  EXPECT_EQ(design.traffic().counter_writes, 0u);
+  EXPECT_EQ(design.traffic().mt_writes, 0u);
+  EXPECT_FALSE(design.daq().empty());
+}
+
+TEST(CcNvmTest, DrainPersistsTrackedMetadataOnce) {
+  CcNvmDesign design(cfg(), true);
+  // Three write-backs in one page share the counter line and tree path.
+  design.write_back(0 * kLineSize, pattern_line(1));
+  design.write_back(1 * kLineSize, pattern_line(2));
+  design.write_back(2 * kLineSize, pattern_line(3));
+  const std::size_t tracked = design.daq().size();
+  design.force_drain();
+  EXPECT_EQ(design.stats().drains_by_trigger[3], 1u) << "explicit drain";
+  EXPECT_EQ(design.traffic().counter_writes + design.traffic().mt_writes,
+            tracked)
+      << "each tracked line written exactly once per epoch";
+  EXPECT_TRUE(design.daq().empty());
+  EXPECT_EQ(design.tcb().n_wb, 0u);
+  EXPECT_EQ(design.tcb().root_old, design.tcb().root_new);
+}
+
+TEST(CcNvmTest, DaqPressureTriggersDrain) {
+  // M=8 with a 3-line path per page: pressure arrives quickly when pages
+  // do not share paths.
+  CcNvmDesign design(cfg(/*daq=*/8), true);
+  Rng rng(1);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    design.write_back((i * 7 % 64) * kPageSize, pattern_line(i));
+  }
+  EXPECT_GT(design.stats().drains, 0u) << "trigger (1) must have fired";
+  EXPECT_GT(design.stats().drains_by_trigger[0], 0u) << "classified as DAQ pressure";
+}
+
+TEST(CcNvmTest, UpdateLimitTriggersDrain) {
+  CcNvmDesign design(cfg(/*daq=*/64, /*n=*/4), true);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    design.write_back(0, pattern_line(i));  // same line every time
+  }
+  EXPECT_GT(design.stats().drains, 0u) << "trigger (3) must have fired";
+  EXPECT_GT(design.stats().drains_by_trigger[2], 0u)
+      << "classified as update-limit";
+  // Invariant behind trigger (3): no metadata line is ever more than N
+  // updates past its persisted version.
+  EXPECT_LE(design.meta_cache_stats().hits + 1, 7u);
+}
+
+TEST(CcNvmTest, DirtyEvictionTriggersDrain) {
+  DesignConfig c = cfg();
+  c.meta_cache_bytes = 4 * kLineSize;  // tiny: constant eviction pressure
+  c.meta_cache_ways = 1;
+  CcNvmDesign design(c, true);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    design.write_back((i % 16) * kPageSize, pattern_line(i));
+  }
+  EXPECT_GT(design.stats().drains, 0u) << "trigger (2) must have fired";
+  EXPECT_GT(design.stats().drains_by_trigger[1], 0u)
+      << "classified as dirty eviction";
+}
+
+TEST(CcNvmTest, RootsDivergeMidEpochAndConvergeAtCommit) {
+  CcNvmDesign design(cfg(), /*deferred_spreading=*/false);
+  const Line root0 = design.tcb().root_old;
+  design.write_back(0, pattern_line(1));
+  // w/o DS the root propagates per write-back: ROOT_new moved, ROOT_old
+  // still matches the (unchanged) NVM tree.
+  EXPECT_NE(design.tcb().root_new, root0);
+  EXPECT_EQ(design.tcb().root_old, root0);
+  design.force_drain();
+  EXPECT_EQ(design.tcb().root_old, design.tcb().root_new);
+}
+
+TEST(CcNvmTest, DeferredSpreadingSkipsPerWritebackHmacs) {
+  // With the counter line already cached, DS computes no counter-HMACs at
+  // write-back time; w/o DS recomputes the full path every time.
+  DesignConfig c = cfg();
+  CcNvmDesign with_ds(c, true);
+  CcNvmDesign without_ds(c, false);
+  // Warm the counter line.
+  with_ds.write_back(0, pattern_line(0));
+  without_ds.write_back(0, pattern_line(0));
+  const auto h1 = with_ds.stats().hmac_ops;
+  const auto h2 = without_ds.stats().hmac_ops;
+  with_ds.write_back(kLineSize, pattern_line(1));
+  without_ds.write_back(kLineSize, pattern_line(1));
+  const auto ds_cost = with_ds.stats().hmac_ops - h1;
+  const auto nods_cost = without_ds.stats().hmac_ops - h2;
+  EXPECT_LT(ds_cost, nods_cost);
+  EXPECT_EQ(ds_cost, 1u) << "only the data HMAC";
+}
+
+// ---------------- Crash windows of the atomic drain protocol ----------------
+
+class DrainCrashTest
+    : public ::testing::TestWithParam<CcNvmDesign::DrainCrashPoint> {};
+
+TEST_P(DrainCrashTest, TreeMatchesOneRootAndDataRecovers) {
+  CcNvmDesign design(cfg(), /*deferred_spreading=*/true);
+  Rng rng(9);
+  std::unordered_map<Addr, std::uint64_t> latest;
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const Addr addr = rng.below(256) * kLineSize;
+    design.write_back(addr, pattern_line(i));
+    latest[addr] = i;
+  }
+  design.drain_and_crash(GetParam());
+
+  const RecoveryReport report = design.recover();
+  EXPECT_TRUE(report.clean) << report.detail;
+  EXPECT_TRUE(report.metadata_recovered);
+  EXPECT_FALSE(report.attack_detected);
+
+  for (const auto& [addr, tag] : latest) {
+    const ReadResult r = design.read_block(addr);
+    EXPECT_TRUE(r.integrity_ok);
+    EXPECT_EQ(r.plaintext, pattern_line(tag)) << addr_str(addr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, DrainCrashTest,
+    ::testing::Values(CcNvmDesign::DrainCrashPoint::kMidBatch,
+                      CcNvmDesign::DrainCrashPoint::kAfterBatchBeforeEnd,
+                      CcNvmDesign::DrainCrashPoint::kAfterEndBeforeCommit),
+    [](const auto& info) {
+      switch (info.param) {
+        case CcNvmDesign::DrainCrashPoint::kMidBatch: return "MidBatch";
+        case CcNvmDesign::DrainCrashPoint::kAfterBatchBeforeEnd:
+          return "BeforeEnd";
+        case CcNvmDesign::DrainCrashPoint::kAfterEndBeforeCommit:
+          return "AfterEnd";
+        default: return "None";
+      }
+    });
+
+TEST(CcNvmTest, CrashBeforeEndDropsBatchKeepsOldTree) {
+  CcNvmDesign design(cfg(), true);
+  design.write_back(0, pattern_line(1));
+  const Line old_counter =
+      design.image().read_line(design.layout().counter_line_addr(0));
+  design.drain_and_crash(CcNvmDesign::DrainCrashPoint::kAfterBatchBeforeEnd);
+  EXPECT_EQ(design.image().read_line(design.layout().counter_line_addr(0)),
+            old_counter)
+      << "no end signal: the ADR domain must drop the batch";
+}
+
+TEST(CcNvmTest, CrashAfterEndPersistsWholeBatch) {
+  CcNvmDesign design(cfg(), true);
+  design.write_back(0, pattern_line(1));
+  const Line old_counter =
+      design.image().read_line(design.layout().counter_line_addr(0));
+  design.drain_and_crash(CcNvmDesign::DrainCrashPoint::kAfterEndBeforeCommit);
+  EXPECT_NE(design.image().read_line(design.layout().counter_line_addr(0)),
+            old_counter)
+      << "end signal received: ADR must complete the batch";
+}
+
+TEST(CcNvmTest, MidEpochCrashRetriesEqualNwb) {
+  CcNvmDesign design(cfg(/*daq=*/64, /*n=*/32), true);
+  design.force_drain();
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    design.write_back(i * kPageSize, pattern_line(i));
+  }
+  const std::uint64_t nwb = design.tcb().n_wb;
+  EXPECT_EQ(nwb, 5u);
+  design.crash_power_loss();
+  const RecoveryReport report = design.recover();
+  EXPECT_TRUE(report.clean) << report.detail;
+  EXPECT_EQ(report.total_retries, nwb)
+      << "each stalled counter recovers in exactly its write-back count";
+}
+
+TEST(CcNvmTest, QuiesceMakesAuditClean) {
+  CcNvmDesign design(cfg(), true);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    design.write_back(rng.below(1024) * kLineSize, pattern_line(i));
+  }
+  EXPECT_TRUE(design.audit_image().empty());
+}
+
+}  // namespace
+}  // namespace ccnvm::core

@@ -1,0 +1,131 @@
+// Foundation utilities: address math, byte packing, RNG statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ccnvm {
+namespace {
+
+TEST(TypesTest, LineAndPageMath) {
+  EXPECT_EQ(line_base(0x0), 0x0u);
+  EXPECT_EQ(line_base(0x3f), 0x0u);
+  EXPECT_EQ(line_base(0x40), 0x40u);
+  EXPECT_EQ(page_base(0xfff), 0x0u);
+  EXPECT_EQ(page_base(0x1000), 0x1000u);
+  EXPECT_EQ(block_in_page(0x0), 0u);
+  EXPECT_EQ(block_in_page(0x40), 1u);
+  EXPECT_EQ(block_in_page(0x1000 + 63 * 64), 63u);
+  EXPECT_TRUE(is_line_aligned(0x80));
+  EXPECT_FALSE(is_line_aligned(0x81));
+}
+
+TEST(TypesTest, Formatting) {
+  EXPECT_EQ(addr_str(0x0), "0x0");
+  EXPECT_EQ(addr_str(0xdeadbeef), "0xdeadbeef");
+  Tag128 t{};
+  t.bytes[0] = 0xab;
+  t.bytes[15] = 0x01;
+  EXPECT_EQ(tag_str(t), "ab000000000000000000000000000001");
+}
+
+TEST(TypesTest, TagComparisons) {
+  Tag128 a{}, b{};
+  EXPECT_EQ(a, b);
+  b.bytes[7] = 1;
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(BytesTest, Le64RoundTrip) {
+  Line buf{};
+  store_le64(buf, 8, 0x0123456789abcdefULL);
+  EXPECT_EQ(load_le64(buf, 8), 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[8], 0xef) << "little endian: low byte first";
+  EXPECT_EQ(buf[15], 0x01);
+}
+
+TEST(BytesTest, Le32RoundTrip) {
+  Line buf{};
+  store_le32(buf, 0, 0xcafebabe);
+  EXPECT_EQ(load_le32(buf, 0), 0xcafebabeu);
+  EXPECT_EQ(buf[0], 0xbe);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, ZeroSeedWorks) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(rng.next());
+  EXPECT_GT(values.size(), 95u) << "seed 0 must not degenerate";
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(7);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.below(10)];
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b], n / 10, n / 100) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(21);
+  const std::uint64_t first = rng.next();
+  rng.next();
+  rng.reseed(21);
+  EXPECT_EQ(rng.next(), first);
+}
+
+}  // namespace
+}  // namespace ccnvm

@@ -1,0 +1,114 @@
+// SECDED ECC: the (72,64) code's correct/detect guarantees, and the
+// Osiris property — wrong-counter decryptions fail the ECC check.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/aes128.h"
+#include "crypto/otp.h"
+#include "secure/ecc.h"
+
+namespace ccnvm::secure {
+namespace {
+
+TEST(EccTest, CleanWordChecksClean) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t w = rng.next();
+    EXPECT_EQ(check_word(w, ecc_of_word(w)), EccVerdict::kClean);
+  }
+}
+
+TEST(EccTest, EverySingleBitErrorIsCorrected) {
+  Rng rng(2);
+  const std::uint64_t w = rng.next();
+  const std::uint8_t ecc = ecc_of_word(w);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t bad = w ^ (1ULL << bit);
+    std::uint64_t fixed = 0;
+    ASSERT_EQ(check_word(bad, ecc, &fixed), EccVerdict::kCorrectedSingle)
+        << "bit " << bit;
+    EXPECT_EQ(fixed, w) << "bit " << bit;
+  }
+}
+
+TEST(EccTest, EccBitErrorsLeaveDataIntact) {
+  Rng rng(3);
+  const std::uint64_t w = rng.next();
+  const std::uint8_t ecc = ecc_of_word(w);
+  for (int bit = 0; bit < 8; ++bit) {
+    const std::uint8_t bad_ecc = static_cast<std::uint8_t>(ecc ^ (1u << bit));
+    std::uint64_t fixed = 0;
+    ASSERT_EQ(check_word(w, bad_ecc, &fixed), EccVerdict::kCorrectedSingle)
+        << "ecc bit " << bit;
+    EXPECT_EQ(fixed, w);
+  }
+}
+
+TEST(EccTest, DoubleBitErrorsAreDetected) {
+  Rng rng(4);
+  const std::uint64_t w = rng.next();
+  const std::uint8_t ecc = ecc_of_word(w);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int b1 = static_cast<int>(rng.below(64));
+    int b2 = static_cast<int>(rng.below(64));
+    while (b2 == b1) b2 = static_cast<int>(rng.below(64));
+    const std::uint64_t bad = w ^ (1ULL << b1) ^ (1ULL << b2);
+    EXPECT_EQ(check_word(bad, ecc), EccVerdict::kDoubleError)
+        << b1 << "," << b2;
+  }
+}
+
+TEST(EccTest, LineEccCoversAllWords) {
+  Rng rng(5);
+  Line line;
+  for (auto& b : line) b = static_cast<std::uint8_t>(rng.next());
+  const EccBits ecc = ecc_of_line(line);
+  EXPECT_TRUE(line_matches_ecc(line, ecc));
+  Line bad = line;
+  bad[40] ^= 0x10;  // word 5
+  EXPECT_FALSE(line_matches_ecc(bad, ecc));
+}
+
+TEST(EccTest, WrongCounterDecryptionFailsEcc) {
+  // The Osiris oracle: ECC computed over plaintext; decrypting the
+  // ciphertext with any wrong counter produces junk that fails the check.
+  const crypto::Aes128 cipher(crypto::Aes128::key_from_seed(7));
+  Rng rng(6);
+  Line plain;
+  for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next());
+  const EccBits ecc = ecc_of_line(plain);
+
+  const crypto::PadCounter right{2, 9};
+  const Line ct =
+      crypto::xor_pad(plain, crypto::generate_otp(cipher, 0x40, right));
+
+  int false_accepts = 0;
+  for (std::uint64_t minor = 0; minor < 64; ++minor) {
+    if (minor == right.minor) continue;
+    const Line guess = crypto::xor_pad(
+        ct, crypto::generate_otp(cipher, 0x40, {right.major, minor}));
+    false_accepts += line_matches_ecc(guess, ecc) ? 1 : 0;
+  }
+  EXPECT_EQ(false_accepts, 0);
+  // And the right counter passes.
+  const Line good = crypto::xor_pad(
+      ct, crypto::generate_otp(cipher, 0x40, right));
+  EXPECT_TRUE(line_matches_ecc(good, ecc));
+}
+
+TEST(EccTest, DistinctWordsRarelyShareEcc) {
+  // 8-bit ECC: collisions exist but must look random (~1/256), never
+  // systematic.
+  Rng rng(8);
+  int collisions = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t a = rng.next(), b = rng.next();
+    if (a != b && ecc_of_word(a) == ecc_of_word(b)) ++collisions;
+  }
+  EXPECT_NEAR(collisions, n / 256, 30);
+}
+
+}  // namespace
+}  // namespace ccnvm::secure

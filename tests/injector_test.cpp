@@ -1,0 +1,137 @@
+// Attack-injector unit tests: each primitive must mutate exactly the
+// intended NVM lines and leave everything else untouched.
+#include <gtest/gtest.h>
+
+#include "attacks/injector.h"
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+#include "secure/cme_engine.h"
+
+namespace ccnvm::attacks {
+namespace {
+
+using core::CcNvmDesign;
+using core::DesignConfig;
+
+Line payload(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag ^ i);
+  }
+  return l;
+}
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  InjectorTest() : design_(make_config(), true) {
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      design_.write_back(i * kLineSize, payload(i));
+    }
+    design_.force_drain();
+    before_ = design_.image().snapshot();
+  }
+
+  static DesignConfig make_config() {
+    DesignConfig c;
+    c.data_capacity = 16 * kPageSize;
+    return c;
+  }
+
+  /// Lines whose contents differ between `before_` and the current image.
+  std::vector<Addr> changed_lines() {
+    std::vector<Addr> changed;
+    design_.image().for_each_line([&](Addr a, const Line& v) {
+      if (before_.read_line(a) != v) changed.push_back(a);
+    });
+    return changed;
+  }
+
+  CcNvmDesign design_;
+  nvm::NvmImage before_;
+  Rng rng_{99};
+};
+
+TEST_F(InjectorTest, SpoofDataTouchesOnlyTheBlock) {
+  spoof_data(design_, 3 * kLineSize, rng_);
+  const auto changed = changed_lines();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], 3 * kLineSize);
+}
+
+TEST_F(InjectorTest, SpoofDhTouchesOnlyTheTagLine) {
+  spoof_dh(design_, 3 * kLineSize, rng_);
+  const auto changed = changed_lines();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], design_.layout().dh_line_addr(3 * kLineSize));
+  // And only this block's 16-byte tag within the line.
+  const Line now = design_.image().read_line(changed[0]);
+  const Line then = before_.read_line(changed[0]);
+  const std::size_t off = design_.layout().dh_offset_in_line(3 * kLineSize);
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    if (i < off || i >= off + sizeof(Tag128)) {
+      EXPECT_EQ(now[i], then[i]) << "byte " << i << " outside the tag moved";
+    }
+  }
+  EXPECT_NE(secure::dh_tag_in_line(now, off), secure::dh_tag_in_line(then, off));
+}
+
+TEST_F(InjectorTest, SpliceSwapsCiphertextsAndTags) {
+  const Addr a = 1 * kLineSize, b = 9 * kLineSize;
+  const Line ct_a = design_.image().read_line(a);
+  const Line ct_b = design_.image().read_line(b);
+  splice_data(design_, a, b);
+  EXPECT_EQ(design_.image().read_line(a), ct_b);
+  EXPECT_EQ(design_.image().read_line(b), ct_a);
+}
+
+TEST_F(InjectorTest, SpliceWithinOneDhLine) {
+  // Blocks 1 and 2 share a DH line (4 tags per line): the in-line swap
+  // path must exchange exactly the two tags.
+  const Addr a = 1 * kLineSize, b = 2 * kLineSize;
+  const Line dh_before =
+      design_.image().read_line(design_.layout().dh_line_addr(a));
+  splice_data(design_, a, b);
+  const Line dh_after =
+      design_.image().read_line(design_.layout().dh_line_addr(a));
+  EXPECT_EQ(secure::dh_tag_in_line(dh_after,
+                                   design_.layout().dh_offset_in_line(a)),
+            secure::dh_tag_in_line(dh_before,
+                                   design_.layout().dh_offset_in_line(b)));
+  EXPECT_EQ(secure::dh_tag_in_line(dh_after,
+                                   design_.layout().dh_offset_in_line(b)),
+            secure::dh_tag_in_line(dh_before,
+                                   design_.layout().dh_offset_in_line(a)));
+}
+
+TEST_F(InjectorTest, ReplayRestoresConsistentPair) {
+  design_.write_back(5 * kLineSize, payload(500));
+  design_.force_drain();
+  replay_data(design_, before_, 5 * kLineSize);
+  EXPECT_EQ(design_.image().read_line(5 * kLineSize),
+            before_.read_line(5 * kLineSize));
+  const Addr dh = design_.layout().dh_line_addr(5 * kLineSize);
+  const std::size_t off = design_.layout().dh_offset_in_line(5 * kLineSize);
+  EXPECT_EQ(secure::dh_tag_in_line(design_.image().read_line(dh), off),
+            secure::dh_tag_in_line(before_.read_line(dh), off));
+}
+
+TEST_F(InjectorTest, ReplayEverythingRestoresSnapshot) {
+  design_.write_back(0, payload(1000));
+  design_.write_back(7 * kLineSize, payload(1001));
+  design_.force_drain();
+  replay_everything(design_, before_);
+  EXPECT_TRUE(changed_lines().empty())
+      << "full rollback must reproduce the snapshot exactly";
+}
+
+TEST_F(InjectorTest, ReplayNodeRestoresOneTreeLine) {
+  design_.write_back(0, payload(77));
+  design_.force_drain();
+  const nvm::NodeId node{1, 0};
+  replay_node(design_, before_, node);
+  EXPECT_EQ(design_.image().read_line(design_.layout().node_addr(node)),
+            before_.read_line(design_.layout().node_addr(node)));
+}
+
+}  // namespace
+}  // namespace ccnvm::attacks

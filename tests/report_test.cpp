@@ -1,0 +1,97 @@
+// CSV report writer: files parse back and carry the right numbers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+
+namespace ccnvm::sim {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() {
+    ExperimentConfig config;
+    config.warmup_refs = 1000;
+    config.measure_refs = 5000;
+    config.design.data_capacity = 64ull << 20;
+    kinds_ = {core::DesignKind::kWoCc, core::DesignKind::kCcNvm};
+    rows_.push_back(
+        run_benchmark(trace::profile_by_name("gcc"), kinds_, config));
+    rows_.push_back(
+        run_benchmark(trace::profile_by_name("namd"), kinds_, config));
+  }
+
+  std::string path(const char* name) {
+    return std::string(::testing::TempDir()) + "/" + name;
+  }
+
+  std::vector<core::DesignKind> kinds_;
+  std::vector<BenchmarkRow> rows_;
+};
+
+TEST_F(ReportTest, NormalizedCsvStructure) {
+  const std::string p = path("norm.csv");
+  ASSERT_TRUE(write_rows_csv(p, rows_, kinds_, "ipc"));
+  const auto lines = read_lines(p);
+  ASSERT_EQ(lines.size(), 4u);  // header + 2 rows + average
+  EXPECT_EQ(split_csv(lines[0]).size(), 3u);
+  EXPECT_EQ(split_csv(lines[1])[0], "gcc");
+  EXPECT_EQ(split_csv(lines[2])[0], "namd");
+  EXPECT_EQ(split_csv(lines[3])[0], "average");
+  // The base column is exactly 1.
+  EXPECT_DOUBLE_EQ(std::stod(split_csv(lines[1])[1]), 1.0);
+  // The cc-NVM cell matches the in-memory value.
+  EXPECT_NEAR(std::stod(split_csv(lines[1])[2]),
+              rows_[0].ipc_norm(core::DesignKind::kCcNvm), 1e-5);
+  std::remove(p.c_str());
+}
+
+TEST_F(ReportTest, RawCsvHasOneLinePerRun) {
+  const std::string p = path("raw.csv");
+  ASSERT_TRUE(write_raw_csv(p, rows_));
+  const auto lines = read_lines(p);
+  ASSERT_EQ(lines.size(), 1u + rows_.size() * kinds_.size());
+  const auto header = split_csv(lines[0]);
+  const auto row = split_csv(lines[1]);
+  ASSERT_EQ(header.size(), row.size());
+  EXPECT_EQ(row[0], "gcc");
+  EXPECT_EQ(row[1], "w/o CC");
+  EXPECT_GT(std::stoull(row[2]), 0u) << "instructions";
+  std::remove(p.c_str());
+}
+
+TEST_F(ReportTest, WritesMetricUsesWriteNormalization) {
+  const std::string p = path("writes.csv");
+  ASSERT_TRUE(write_rows_csv(p, rows_, kinds_, "writes"));
+  const auto lines = read_lines(p);
+  EXPECT_NEAR(std::stod(split_csv(lines[1])[2]),
+              rows_[0].writes_norm(core::DesignKind::kCcNvm), 1e-5);
+  std::remove(p.c_str());
+}
+
+TEST_F(ReportTest, UnwritablePathFails) {
+  EXPECT_FALSE(write_rows_csv("/nonexistent-dir/x.csv", rows_, kinds_, "ipc"));
+}
+
+}  // namespace
+}  // namespace ccnvm::sim

@@ -1,0 +1,116 @@
+// Figure-shape regression guard: quick timing-mode grids must keep the
+// paper's qualitative results. These are the properties EXPERIMENTS.md
+// reports; if a model change breaks one, this fails before the (slow)
+// benches would show it.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace ccnvm::sim {
+namespace {
+
+ExperimentConfig quick_config() {
+  ExperimentConfig config;
+  config.warmup_refs = 50'000;
+  config.measure_refs = 150'000;
+  return config;
+}
+
+const std::vector<core::DesignKind> kAllKinds = {
+    core::DesignKind::kWoCc, core::DesignKind::kStrict,
+    core::DesignKind::kOsirisPlus, core::DesignKind::kCcNvmNoDs,
+    core::DesignKind::kCcNvm};
+
+class ShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // One shared grid over two representative workloads (one streaming,
+    // one irregular) — this is the expensive part.
+    rows_ = new std::vector<BenchmarkRow>();
+    for (const char* name : {"lbm", "gcc"}) {
+      rows_->push_back(run_benchmark(trace::profile_by_name(name), kAllKinds,
+                                     quick_config()));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete rows_;
+    rows_ = nullptr;
+  }
+
+  static std::vector<BenchmarkRow>* rows_;
+};
+
+std::vector<BenchmarkRow>* ShapeTest::rows_ = nullptr;
+
+TEST_F(ShapeTest, Fig5aOrderingHolds) {
+  for (const BenchmarkRow& row : *rows_) {
+    const double sc = row.ipc_norm(core::DesignKind::kStrict);
+    const double op = row.ipc_norm(core::DesignKind::kOsirisPlus);
+    const double nods = row.ipc_norm(core::DesignKind::kCcNvmNoDs);
+    const double cc = row.ipc_norm(core::DesignKind::kCcNvm);
+    EXPECT_LT(cc, 1.0) << row.benchmark << ": cc-NVM costs something";
+    EXPECT_GT(cc, sc) << row.benchmark;
+    EXPECT_GT(cc, op) << row.benchmark;
+    EXPECT_GT(cc, nods) << row.benchmark;
+    // The three chain-to-root designs cluster (within 10% of each other).
+    EXPECT_NEAR(sc, op, 0.10) << row.benchmark;
+    EXPECT_NEAR(op, nods, 0.10) << row.benchmark;
+  }
+}
+
+TEST_F(ShapeTest, Fig5bOrderingHolds) {
+  for (const BenchmarkRow& row : *rows_) {
+    const double sc = row.writes_norm(core::DesignKind::kStrict);
+    const double op = row.writes_norm(core::DesignKind::kOsirisPlus);
+    const double nods = row.writes_norm(core::DesignKind::kCcNvmNoDs);
+    const double cc = row.writes_norm(core::DesignKind::kCcNvm);
+    EXPECT_GT(sc, 4.0) << row.benchmark << ": SC writes the whole branch";
+    EXPECT_LT(op, 1.2) << row.benchmark << ": Osiris near baseline";
+    EXPECT_GT(cc, op) << row.benchmark << ": locate costs writes";
+    EXPECT_LT(cc, sc / 2) << row.benchmark;
+    EXPECT_NEAR(cc, nods, 0.15) << row.benchmark
+                                << ": DS changes compute, not traffic";
+  }
+}
+
+TEST(ShapeSweepTest, Fig6aMonotoneAndFlattening) {
+  // N sweep on one workload: IPC non-decreasing, writes non-increasing,
+  // and N=32 -> 64 changes almost nothing (the other triggers dominate).
+  const trace::WorkloadProfile p = trace::profile_by_name("milc");
+  const std::vector<core::DesignKind> kinds = {core::DesignKind::kWoCc,
+                                               core::DesignKind::kCcNvm};
+  double prev_ipc = 0.0, prev_writes = 1e18;
+  double ipc32 = 0.0, ipc64 = 0.0;
+  for (std::uint32_t n : {4u, 16u, 32u, 64u}) {
+    ExperimentConfig config = quick_config();
+    config.design.update_limit = n;
+    const BenchmarkRow row = run_benchmark(p, kinds, config);
+    const double ipc = row.ipc_norm(core::DesignKind::kCcNvm);
+    const double writes = row.writes_norm(core::DesignKind::kCcNvm);
+    EXPECT_GE(ipc, prev_ipc - 0.01) << "N=" << n;
+    EXPECT_LE(writes, prev_writes + 0.01) << "N=" << n;
+    prev_ipc = ipc;
+    prev_writes = writes;
+    if (n == 32) ipc32 = ipc;
+    if (n == 64) ipc64 = ipc;
+  }
+  EXPECT_NEAR(ipc32, ipc64, 0.01) << "flattens past N=32 (Fig 6a)";
+}
+
+TEST(ShapeSweepTest, Fig6bMonotone) {
+  const trace::WorkloadProfile p = trace::profile_by_name("milc");
+  const std::vector<core::DesignKind> kinds = {core::DesignKind::kWoCc,
+                                               core::DesignKind::kCcNvm};
+  double prev_ipc = 0.0;
+  for (std::size_t m : {32u, 48u, 64u}) {
+    ExperimentConfig config = quick_config();
+    config.design.daq_entries = m;
+    const BenchmarkRow row = run_benchmark(p, kinds, config);
+    const double ipc = row.ipc_norm(core::DesignKind::kCcNvm);
+    EXPECT_GE(ipc, prev_ipc - 0.01) << "M=" << m;
+    prev_ipc = ipc;
+  }
+}
+
+}  // namespace
+}  // namespace ccnvm::sim

@@ -1,0 +1,63 @@
+// Speculative read verification (PoisonIvy option): latency drops,
+// detection capability does not.
+#include <gtest/gtest.h>
+
+#include "attacks/injector.h"
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+
+namespace ccnvm::core {
+namespace {
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  l[0] = static_cast<std::uint8_t>(tag);
+  return l;
+}
+
+DesignConfig cfg(bool speculative) {
+  DesignConfig c;
+  c.data_capacity = 64 * kPageSize;
+  c.speculative_reads = speculative;
+  return c;
+}
+
+TEST(SpeculationTest, ReadLatencyDrops) {
+  CcNvmDesign plain(cfg(false), true);
+  CcNvmDesign spec(cfg(true), true);
+  plain.write_back(0, pattern_line(1));
+  spec.write_back(0, pattern_line(1));
+  const std::uint64_t lat_plain = plain.read_block(0).latency;
+  const std::uint64_t lat_spec = spec.read_block(0).latency;
+  EXPECT_LT(lat_spec, lat_plain);
+  // Counter-hit case: the saving is exactly the 80-cycle DH check.
+  EXPECT_EQ(lat_plain - lat_spec, plain.config().timing.hmac_latency);
+}
+
+TEST(SpeculationTest, DetectionStillWorks) {
+  CcNvmDesign design(cfg(true), true);
+  design.write_back(0x40, pattern_line(1));
+  Rng rng(1);
+  attacks::spoof_data(design, 0x40, rng);
+  const ReadResult r = design.read_block(0x40);
+  EXPECT_FALSE(r.integrity_ok)
+      << "speculation moves the check off the latency path, not away";
+  EXPECT_EQ(design.stats().runtime_alerts, 1u);
+}
+
+TEST(SpeculationTest, ValuesUnchanged) {
+  CcNvmDesign plain(cfg(false), true);
+  CcNvmDesign spec(cfg(true), true);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Addr a = rng.below(1024) * kLineSize;
+    plain.write_back(a, pattern_line(i));
+    spec.write_back(a, pattern_line(i));
+    ASSERT_EQ(plain.read_block(a).plaintext, spec.read_block(a).plaintext);
+  }
+  EXPECT_EQ(plain.traffic().total_writes(), spec.traffic().total_writes())
+      << "speculation is a read-latency knob only";
+}
+
+}  // namespace
+}  // namespace ccnvm::core

@@ -1,0 +1,161 @@
+// Full-system integration: trace -> L1 -> L2 -> secure NVM, with
+// bit-accurate data cross-checking, plus end-to-end crash/recovery runs
+// through the whole hierarchy.
+#include <gtest/gtest.h>
+
+#include "core/cc_nvm.h"
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+namespace ccnvm::sim {
+namespace {
+
+SystemConfig functional_config(core::DesignKind kind) {
+  SystemConfig cfg;
+  cfg.kind = kind;
+  cfg.design.data_capacity = 256 * kPageSize;  // 1 MiB
+  cfg.design.functional = true;
+  cfg.l1 = {.size_bytes = 4ull << 10, .ways = 2};
+  cfg.l2 = {.size_bytes = 16ull << 10, .ways = 4};
+  return cfg;
+}
+
+trace::WorkloadProfile tiny_profile() {
+  trace::WorkloadProfile p;
+  p.name = "tiny";
+  p.working_set_bytes = 256 * kPageSize;
+  p.write_fraction = 0.4;
+  p.seq_prob = 0.5;
+  p.hot_prob = 0.7;
+  p.hot_fraction = 0.1;
+  p.mean_gap = 3.0;
+  return p;
+}
+
+class SystemTest : public ::testing::TestWithParam<core::DesignKind> {};
+
+TEST_P(SystemTest, FunctionalRunCrossChecksData) {
+  // System::step CHECK-fails if any decrypted value diverges, so merely
+  // completing the run is the assertion; verify the stats add up too.
+  System system(functional_config(GetParam()));
+  trace::TraceGenerator gen(tiny_profile(), 77);
+  system.run(gen, 30000);
+  const SimResult r = system.result();
+  EXPECT_GT(r.instructions, 30000u);
+  EXPECT_GT(r.cycles, r.instructions / 4);
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_GT(r.design_stats.write_backs, 0u) << "workload must evict";
+  EXPECT_GT(r.nvm_writes, 0u);
+}
+
+TEST_P(SystemTest, WarmupResetKeepsStateDropsCounters) {
+  System system(functional_config(GetParam()));
+  trace::TraceGenerator gen(tiny_profile(), 77);
+  system.run(gen, 5000);
+  system.reset_measurement();
+  EXPECT_EQ(system.result().instructions, 0u);
+  system.run(gen, 5000);
+  EXPECT_GT(system.result().instructions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, SystemTest,
+                         ::testing::Values(core::DesignKind::kWoCc,
+                                           core::DesignKind::kStrict,
+                                           core::DesignKind::kOsirisPlus,
+                                           core::DesignKind::kCcNvmNoDs,
+                                           core::DesignKind::kCcNvm),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case core::DesignKind::kWoCc: return "WoCc";
+                             case core::DesignKind::kStrict: return "SC";
+                             case core::DesignKind::kOsirisPlus:
+                               return "OsirisPlus";
+                             case core::DesignKind::kCcNvmNoDs:
+                               return "CcNvmNoDs";
+                             case core::DesignKind::kCcNvm: return "CcNvm";
+                           }
+                           return "unknown";
+                         });
+
+TEST(SystemIntegrationTest, CrashRecoveryThroughTheFullHierarchy) {
+  SystemConfig cfg = functional_config(core::DesignKind::kCcNvm);
+  System system(cfg);
+  trace::TraceGenerator gen(tiny_profile(), 123);
+  system.run(gen, 20000);
+
+  // Power fails mid-run; NVM must recover and keep serving.
+  system.design().crash_power_loss();
+  const core::RecoveryReport report = system.design().recover();
+  ASSERT_TRUE(report.clean) << report.detail;
+
+  // Caution: L1/L2 also lost their (volatile) contents at the crash. A
+  // fresh system over the same NVM image models the reboot.
+  // Here we simply keep driving the recovered design directly.
+  auto& design = system.design();
+  design.write_back(0, Line{});
+  EXPECT_TRUE(design.read_block(0).integrity_ok);
+}
+
+TEST(SystemIntegrationTest, IpcOrderingAcrossDesigns) {
+  // Normalized performance ordering of Figure 5(a): w/o CC fastest; SC,
+  // Osiris Plus and cc-NVM w/o DS at the bottom; cc-NVM in between. The
+  // separation needs the deep-tree machine, so this runs the paper
+  // geometry in timing mode (functional runs use a tree too shallow for
+  // the chain-to-root cost to matter).
+  std::map<core::DesignKind, double> ipc;
+  for (core::DesignKind kind :
+       {core::DesignKind::kWoCc, core::DesignKind::kStrict,
+        core::DesignKind::kOsirisPlus, core::DesignKind::kCcNvmNoDs,
+        core::DesignKind::kCcNvm}) {
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.design.data_capacity = 16ull << 30;
+    cfg.design.functional = false;
+    System system(cfg);
+    trace::TraceGenerator gen(trace::profile_by_name("milc"), 2024);
+    system.run(gen, 150000);
+    ipc[kind] = system.result().ipc;
+  }
+  EXPECT_GT(ipc[core::DesignKind::kWoCc], ipc[core::DesignKind::kCcNvm]);
+  EXPECT_GT(ipc[core::DesignKind::kCcNvm], ipc[core::DesignKind::kStrict]);
+  EXPECT_GT(ipc[core::DesignKind::kCcNvm],
+            ipc[core::DesignKind::kCcNvmNoDs]);
+}
+
+TEST(SystemIntegrationTest, TimingModeMatchesFunctionalControlFlow) {
+  // Timing-only mode must reproduce the same architectural event counts
+  // (write-backs, drains, cache behaviour) as the functional engine — it
+  // only skips the crypto values.
+  for (core::DesignKind kind :
+       {core::DesignKind::kStrict, core::DesignKind::kCcNvm}) {
+    SystemConfig f = functional_config(kind);
+    SystemConfig t = f;
+    t.design.functional = false;
+    System fs(f), ts(t);
+    trace::TraceGenerator g1(tiny_profile(), 5), g2(tiny_profile(), 5);
+    fs.run(g1, 20000);
+    ts.run(g2, 20000);
+    const SimResult fr = fs.result(), tr = ts.result();
+    EXPECT_EQ(fr.design_stats.write_backs, tr.design_stats.write_backs);
+    EXPECT_EQ(fr.design_stats.drains, tr.design_stats.drains);
+    EXPECT_EQ(fr.nvm_writes, tr.nvm_writes);
+    EXPECT_EQ(fr.cycles, tr.cycles)
+        << core::design_name(kind) << ": timing must be value-independent";
+  }
+}
+
+TEST(ExperimentTest, NormalizationBaseIsOne) {
+  ExperimentConfig cfg;
+  cfg.warmup_refs = 2000;
+  cfg.measure_refs = 10000;
+  cfg.design.data_capacity = 64ull << 20;
+  const trace::WorkloadProfile p = trace::profile_by_name("gcc");
+  const BenchmarkRow row = run_benchmark(
+      p, {core::DesignKind::kWoCc, core::DesignKind::kCcNvm}, cfg);
+  EXPECT_DOUBLE_EQ(row.ipc_norm(core::DesignKind::kWoCc), 1.0);
+  EXPECT_DOUBLE_EQ(row.writes_norm(core::DesignKind::kWoCc), 1.0);
+  EXPECT_GT(row.ipc_norm(core::DesignKind::kCcNvm), 0.0);
+}
+
+}  // namespace
+}  // namespace ccnvm::sim

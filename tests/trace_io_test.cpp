@@ -1,0 +1,92 @@
+// Trace serialization: binary round trips, format robustness, replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_io.h"
+
+namespace ccnvm::trace {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const std::string path = temp_path("roundtrip.trc");
+  TraceGenerator gen(profile_by_name("gcc"), 9);
+  const std::vector<MemRef> refs = gen.take(5000);
+  ASSERT_TRUE(save_trace(path, refs));
+
+  bool ok = false;
+  const std::vector<MemRef> loaded = load_trace(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    ASSERT_EQ(loaded[i].addr, refs[i].addr);
+    ASSERT_EQ(loaded[i].is_write, refs[i].is_write);
+    ASSERT_EQ(loaded[i].gap_instrs, refs[i].gap_instrs);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  const std::string path = temp_path("empty.trc");
+  ASSERT_TRUE(save_trace(path, {}));
+  bool ok = false;
+  EXPECT_TRUE(load_trace(path, &ok).empty());
+  EXPECT_TRUE(ok);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  bool ok = true;
+  EXPECT_TRUE(load_trace(temp_path("does-not-exist.trc"), &ok).empty());
+  EXPECT_FALSE(ok);
+}
+
+TEST(TraceIoTest, CorruptMagicRejected) {
+  const std::string path = temp_path("corrupt.trc");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char garbage[32] = "NOTATRACEFILE";
+    std::fwrite(garbage, sizeof(garbage), 1, f);
+    std::fclose(f);
+  }
+  bool ok = true;
+  EXPECT_TRUE(load_trace(path, &ok).empty());
+  EXPECT_FALSE(ok);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TruncatedFileRejected) {
+  const std::string path = temp_path("truncated.trc");
+  TraceGenerator gen(profile_by_name("gcc"), 9);
+  ASSERT_TRUE(save_trace(path, gen.take(100)));
+  // Chop the last record in half.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(0, truncate(path.c_str(), size - 5));
+  }
+  bool ok = true;
+  EXPECT_TRUE(load_trace(path, &ok).empty());
+  EXPECT_FALSE(ok);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, ReplaySourceWrapsAround) {
+  std::vector<MemRef> refs = {{0x0, true, 1}, {0x40, false, 2}};
+  ReplaySource src(refs);
+  EXPECT_EQ(src.next().addr, 0x0u);
+  EXPECT_EQ(src.next().addr, 0x40u);
+  EXPECT_EQ(src.next().addr, 0x0u) << "wraps at the end";
+}
+
+}  // namespace
+}  // namespace ccnvm::trace

@@ -1,0 +1,120 @@
+// Tests pinning the synthetic workload generators' statistical behaviour.
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace ccnvm::trace {
+namespace {
+
+TEST(TraceTest, Deterministic) {
+  const WorkloadProfile p = profile_by_name("gcc");
+  TraceGenerator a(p, 42), b(p, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const MemRef ra = a.next(), rb = b.next();
+    ASSERT_EQ(ra.addr, rb.addr);
+    ASSERT_EQ(ra.is_write, rb.is_write);
+    ASSERT_EQ(ra.gap_instrs, rb.gap_instrs);
+  }
+}
+
+TEST(TraceTest, SeedsDiffer) {
+  const WorkloadProfile p = profile_by_name("gcc");
+  TraceGenerator a(p, 1), b(p, 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next().addr == b.next().addr) ++same;
+  }
+  EXPECT_LT(same, 900) << "different seeds should give different streams";
+}
+
+TEST(TraceTest, AddressesLineAlignedAndInWorkingSet) {
+  const WorkloadProfile p = profile_by_name("lbm");
+  TraceGenerator gen(p, 7);
+  for (const MemRef& r : gen.take(10000)) {
+    EXPECT_EQ(r.addr % kLineSize, 0u);
+    EXPECT_LT(r.addr, p.working_set_bytes);
+  }
+}
+
+TEST(TraceTest, EightPaperBenchmarks) {
+  const auto profiles = spec2006_profiles();
+  ASSERT_EQ(profiles.size(), 8u);
+  const char* expect[] = {"leslie3d", "libquantum", "gcc",  "lbm",
+                          "soplex",   "hmmer",      "milc", "namd"};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(profiles[i].name, expect[i]);
+}
+
+// Parameterized over every profile: measured statistics must track the
+// profile's parameters.
+class ProfileStatsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfileStatsTest, WriteFractionMatches) {
+  const WorkloadProfile p = profile_by_name(GetParam());
+  TraceGenerator gen(p, 123);
+  const TraceStats s = analyze(gen.take(50000));
+  EXPECT_NEAR(s.write_fraction(), p.write_fraction, 0.02);
+}
+
+TEST_P(ProfileStatsTest, MeanGapMatches) {
+  const WorkloadProfile p = profile_by_name(GetParam());
+  TraceGenerator gen(p, 123);
+  const TraceStats s = analyze(gen.take(50000));
+  const double mean_gap =
+      static_cast<double>(s.instructions) / static_cast<double>(s.refs) - 1.0;
+  EXPECT_NEAR(mean_gap, p.mean_gap, 0.15 * p.mean_gap + 0.1);
+}
+
+TEST_P(ProfileStatsTest, FootprintGrowsWithStream) {
+  const WorkloadProfile p = profile_by_name(GetParam());
+  TraceGenerator gen(p, 9);
+  const TraceStats s10k = analyze(gen.take(10000));
+  TraceGenerator gen2(p, 9);
+  const TraceStats s50k = analyze(gen2.take(50000));
+  EXPECT_GT(s50k.distinct_lines, s10k.distinct_lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileStatsTest,
+                         ::testing::Values("leslie3d", "libquantum", "gcc",
+                                           "lbm", "soplex", "hmmer", "milc",
+                                           "namd"));
+
+TEST(TraceTest, StreamingProfileHasSequentialRuns) {
+  // Consecutive references mostly dwell on a line (touches_per_line);
+  // when the line *changes*, a streaming profile advances sequentially.
+  const WorkloadProfile p = profile_by_name("libquantum");
+  TraceGenerator gen(p, 3);
+  auto refs = gen.take(50000);
+  int changes = 0, sequential = 0;
+  for (std::size_t i = 1; i < refs.size(); ++i) {
+    if (refs[i].addr == refs[i - 1].addr) continue;
+    ++changes;
+    if (refs[i].addr == refs[i - 1].addr + kLineSize) ++sequential;
+  }
+  ASSERT_GT(changes, 1000);
+  EXPECT_GT(static_cast<double>(sequential) / changes, 0.9)
+      << "libquantum is a streaming benchmark";
+}
+
+TEST(TraceTest, MultiTouchDwellsOnLines) {
+  const WorkloadProfile p = profile_by_name("lbm");  // touches_per_line = 8
+  TraceGenerator gen(p, 3);
+  auto refs = gen.take(50000);
+  int same = 0;
+  for (std::size_t i = 1; i < refs.size(); ++i) {
+    same += refs[i].addr == refs[i - 1].addr ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(same) / refs.size(), 7.0 / 8.0, 0.02);
+}
+
+TEST(TraceTest, CacheResidentProfileHasSmallFootprint) {
+  const WorkloadProfile hmmer = profile_by_name("hmmer");
+  const WorkloadProfile lbm = profile_by_name("lbm");
+  TraceGenerator g1(hmmer, 5), g2(lbm, 5);
+  const auto s1 = analyze(g1.take(200000));
+  const auto s2 = analyze(g2.take(200000));
+  EXPECT_LT(s1.distinct_lines * 2, s2.distinct_lines)
+      << "hmmer's footprint must be much smaller than lbm's";
+}
+
+}  // namespace
+}  // namespace ccnvm::trace

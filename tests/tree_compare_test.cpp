@@ -1,0 +1,69 @@
+// Tree-geometry comparisons (§2.2/§2.3 statements as invariants).
+#include <gtest/gtest.h>
+
+#include "nvm/layout.h"
+#include "secure/tree_compare.h"
+
+namespace ccnvm::secure {
+namespace {
+
+TEST(TreeCompareTest, PaperTwelveLayersAt16GB) {
+  const TreeGeometry b = bonsai_geometry(16ull << 30);
+  EXPECT_EQ(b.depth + 1, 13u - 1)  // 12 levels counting leaves and root
+      << "the paper's '12 layers for a 16 GB NVM'";
+  EXPECT_EQ(b.serial_updates_to_root(), 11u);
+}
+
+TEST(TreeCompareTest, BonsaiIsShallowerByLog4Of64) {
+  // 64 blocks per page -> 64x fewer leaves -> exactly 3 fewer 4-ary
+  // levels at every capacity.
+  for (std::uint64_t cap : {1ull << 20, 1ull << 26, 1ull << 30, 16ull << 30}) {
+    const TreeGeometry b = bonsai_geometry(cap);
+    const TreeGeometry t = traditional_geometry(cap);
+    EXPECT_EQ(b.depth + 3, t.depth) << "capacity " << cap;
+  }
+}
+
+TEST(TreeCompareTest, BonsaiHasLowerMetadataOverhead) {
+  for (std::uint64_t cap : {1ull << 20, 1ull << 30, 16ull << 30}) {
+    const TreeGeometry b = bonsai_geometry(cap);
+    const TreeGeometry t = traditional_geometry(cap);
+    EXPECT_LT(b.metadata_overhead(), t.metadata_overhead())
+        << "capacity " << cap;
+  }
+}
+
+TEST(TreeCompareTest, OverheadBreakdown) {
+  // Bonsai: 16 B DH per 64 B block = 25%, plus interior nodes ~0.5%.
+  const TreeGeometry b = bonsai_geometry(1ull << 30);
+  EXPECT_NEAR(b.metadata_overhead(), 0.2552, 0.001);
+  // Traditional: interior nodes sum to ~1/3 of leaf bytes (4-ary).
+  const TreeGeometry t = traditional_geometry(1ull << 30);
+  EXPECT_NEAR(t.metadata_overhead(), 1.0 / 3.0, 0.001);
+}
+
+TEST(TreeCompareTest, MatchesNvmLayoutGeometry) {
+  // The analytical geometry must agree with the layout used by the
+  // functional engine (same leaves, same root level).
+  for (std::uint64_t cap : {1ull << 20, 16ull << 20, 16ull << 30}) {
+    const nvm::NvmLayout layout(cap);
+    const TreeGeometry b = bonsai_geometry(cap);
+    EXPECT_EQ(b.leaves, layout.num_pages());
+    EXPECT_EQ(b.depth, layout.root_level());
+    std::uint64_t layout_internal = 0;
+    for (std::uint32_t lv = 1; lv < layout.root_level(); ++lv) {
+      layout_internal += layout.nodes_at_level(lv);
+    }
+    EXPECT_EQ(b.interior_nodes, layout_internal);
+  }
+}
+
+TEST(TreeCompareTest, TinyCapacityEdgeCases) {
+  const TreeGeometry one_page = bonsai_geometry(kPageSize);
+  EXPECT_EQ(one_page.leaves, 1u);
+  EXPECT_EQ(one_page.depth, 1u);
+  EXPECT_EQ(one_page.interior_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace ccnvm::secure

@@ -1,0 +1,184 @@
+// ccnvm — command-line driver for the cc-NVM simulator.
+//
+//   ccnvm list                          workloads and designs
+//   ccnvm geometry <MiB>                layout/tree geometry for a capacity
+//   ccnvm run <workload> <design> [refs]   one timing simulation
+//   ccnvm compare <workload> [refs]        all designs, normalized table
+//   ccnvm demo recovery                 functional crash+recover walkthrough
+//   ccnvm demo attack                   post-crash attack locating demo
+//
+// Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "attacks/injector.h"
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+#include "nvm/layout.h"
+#include "secure/tree_compare.h"
+#include "sim/experiment.h"
+
+using namespace ccnvm;
+
+namespace {
+
+std::optional<core::DesignKind> parse_design(const std::string& name) {
+  if (name == "wocc") return core::DesignKind::kWoCc;
+  if (name == "sc") return core::DesignKind::kStrict;
+  if (name == "osiris") return core::DesignKind::kOsirisPlus;
+  if (name == "ccnvm-nods") return core::DesignKind::kCcNvmNoDs;
+  if (name == "ccnvm") return core::DesignKind::kCcNvm;
+  if (name == "ccnvm-plus") return core::DesignKind::kCcNvmPlus;
+  return std::nullopt;
+}
+
+int cmd_list() {
+  std::printf("workloads:");
+  for (const auto& p : trace::spec2006_profiles()) {
+    std::printf(" %s", p.name.c_str());
+  }
+  std::printf("\ndesigns:   wocc sc osiris ccnvm-nods ccnvm ccnvm-plus\n");
+  return 0;
+}
+
+int cmd_geometry(std::uint64_t mib) {
+  const std::uint64_t cap = mib << 20;
+  const nvm::NvmLayout layout(cap);
+  const secure::TreeGeometry g = secure::bonsai_geometry(cap);
+  std::printf("capacity:          %llu MiB\n",
+              static_cast<unsigned long long>(mib));
+  std::printf("pages / counters:  %llu\n",
+              static_cast<unsigned long long>(layout.num_pages()));
+  std::printf("tree levels:       %u (root on chip)\n", layout.tree_levels());
+  std::printf("interior nodes:    %llu (%llu KiB in NVM)\n",
+              static_cast<unsigned long long>(g.interior_nodes),
+              static_cast<unsigned long long>(g.interior_bytes() >> 10));
+  std::printf("metadata overhead: %.2f%% (incl. 25%% data HMACs)\n",
+              100.0 * g.metadata_overhead());
+  std::printf("total footprint:   %llu MiB\n",
+              static_cast<unsigned long long>(layout.total_bytes() >> 20));
+  return 0;
+}
+
+int cmd_run(const std::string& workload, const std::string& design,
+            std::uint64_t refs) {
+  const auto kind = parse_design(design);
+  if (!kind) {
+    std::fprintf(stderr, "unknown design '%s'\n", design.c_str());
+    return 2;
+  }
+  sim::SystemConfig cfg;
+  cfg.kind = *kind;
+  cfg.design.data_capacity = 16ull << 30;
+  cfg.design.functional = false;
+  sim::System system(cfg);
+  trace::TraceGenerator gen(trace::profile_by_name(workload), 2019);
+  system.run(gen, refs / 5);  // warm up
+  system.reset_measurement();
+  system.run(gen, refs);
+  const sim::SimResult r = system.result();
+  std::printf("%s on %s: %llu refs\n", r.name.c_str(), workload.c_str(),
+              static_cast<unsigned long long>(refs));
+  std::printf("  IPC                 %.4f\n", r.ipc);
+  std::printf("  NVM writes          %llu (data %llu, DH %llu, counters "
+              "%llu, MT %llu)\n",
+              static_cast<unsigned long long>(r.nvm_writes),
+              static_cast<unsigned long long>(r.traffic.data_writes),
+              static_cast<unsigned long long>(r.traffic.dh_writes),
+              static_cast<unsigned long long>(r.traffic.counter_writes),
+              static_cast<unsigned long long>(r.traffic.mt_writes));
+  std::printf("  write-backs         %llu  drains %llu\n",
+              static_cast<unsigned long long>(r.design_stats.write_backs),
+              static_cast<unsigned long long>(r.design_stats.drains));
+  std::printf("  L2 hit rate         %.1f%%   meta cache %.1f%%\n",
+              100.0 * r.l2_stats.hit_rate(), 100.0 * r.meta_stats.hit_rate());
+  return 0;
+}
+
+int cmd_compare(const std::string& workload, std::uint64_t refs) {
+  sim::ExperimentConfig config;
+  config.measure_refs = refs;
+  config.warmup_refs = refs / 5;
+  const std::vector<core::DesignKind> kinds = {
+      core::DesignKind::kWoCc, core::DesignKind::kStrict,
+      core::DesignKind::kOsirisPlus, core::DesignKind::kCcNvmNoDs,
+      core::DesignKind::kCcNvm};
+  const sim::BenchmarkRow row = sim::run_benchmark(
+      trace::profile_by_name(workload), kinds, config);
+  std::printf("%-14s %10s %10s\n", "design", "IPC", "writes");
+  for (const sim::DesignRun& run : row.runs) {
+    std::printf("%-14s %10.3f %10.3f\n", run.result.name.c_str(),
+                row.ipc_norm(run.kind), row.writes_norm(run.kind));
+  }
+  return 0;
+}
+
+int cmd_demo(const std::string& which) {
+  core::DesignConfig cfg;
+  cfg.data_capacity = 64 * kPageSize;
+  if (which == "recovery") {
+    core::CcNvmDesign nvm(cfg, true);
+    Line v{};
+    v[0] = 42;
+    nvm.write_back(0, v);
+    nvm.crash_power_loss();
+    const auto report = nvm.recover();
+    std::printf("crash mid-epoch -> %s; data[0]=%d\n", report.detail.c_str(),
+                nvm.read_block(0).plaintext[0]);
+    return 0;
+  }
+  if (which == "attack") {
+    core::CcNvmDesign nvm(cfg, true);
+    Line v{};
+    for (int i = 0; i < 8; ++i) {
+      v[0] = static_cast<std::uint8_t>(i);
+      nvm.write_back(static_cast<Addr>(i) * kLineSize, v);
+    }
+    nvm.quiesce();
+    nvm.crash_power_loss();
+    Rng rng(1);
+    attacks::spoof_data(nvm, 3 * kLineSize, rng);
+    const auto report = nvm.recover();
+    std::printf("spoofed block 3 across a crash -> detected=%d located=%d",
+                report.attack_detected, report.attack_located);
+    if (!report.tampered_blocks.empty()) {
+      std::printf(" at %s", addr_str(report.tampered_blocks[0]).c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown demo '%s' (recovery|attack)\n", which.c_str());
+  return 2;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ccnvm list\n"
+               "       ccnvm geometry <MiB>\n"
+               "       ccnvm run <workload> <design> [refs=300000]\n"
+               "       ccnvm compare <workload> [refs=300000]\n"
+               "       ccnvm demo <recovery|attack>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "geometry" && argc >= 3) {
+    return cmd_geometry(std::stoull(argv[2]));
+  }
+  if (cmd == "run" && argc >= 4) {
+    return cmd_run(argv[2], argv[3],
+                   argc >= 5 ? std::stoull(argv[4]) : 300000);
+  }
+  if (cmd == "compare" && argc >= 3) {
+    return cmd_compare(argv[2], argc >= 4 ? std::stoull(argv[3]) : 300000);
+  }
+  if (cmd == "demo" && argc >= 3) return cmd_demo(argv[2]);
+  return usage();
+}

@@ -1,0 +1,103 @@
+// trace_tool — generate, inspect and convert reference traces.
+//
+//   trace_tool gen <workload> <refs> <out.trc> [seed]   synthesize + save
+//   trace_tool stats <in.trc>                           summary statistics
+//   trace_tool head <in.trc> [n]                        print first n refs
+//
+// Saved traces replay bit-identically through sim::System::run_source —
+// see src/trace/trace_io.h for the format.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "trace/trace_io.h"
+
+using namespace ccnvm;
+
+namespace {
+
+int cmd_gen(const std::string& workload, std::uint64_t refs,
+            const std::string& out, std::uint64_t seed) {
+  trace::TraceGenerator gen(trace::profile_by_name(workload), seed);
+  const std::vector<trace::MemRef> trace = gen.take(refs);
+  if (!trace::save_trace(out, trace)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %llu refs to %s\n",
+              static_cast<unsigned long long>(trace.size()), out.c_str());
+  return 0;
+}
+
+int cmd_stats(const std::string& in) {
+  bool ok = false;
+  const std::vector<trace::MemRef> refs = trace::load_trace(in, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", in.c_str());
+    return 1;
+  }
+  const trace::TraceStats s = trace::analyze(refs);
+  std::unordered_map<Addr, std::uint64_t> page_counts;
+  for (const trace::MemRef& r : refs) ++page_counts[page_base(r.addr)];
+  std::uint64_t hottest_page = 0;
+  for (const auto& [page, count] : page_counts) {
+    hottest_page = std::max(hottest_page, count);
+  }
+  std::printf("refs:            %llu\n",
+              static_cast<unsigned long long>(s.refs));
+  std::printf("instructions:    %llu (mean gap %.2f)\n",
+              static_cast<unsigned long long>(s.instructions),
+              s.refs ? static_cast<double>(s.instructions) /
+                               static_cast<double>(s.refs) -
+                           1.0
+                     : 0.0);
+  std::printf("write fraction:  %.3f\n", s.write_fraction());
+  std::printf("distinct lines:  %llu (%llu KiB footprint)\n",
+              static_cast<unsigned long long>(s.distinct_lines),
+              static_cast<unsigned long long>(s.distinct_lines * kLineSize >>
+                                              10));
+  std::printf("distinct pages:  %zu (hottest page: %llu refs)\n",
+              page_counts.size(),
+              static_cast<unsigned long long>(hottest_page));
+  return 0;
+}
+
+int cmd_head(const std::string& in, std::uint64_t n) {
+  bool ok = false;
+  const std::vector<trace::MemRef> refs = trace::load_trace(in, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", in.c_str());
+    return 1;
+  }
+  for (std::uint64_t i = 0; i < n && i < refs.size(); ++i) {
+    std::printf("%8llu  %s %-6s gap=%u\n",
+                static_cast<unsigned long long>(i),
+                addr_str(refs[i].addr).c_str(),
+                refs[i].is_write ? "store" : "load", refs[i].gap_instrs);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_tool gen <workload> <refs> <out.trc> [seed]\n"
+               "       trace_tool stats <in.trc>\n"
+               "       trace_tool head <in.trc> [n=20]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen" && argc >= 5) {
+    return cmd_gen(argv[2], std::stoull(argv[3]), argv[4],
+                   argc >= 6 ? std::stoull(argv[5]) : 2019);
+  }
+  if (cmd == "stats" && argc >= 3) return cmd_stats(argv[2]);
+  if (cmd == "head" && argc >= 3) {
+    return cmd_head(argv[2], argc >= 4 ? std::stoull(argv[3]) : 20);
+  }
+  return usage();
+}
