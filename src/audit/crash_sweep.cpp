@@ -1,0 +1,230 @@
+#include "audit/crash_sweep.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "audit/invariant_auditor.h"
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+#include "core/design.h"
+
+namespace ccnvm::audit {
+namespace {
+
+constexpr std::uint64_t kPages = 64;
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag * 131 + i);
+  }
+  return l;
+}
+
+/// Geometry shaped so `trigger` is the drain trigger the workload hits:
+/// a DAQ too small for many distinct pages, a Meta Cache too small to
+/// hold the working set, an update limit a hammered line exceeds fast, or
+/// roomy everything so only explicit drains fire.
+core::DesignConfig sweep_config(core::DrainTrigger trigger) {
+  core::DesignConfig cfg;
+  cfg.data_capacity = kPages * kPageSize;
+  cfg.update_limit = 1u << 20;  // keep trigger (3) quiet by default
+  switch (trigger) {
+    case core::DrainTrigger::kDaqPressure:
+      cfg.daq_entries = 12;  // three distinct pages' reservations
+      break;
+    case core::DrainTrigger::kDirtyEviction:
+      cfg.meta_cache_bytes = 8 * kLineSize;
+      cfg.meta_cache_ways = 2;
+      break;
+    case core::DrainTrigger::kUpdateLimit:
+      cfg.update_limit = 4;
+      break;
+    case core::DrainTrigger::kExplicit:
+      break;
+  }
+  return cfg;
+}
+
+Addr sweep_addr(core::DrainTrigger trigger, std::size_t i, Rng& rng) {
+  switch (trigger) {
+    case core::DrainTrigger::kDaqPressure:
+    case core::DrainTrigger::kDirtyEviction:
+      // Distinct pages: each write-back reserves a fresh counter + path.
+      return (i % kPages) * kPageSize + (rng.below(kPageSize / kLineSize)) *
+                                            kLineSize;
+    case core::DrainTrigger::kUpdateLimit:
+      // Hammer one line past N, with a second line for post-crash
+      // verification fodder.
+      return (i % 5 == 4) ? kPageSize + kLineSize : 0;
+    case core::DrainTrigger::kExplicit:
+      return rng.below(kPages * kPageSize / kLineSize) * kLineSize;
+  }
+  return 0;
+}
+
+struct SweepTotals {
+  CrashSweepResult result;
+  void absorb(const InvariantAuditor& auditor) {
+    result.events_observed += auditor.events_observed();
+    result.checks_performed += auditor.checks_performed();
+    result.image_verifications += auditor.image_verifications();
+  }
+};
+
+void verify_acknowledged(core::SecureNvmDesign& design,
+                         const std::unordered_map<Addr, std::uint64_t>& latest,
+                         SweepTotals& totals) {
+  for (const auto& [addr, tag] : latest) {
+    const core::ReadResult r = design.read_block(addr);
+    CCNVM_CHECK_MSG(r.integrity_ok,
+                    "crash sweep: acknowledged write failed integrity");
+    CCNVM_CHECK_MSG(r.plaintext == pattern_line(tag),
+                    "crash sweep: acknowledged write lost after recovery");
+    ++totals.result.writes_verified;
+  }
+}
+
+void run_cc_scenario(const CrashSweepConfig& config, core::DesignKind kind,
+                     core::DrainTrigger trigger, core::DrainCrashPoint point,
+                     SweepTotals& totals) {
+  ++totals.result.scenarios;
+  auto design = core::make_design(kind, sweep_config(trigger));
+  auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
+  auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
+  CCNVM_CHECK_MSG(base != nullptr && cc != nullptr,
+                  "cc sweep needs a CcNvmDesign");
+  InvariantAuditor auditor(
+      InvariantAuditor::Options{.verify_image = config.verify_image});
+  auditor.attach(*base);
+
+  Rng rng(config.seed * 1000003 +
+          static_cast<std::uint64_t>(kind) * 101 +
+          static_cast<std::uint64_t>(trigger) * 11 +
+          static_cast<std::uint64_t>(point));
+  std::unordered_map<Addr, std::uint64_t> latest;
+  const bool armed =
+      point != core::DrainCrashPoint::kNone &&
+      trigger != core::DrainTrigger::kExplicit;
+  if (armed) cc->arm_drain_crash(point);
+
+  bool crashed = false;
+  std::uint64_t tag = 0;
+  for (std::size_t i = 0; i < config.ops_per_scenario && !crashed; ++i) {
+    const Addr a = line_base(sweep_addr(trigger, i, rng));
+    try {
+      design->write_back(a, pattern_line(++tag));
+      latest[a] = tag;
+    } catch (const core::InjectedPowerLoss&) {
+      // Power died inside this write-back's drain: the write was never
+      // acknowledged, so its value is allowed to be old or new — drop it
+      // from the must-survive set.
+      latest.erase(a);
+      crashed = true;
+    }
+  }
+
+  if (trigger == core::DrainTrigger::kExplicit) {
+    if (point == core::DrainCrashPoint::kNone) {
+      cc->force_drain();
+    } else {
+      cc->arm_drain_crash(point);
+      try {
+        cc->force_drain();
+      } catch (const core::InjectedPowerLoss&) {
+        crashed = true;
+      }
+    }
+  }
+  if (point != core::DrainCrashPoint::kNone) {
+    CCNVM_CHECK_MSG(crashed, "sweep workload never reached the armed drain");
+  }
+  CCNVM_CHECK_MSG(
+      design->stats()
+              .drains_by_trigger[static_cast<std::size_t>(trigger)] >= 1,
+      "sweep workload never fired its target drain trigger");
+
+  design->crash_power_loss();  // auditor: image vs ROOT_old/ROOT_new
+  ++totals.result.crashes;
+  const core::RecoveryReport report = design->recover();
+  CCNVM_CHECK_MSG(report.clean, "crash sweep: cc recovery not clean");
+  ++totals.result.recoveries;
+  verify_acknowledged(*design, latest, totals);
+  totals.absorb(auditor);
+}
+
+void run_non_cc_scenario(const CrashSweepConfig& config, core::DesignKind kind,
+                         std::size_t crash_after, SweepTotals& totals) {
+  ++totals.result.scenarios;
+  core::DesignConfig cfg;
+  cfg.data_capacity = kPages * kPageSize;
+  cfg.meta_cache_bytes = 16 * kLineSize;  // eviction traffic for the audit
+  cfg.meta_cache_ways = 4;
+  auto design = core::make_design(kind, cfg);
+  auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
+  CCNVM_CHECK_MSG(base != nullptr, "non-cc sweep needs a SecureNvmBase");
+  InvariantAuditor auditor(
+      InvariantAuditor::Options{.verify_image = config.verify_image});
+  auditor.attach(*base);
+
+  Rng rng(config.seed * 7919 + static_cast<std::uint64_t>(kind) * 31 +
+          crash_after);
+  std::unordered_map<Addr, std::uint64_t> latest;
+  for (std::size_t i = 0; i < crash_after; ++i) {
+    const Addr a =
+        line_base(rng.below(kPages * kPageSize / kLineSize) * kLineSize);
+    design->write_back(a, pattern_line(i + 1));
+    latest[a] = i + 1;
+  }
+  design->crash_power_loss();
+  ++totals.result.crashes;
+  const core::RecoveryReport report = design->recover();
+  if (kind == core::DesignKind::kWoCc) {
+    // w/o CC is the paper's foil: its recovery is *supposed* to fail.
+    CCNVM_CHECK_MSG(report.unrecoverable,
+                    "w/o CC unexpectedly recovered after a crash");
+  } else {
+    CCNVM_CHECK_MSG(report.clean, "crash sweep: recovery not clean");
+    ++totals.result.recoveries;
+    verify_acknowledged(*design, latest, totals);
+  }
+  totals.absorb(auditor);
+}
+
+}  // namespace
+
+CrashSweepResult run_crash_sweep(const CrashSweepConfig& config) {
+  SweepTotals totals;
+
+  constexpr core::DesignKind kCcKinds[] = {core::DesignKind::kCcNvmNoDs,
+                                           core::DesignKind::kCcNvm,
+                                           core::DesignKind::kCcNvmPlus};
+  constexpr core::DrainTrigger kTriggers[] = {
+      core::DrainTrigger::kDaqPressure, core::DrainTrigger::kDirtyEviction,
+      core::DrainTrigger::kUpdateLimit, core::DrainTrigger::kExplicit};
+  constexpr core::DrainCrashPoint kPoints[] = {
+      core::DrainCrashPoint::kNone, core::DrainCrashPoint::kMidBatch,
+      core::DrainCrashPoint::kAfterBatchBeforeEnd,
+      core::DrainCrashPoint::kAfterEndBeforeCommit};
+
+  for (core::DesignKind kind : kCcKinds) {
+    for (core::DrainTrigger trigger : kTriggers) {
+      for (core::DrainCrashPoint point : kPoints) {
+        run_cc_scenario(config, kind, trigger, point, totals);
+      }
+    }
+  }
+
+  constexpr core::DesignKind kOtherKinds[] = {core::DesignKind::kWoCc,
+                                              core::DesignKind::kStrict,
+                                              core::DesignKind::kOsirisPlus};
+  for (core::DesignKind kind : kOtherKinds) {
+    for (std::size_t crash_after = 0; crash_after <= 24; crash_after += 4) {
+      run_non_cc_scenario(config, kind, crash_after, totals);
+    }
+  }
+  return totals.result;
+}
+
+}  // namespace ccnvm::audit

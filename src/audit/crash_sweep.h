@@ -1,0 +1,43 @@
+// Audit-enabled crash sweep: the full cross-product of designs, drain
+// triggers and DrainCrashPoints, driven with an InvariantAuditor attached
+// so every protocol event is checked *while* the sweep runs — not just the
+// end-to-end recovery outcome.
+//
+// For each cc design and each drain trigger the sweep shapes a workload
+// that fires that trigger naturally (tiny DAQ, tiny Meta Cache, low update
+// limit, or an explicit drain), arms a crash at each point inside the next
+// drain (CcNvmDesign::arm_drain_crash), catches the InjectedPowerLoss,
+// recovers, and verifies every acknowledged write. Non-cc designs do not
+// drain, so they get a crash-after-every-op pass with the auditor's
+// image-vs-root checks active where the design persists its tree.
+#pragma once
+
+#include <cstdint>
+
+namespace ccnvm::audit {
+
+struct CrashSweepConfig {
+  std::uint64_t seed = 1;
+  /// Write-back budget per scenario; the armed trigger must fire within
+  /// it (the sweep checks that it did).
+  std::size_t ops_per_scenario = 96;
+  /// Forwarded to InvariantAuditor::Options::verify_image.
+  bool verify_image = true;
+};
+
+struct CrashSweepResult {
+  std::uint64_t scenarios = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t writes_verified = 0;
+  std::uint64_t events_observed = 0;
+  std::uint64_t checks_performed = 0;
+  std::uint64_t image_verifications = 0;
+};
+
+/// Runs the sweep; the first broken invariant trips a CCNVM_CHECK (which
+/// throws in CheckThrowScope, aborts otherwise). Returns totals so callers
+/// can assert the audit actually covered the matrix.
+CrashSweepResult run_crash_sweep(const CrashSweepConfig& config = {});
+
+}  // namespace ccnvm::audit

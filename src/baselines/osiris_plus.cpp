@@ -75,7 +75,8 @@ std::uint64_t OsirisPlusDesign::fetch_metadata(Addr line_addr) {
     if (ok) {
       for (std::size_t b = 0; b < kBlocksPerPage && ok; ++b) {
         ok = nvm_cb.minors[b] <= live.minors[b] &&
-             live.minors[b] - nvm_cb.minors[b] <= config_.update_limit;
+             static_cast<std::uint32_t>(live.minors[b] - nvm_cb.minors[b]) <=
+                 config_.update_limit;
       }
     }
     if (!ok) note_alert(line_addr);

@@ -5,21 +5,111 @@
 // corrupted simulation is worthless). Detection of *attacks* is never
 // expressed through CHECK — attacks are expected inputs and are reported
 // through AttackReport values instead.
+//
+// Failures carry the current operation context (design kind, commit epoch,
+// operation name) installed by ScopedCheckContext at the design entry
+// points, so a tripped invariant names the machine and epoch it died in.
+// Tests that *expect* an invariant to trip (the auditor's mutation
+// self-tests) flip on the throwing mode, which converts the abort into a
+// ccnvm::CheckFailure exception they can assert on.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
-namespace ccnvm::detail {
+namespace ccnvm {
+
+/// Thrown instead of aborting when the test-only throwing mode is on.
+class CheckFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+/// Operation context a CCNVM_CHECK failure reports alongside the
+/// expression. Installed per-operation via ScopedCheckContext.
+struct CheckContext {
+  std::string_view design;
+  std::uint64_t epoch = 0;
+  std::string_view op;
+};
+
+inline CheckContext*& current_check_context() {
+  static thread_local CheckContext* ctx = nullptr;
+  return ctx;
+}
+
+inline bool& check_throw_mode() {
+  static bool mode = false;
+  return mode;
+}
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const char* msg) {
-  std::fprintf(stderr, "CCNVM_CHECK failed: %s\n  at %s:%d\n  %s\n", expr,
-               file, line, msg ? msg : "");
+  std::string text = "CCNVM_CHECK failed: ";
+  text += expr;
+  text += "\n  at ";
+  text += file;
+  text += ":";
+  text += std::to_string(line);
+  if (msg != nullptr) {
+    text += "\n  ";
+    text += msg;
+  }
+  if (const CheckContext* ctx = current_check_context()) {
+    text += "\n  context: design=";
+    text += ctx->design;
+    text += " epoch=";
+    text += std::to_string(ctx->epoch);
+    text += " op=";
+    text += ctx->op;
+  }
+  if (check_throw_mode()) throw CheckFailure(text);
+  std::fprintf(stderr, "%s\n", text.c_str());
   std::abort();
 }
 
-}  // namespace ccnvm::detail
+}  // namespace detail
+
+/// Test-only: make CCNVM_CHECK failures throw ccnvm::CheckFailure instead
+/// of aborting. Not thread-safe — set before spawning workers, and only
+/// from tests that assert on expected failures.
+inline void set_check_throw_mode(bool on) { detail::check_throw_mode() = on; }
+
+/// RAII guard pairing set_check_throw_mode(true)/(false) around a test.
+class CheckThrowScope {
+ public:
+  CheckThrowScope() { set_check_throw_mode(true); }
+  ~CheckThrowScope() { set_check_throw_mode(false); }
+  CheckThrowScope(const CheckThrowScope&) = delete;
+  CheckThrowScope& operator=(const CheckThrowScope&) = delete;
+};
+
+/// Installs failure context for the dynamic extent of one operation. The
+/// string views must outlive the scope (design names are static, op names
+/// are literals).
+class ScopedCheckContext {
+ public:
+  ScopedCheckContext(std::string_view design, std::uint64_t epoch,
+                     std::string_view op)
+      : ctx_{design, epoch, op}, saved_(detail::current_check_context()) {
+    detail::current_check_context() = &ctx_;
+  }
+  ~ScopedCheckContext() { detail::current_check_context() = saved_; }
+  ScopedCheckContext(const ScopedCheckContext&) = delete;
+  ScopedCheckContext& operator=(const ScopedCheckContext&) = delete;
+
+ private:
+  detail::CheckContext ctx_;
+  detail::CheckContext* saved_;
+};
+
+}  // namespace ccnvm
 
 #define CCNVM_CHECK(expr)                                                  \
   ((expr) ? static_cast<void>(0)                                           \

@@ -4,6 +4,14 @@
 
 namespace ccnvm::core {
 
+void CcNvmDesign::daq_track(Addr line_addr, const char* why) {
+  // pre_write_back reserved room for everything this write-back can dirty,
+  // so a full queue here — whether on the reservation itself or on a
+  // re-track — is always a protocol bug, never a recoverable condition.
+  const bool tracked = daq_.push(line_addr);
+  CCNVM_CHECK_MSG(tracked, why);
+}
+
 std::uint64_t CcNvmDesign::pre_write_back(Addr addr) {
   // The Drainer must reserve an entry for every metadata line this
   // write-back can touch — counter line plus full tree path — even with
@@ -21,7 +29,7 @@ std::uint64_t CcNvmDesign::pre_write_back(Addr addr) {
     sync_stall_ += drain(DrainCrashPoint::kNone, DrainTrigger::kDaqPressure);
   }
   for (Addr a : addrs) {
-    CCNVM_CHECK_MSG(daq_.push(a), "DAQ sized below one write-back's path");
+    daq_track(a, "DAQ sized below one write-back's path");
   }
   return 0;
 }
@@ -29,7 +37,7 @@ std::uint64_t CcNvmDesign::pre_write_back(Addr addr) {
 void CcNvmDesign::on_metadata_dirtied(Addr line_addr) {
   // Re-track lines dirtied after a mid-write-back drain cleared the queue;
   // sizes were reserved in pre_write_back, so this cannot overflow.
-  CCNVM_CHECK_MSG(daq_.push(line_addr), "DAQ overflow on re-track");
+  daq_track(line_addr, "DAQ overflow on re-track");
   if (layout_.is_counter_addr(line_addr)) {
     // A counter update invalidates its whole tree path. With deferred
     // spreading the path nodes are never dirtied per write-back, so if a
@@ -38,8 +46,7 @@ void CcNvmDesign::on_metadata_dirtied(Addr line_addr) {
     // tree whose internal nodes are stale w.r.t. this counter.
     const std::uint64_t leaf = layout_.counter_line_index(line_addr);
     for (const nvm::NodeId& id : layout_.path_to_root(leaf * kPageSize)) {
-      CCNVM_CHECK_MSG(daq_.push(layout_.node_addr(id)),
-                      "DAQ overflow on path re-track");
+      daq_track(layout_.node_addr(id), "DAQ overflow on path re-track");
     }
   }
 }
@@ -54,10 +61,13 @@ std::uint64_t CcNvmDesign::on_write_back_metadata(
        propagate_path(addr, counter_was_cached,
                       /*stop_at_cached=*/deferred_spreading_)});
   pending_daq_cycles_ = 0;
-  // Trigger (3): a metadata line exceeded the update limit since it became
+  // Trigger (3): a metadata line reached the update limit since it became
   // dirty — drain so post-crash counter recovery stays within N retries.
+  // `>=`, not `>`: recovery replays at most N candidates per block, so a
+  // crash inside this very drain must still find the NVM copy at most N
+  // increments stale.
   const Addr cline = layout_.counter_line_addr(addr);
-  if (meta_cache_.updates_since_dirty(cline) > config_.update_limit) {
+  if (meta_cache_.updates_since_dirty(cline) >= config_.update_limit) {
     sync_stall_ += drain(DrainCrashPoint::kNone, DrainTrigger::kUpdateLimit);
   }
   return busy;
@@ -83,6 +93,14 @@ std::uint64_t CcNvmDesign::on_overflow(std::uint64_t leaf) {
   tcb_.overflow_pending = true;
   tcb_.overflow_leaf = leaf;
   return 0;
+}
+
+void CcNvmDesign::post_crash_reset() {
+  daq_.clear();
+  draining_ = false;  // an armed crash can unwind from inside a drain
+  armed_crash_ = DrainCrashPoint::kNone;
+  pending_daq_cycles_ = 0;
+  sync_stall_ = 0;
 }
 
 std::uint64_t CcNvmDesign::spread_deferred_updates() {
@@ -135,10 +153,23 @@ std::uint64_t CcNvmDesign::spread_deferred_updates() {
 
 std::uint64_t CcNvmDesign::drain(DrainCrashPoint point,
                                  DrainTrigger trigger) {
+  const ScopedCheckContext check_ctx(name(), commit_epoch_, "drain");
   CCNVM_CHECK_MSG(!draining_, "nested drain");
   draining_ = true;
+  // An armed crash upgrades a normal drain into a fault-injected one; it
+  // unwinds by throwing, because the enclosing write-back must not run on.
+  const bool injected =
+      point == DrainCrashPoint::kNone && armed_crash_ != DrainCrashPoint::kNone;
+  if (injected) point = armed_crash_;
+  armed_crash_ = DrainCrashPoint::kNone;
+  const auto power_lost = [&](std::uint64_t busy) -> std::uint64_t {
+    draining_ = false;
+    if (injected) throw InjectedPowerLoss{};
+    return busy;  // caller (drain_and_crash / a test) loses power next
+  };
   ++stats_.drains;
   ++stats_.drains_by_trigger[static_cast<std::size_t>(trigger)];
+  if (observer_ != nullptr) observer_->on_drain_start(audit_view(), trigger);
   std::uint64_t busy = 0;
 
   busy += spread_deferred_updates();
@@ -147,33 +178,49 @@ std::uint64_t CcNvmDesign::drain(DrainCrashPoint point,
   // tracked lines into the WPQ, end signal, then commit the registers.
   controller_.begin_atomic_batch();
   const std::vector<Addr> lines = daq_.entries();
-  std::size_t queued = 0;
-  for (Addr a : lines) {
-    persist_metadata(a, /*batched=*/true);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (mutation_ == ProtocolMutation::kLeakDaqEntry && i == 0) {
+      continue;  // mutation: this tracked line never reaches the WPQ
+    }
+    persist_metadata(lines[i], /*batched=*/true);
+    if (observer_ != nullptr) {
+      observer_->on_drain_batch_line(audit_view(), lines[i]);
+    }
     busy += 4;  // on-chip transfer into the WPQ
-    ++queued;
-    if (point == DrainCrashPoint::kMidBatch && queued * 2 >= lines.size()) {
-      draining_ = false;
-      return busy;  // caller loses power here
+    if (point == DrainCrashPoint::kMidBatch && (i + 1) * 2 >= lines.size()) {
+      return power_lost(busy);
     }
   }
   if (point == DrainCrashPoint::kAfterBatchBeforeEnd) {
-    draining_ = false;
-    return busy;
-  }
-  controller_.end_atomic_batch();
-  if (point == DrainCrashPoint::kAfterEndBeforeCommit) {
-    draining_ = false;
-    return busy;
+    return power_lost(busy);
   }
 
   // Commit: the NVM tree now *is* the ROOT_new state.
-  tcb_.root_old = tcb_.root_new;
-  tcb_.n_wb = 0;
-  tcb_.overflow_pending = false;
-  for (Addr a : lines) meta_cache_.clean(a);
-  daq_.clear();
-  on_drain_commit();
+  const auto commit_registers = [&] {
+    tcb_.root_old = tcb_.root_new;
+    if (mutation_ != ProtocolMutation::kSkipNwbReset) tcb_.n_wb = 0;
+    tcb_.overflow_pending = false;
+    for (Addr a : lines) meta_cache_.clean(a);
+    daq_.clear();
+    ++commit_epoch_;
+    on_drain_commit();
+    if (observer_ != nullptr) observer_->on_drain_commit(audit_view());
+  };
+
+  if (mutation_ == ProtocolMutation::kCommitBeforeEnd) {
+    // Mutation: registers step to the new state while the batch is still
+    // open — a crash here would pair ROOT_old==ROOT_new with the old tree.
+    commit_registers();
+    controller_.end_atomic_batch();
+    if (observer_ != nullptr) observer_->on_drain_end(audit_view());
+  } else {
+    controller_.end_atomic_batch();
+    if (observer_ != nullptr) observer_->on_drain_end(audit_view());
+    if (point == DrainCrashPoint::kAfterEndBeforeCommit) {
+      return power_lost(busy);
+    }
+    commit_registers();
+  }
 
   stats_.drain_cycles += busy;
   draining_ = false;

@@ -21,15 +21,35 @@
 
 namespace ccnvm::core {
 
+/// Thrown when an armed drain crash fires mid-operation (see
+/// CcNvmDesign::arm_drain_crash): power is conceptually gone, so the
+/// enclosing write-back must not continue. The harness that armed the
+/// crash catches this and calls crash_power_loss().
+struct InjectedPowerLoss {};
+
 class CcNvmDesign : public SecureNvmBase {
  public:
   /// Crash points inside the drain protocol, for fault-injection tests —
-  /// these are exactly the windows §4.2 argues about.
-  enum class DrainCrashPoint {
+  /// kept as a class-scope alias for existing call sites; the enum itself
+  /// lives in core/protocol_observer.h.
+  using DrainCrashPoint = ::ccnvm::core::DrainCrashPoint;
+  using DrainTrigger = ::ccnvm::core::DrainTrigger;
+
+  /// Deliberate protocol breakages for the auditor's mutation self-tests
+  /// (tests/audit_test.cpp): each one is a bug the drain protocol could
+  /// plausibly acquire in a refactor, and each must be caught by an
+  /// attached InvariantAuditor.
+  enum class ProtocolMutation {
     kNone,
-    kMidBatch,             // some metadata lines in the WPQ, no end signal
-    kAfterBatchBeforeEnd,  // whole batch queued, end signal not yet sent
-    kAfterEndBeforeCommit  // end sent (batch durable), registers not reset
+    /// One DAQ-tracked line is never streamed into the batch — the
+    /// committed NVM tree is stale at that line.
+    kLeakDaqEntry,
+    /// The commit skips the N_wb reset — the replay-window identity
+    /// N_wb == N_retry (§4.3) breaks for the next epoch.
+    kSkipNwbReset,
+    /// Registers commit before the `end` signal — a crash in between
+    /// would pair new roots with the old (dropped-batch) tree.
+    kCommitBeforeEnd,
   };
 
   CcNvmDesign(const DesignConfig& config, bool deferred_spreading)
@@ -41,15 +61,6 @@ class CcNvmDesign : public SecureNvmBase {
     return deferred_spreading_ ? DesignKind::kCcNvm : DesignKind::kCcNvmNoDs;
   }
 
-  /// §4.2 drain trigger classification (indexes DesignStats'
-  /// drains_by_trigger).
-  enum class DrainTrigger {
-    kDaqPressure = 0,
-    kDirtyEviction = 1,
-    kUpdateLimit = 2,
-    kExplicit = 3
-  };
-
   /// Runs a drain now (also exposed so examples can checkpoint).
   std::uint64_t force_drain() {
     return drain(DrainCrashPoint::kNone, DrainTrigger::kExplicit);
@@ -57,6 +68,18 @@ class CcNvmDesign : public SecureNvmBase {
 
   /// Fault injection: run a drain and lose power at `point`.
   void drain_and_crash(DrainCrashPoint point);
+
+  /// Arms a crash at `point` inside the *next* drain, whatever its
+  /// trigger: when that drain reaches the point it unwinds by throwing
+  /// InjectedPowerLoss. Unlike drain_and_crash this reaches the drains
+  /// that fire naturally inside a write-back (DAQ pressure, dirty
+  /// eviction, update limit). The caller must catch the throw and call
+  /// crash_power_loss().
+  void arm_drain_crash(DrainCrashPoint point) { armed_crash_ = point; }
+
+  /// Test-only: makes every subsequent drain misbehave per `m`, so the
+  /// auditor's mutation self-tests can prove the checks have teeth.
+  void inject_protocol_mutation(ProtocolMutation m) { mutation_ = m; }
 
   void quiesce() override { (void)drain(DrainCrashPoint::kNone); }
 
@@ -81,11 +104,19 @@ class CcNvmDesign : public SecureNvmBase {
   std::uint64_t on_overflow(std::uint64_t leaf) override;
   void on_metadata_dirtied(Addr line_addr) override;
   RecoveryMode recovery_mode() const override { return RecoveryMode::kCcNvm; }
-  void post_crash_reset() override { daq_.clear(); }
+  void post_crash_reset() override;
+  const DirtyAddressQueue* audit_daq() const override { return &daq_; }
 
  private:
   std::uint64_t drain(DrainCrashPoint point,
                       DrainTrigger trigger = DrainTrigger::kExplicit);
+
+  /// The single entry point for DAQ insertion outside the reservation
+  /// pass: every dirty-line (re-)track goes through here so the
+  /// [[nodiscard]] full-queue result is handled once, uniformly — a full
+  /// queue after pre_write_back's reservation is a protocol bug, never a
+  /// recoverable condition.
+  void daq_track(Addr line_addr, const char* why);
 
   /// Deferred spreading: recompute every DAQ-tracked tree node (and the
   /// root) bottom-up from the current counters. Returns cycles.
@@ -94,6 +125,8 @@ class CcNvmDesign : public SecureNvmBase {
   bool deferred_spreading_;
   DirtyAddressQueue daq_;
   bool draining_ = false;
+  DrainCrashPoint armed_crash_ = DrainCrashPoint::kNone;
+  ProtocolMutation mutation_ = ProtocolMutation::kNone;
   /// DAQ reservation time of the in-flight write-back; overlaps with the
   /// encryption/tree phase and is folded in via max() at the hook.
   std::uint64_t pending_daq_cycles_ = 0;

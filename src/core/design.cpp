@@ -64,6 +64,22 @@ SecureNvmBase::SecureNvmBase(const DesignConfig& config)
   }
 }
 
+AuditView SecureNvmBase::audit_view() const {
+  AuditView v;
+  v.kind = kind();
+  v.config = &config_;
+  v.layout = &layout_;
+  v.image = &image_;
+  v.controller = &controller_;
+  v.meta_cache = &meta_cache_;
+  v.merkle = &merkle_;
+  v.meta = meta_.get();
+  v.tcb = &tcb_;
+  v.daq = audit_daq();
+  v.epoch = commit_epoch_;
+  return v;
+}
+
 void SecureNvmBase::reset_stats() {
   stats_ = DesignStats{};
   controller_.reset_stats();
@@ -110,6 +126,10 @@ std::uint64_t SecureNvmBase::meta_access(Addr line_addr, bool is_write) {
   const cache::AccessOutcome out = meta_cache_.access(line_addr, is_write);
   if (!out.hit) busy += fetch_metadata(line_addr);
   if (out.evicted.has_value()) {
+    if (observer_ != nullptr) {
+      observer_->on_meta_eviction(audit_view(), *out.evicted,
+                                  out.evicted_dirty);
+    }
     busy += on_meta_eviction(*out.evicted, out.evicted_dirty);
   }
   return busy;
@@ -156,11 +176,22 @@ std::uint64_t SecureNvmBase::propagate_path(Addr data_addr,
     // Deferred spreading (§4.3): once the child was already cached before
     // this write-back, its pending update is covered by the DAQ and the
     // spread to the root happens at drain time.
-    if (stop_at_cached && child_was_cached) break;
+    if (stop_at_cached && child_was_cached) {
+      if (observer_ != nullptr) {
+        observer_->on_propagate_stop(audit_view(), data_addr, child.level,
+                                     child_was_cached, stop_at_cached,
+                                     /*reached_root=*/false);
+      }
+      break;
+    }
 
     const nvm::NodeId parent = layout_.parent(child);
     busy += timing_.hmac_latency;  // counter-HMAC of the child's new value
     ++stats_.hmac_ops;
+    if (observer_ != nullptr) {
+      observer_->on_propagate_step(audit_view(), data_addr, child.level,
+                                   child_was_cached, stop_at_cached);
+    }
 
     if (parent.level == layout_.root_level()) {
       if (functional()) {
@@ -170,6 +201,11 @@ std::uint64_t SecureNvmBase::propagate_path(Addr data_addr,
                         layout_.slot_in_parent(child) * sizeof(Tag128),
                     tag.bytes.data(), sizeof(Tag128));
         tcb_.root_new = root;
+      }
+      if (observer_ != nullptr) {
+        observer_->on_propagate_stop(audit_view(), data_addr, child.level,
+                                     child_was_cached, stop_at_cached,
+                                     /*reached_root=*/true);
       }
       break;
     }
@@ -262,6 +298,7 @@ std::uint64_t SecureNvmBase::reencrypt_page(
 }
 
 std::uint64_t SecureNvmBase::write_back(Addr addr, const Line& plaintext) {
+  const ScopedCheckContext check_ctx(name(), commit_epoch_, "write_back");
   CCNVM_CHECK_MSG(!crashed_, "write_back on a crashed system");
   CCNVM_CHECK(layout_.is_data_addr(addr) && is_line_aligned(addr));
   ++stats_.write_backs;
@@ -319,10 +356,14 @@ std::uint64_t SecureNvmBase::write_back(Addr addr, const Line& plaintext) {
 
   busy += on_write_back_metadata(addr, counter_was_cached, crypt_cycles);
   stats_.engine_busy_cycles += busy;
+  if (observer_ != nullptr) {
+    observer_->on_write_back_complete(audit_view(), addr);
+  }
   return busy;
 }
 
 ReadResult SecureNvmBase::read_block(Addr addr) {
+  const ScopedCheckContext check_ctx(name(), commit_epoch_, "read_block");
   CCNVM_CHECK_MSG(!crashed_, "read on a crashed system");
   CCNVM_CHECK(layout_.is_data_addr(addr) && is_line_aligned(addr));
   ++stats_.reads;
@@ -386,18 +427,22 @@ void SecureNvmBase::restore_from_power_down(nvm::NvmImage image,
   alerts_.clear();
   post_crash_reset();
   crashed_ = true;
+  if (observer_ != nullptr) observer_->on_crash(audit_view());
 }
 
 void SecureNvmBase::crash_power_loss() {
+  const ScopedCheckContext check_ctx(name(), commit_epoch_, "crash");
   controller_.crash();
   meta_cache_.invalidate_all();
   updates_since_persist_.clear();
   alerts_.clear();
   post_crash_reset();
   crashed_ = true;
+  if (observer_ != nullptr) observer_->on_crash(audit_view());
 }
 
 RecoveryReport SecureNvmBase::recover() {
+  const ScopedCheckContext check_ctx(name(), commit_epoch_, "recover");
   CCNVM_CHECK_MSG(crashed_, "recover() is a post-crash operation");
   RecoveryInputs inputs;
   inputs.layout = &layout_;
@@ -429,6 +474,9 @@ RecoveryReport SecureNvmBase::recover() {
     tcb_.overflow_pending = false;
     crashed_ = false;
     post_recovery_reset();
+  }
+  if (observer_ != nullptr) {
+    observer_->on_recovery_complete(audit_view(), report);
   }
   return report;
 }

@@ -27,6 +27,7 @@
 #include "cache/set_assoc_cache.h"
 #include "common/types.h"
 #include "core/meta_cache_group.h"
+#include "core/protocol_observer.h"
 #include "core/recovery.h"
 #include "core/tcb.h"
 #include "nvm/controller.h"
@@ -188,6 +189,19 @@ class SecureNvmBase : public SecureNvmDesign {
   bool crashed() const { return crashed_; }
   void reset_stats();
 
+  /// Attaches (or detaches, with nullptr) a protocol observer — the
+  /// invariant auditor's entry point. The observer must outlive the
+  /// design or be detached first; only one can be attached at a time.
+  void attach_observer(ProtocolObserver* observer) { observer_ = observer; }
+  ProtocolObserver* observer() const { return observer_; }
+
+  /// Read-only view of internal state for observers/auditors.
+  AuditView audit_view() const;
+
+  /// Committed drain epochs (0 until the first commit; cc-NVM designs
+  /// advance it, others leave it at 0). Carried in CCNVM_CHECK context.
+  std::uint64_t commit_epoch() const { return commit_epoch_; }
+
  protected:
   // --- Per-design policy hooks -----------------------------------------
 
@@ -234,6 +248,10 @@ class SecureNvmBase : public SecureNvmDesign {
 
   /// Extra state to wipe on power loss (DAQ, per-design trackers).
   virtual void post_crash_reset() {}
+
+  /// The Drainer's tracking queue, when the design has one (cc-NVM
+  /// family) — exposed to observers through AuditView.
+  virtual const DirtyAddressQueue* audit_daq() const { return nullptr; }
 
   // --- Shared machinery --------------------------------------------------
 
@@ -302,6 +320,8 @@ class SecureNvmBase : public SecureNvmDesign {
 
   std::vector<Addr> alerts_;
   bool crashed_ = false;
+  ProtocolObserver* observer_ = nullptr;
+  std::uint64_t commit_epoch_ = 0;
 };
 
 /// Factory covering all five evaluated designs.

@@ -1,0 +1,47 @@
+// The audit-enabled crash sweep as a tier-1 test: every design × drain
+// trigger × DrainCrashPoint cell runs with the auditor attached, and the
+// totals prove the matrix was actually covered.
+#include <gtest/gtest.h>
+
+#include "audit/crash_sweep.h"
+
+namespace ccnvm::audit {
+namespace {
+
+TEST(CrashSweepTest, FullMatrixHoldsEveryInvariant) {
+  CrashSweepConfig config;
+  config.seed = 7;
+  const CrashSweepResult r = run_crash_sweep(config);
+  // 3 cc designs × 4 triggers × 4 crash points, plus 3 non-draining
+  // designs × 7 crash prefixes.
+  EXPECT_EQ(r.scenarios, 69u);
+  EXPECT_EQ(r.crashes, r.scenarios) << "every scenario loses power";
+  EXPECT_GT(r.recoveries, 0u);
+  EXPECT_GT(r.writes_verified, 0u);
+  EXPECT_GT(r.events_observed, 0u);
+  EXPECT_GT(r.checks_performed, r.events_observed)
+      << "each event fans out into multiple invariant checks";
+  EXPECT_GT(r.image_verifications, 0u);
+}
+
+TEST(CrashSweepTest, SeedsVaryTheWorkloadNotTheCoverage) {
+  CrashSweepConfig config;
+  config.seed = 12345;
+  config.ops_per_scenario = 64;
+  const CrashSweepResult r = run_crash_sweep(config);
+  EXPECT_EQ(r.scenarios, 69u);
+  EXPECT_GT(r.writes_verified, 0u);
+}
+
+TEST(CrashSweepTest, ImageVerificationCanBeDisabled) {
+  // The O(tree) check is the opt-out for big geometries; everything else
+  // still runs.
+  CrashSweepConfig config;
+  config.verify_image = false;
+  const CrashSweepResult r = run_crash_sweep(config);
+  EXPECT_EQ(r.image_verifications, 0u);
+  EXPECT_GT(r.checks_performed, 0u);
+}
+
+}  // namespace
+}  // namespace ccnvm::audit

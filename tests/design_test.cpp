@@ -180,6 +180,7 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, DesignTest,
                              case DesignKind::kOsirisPlus: return "OsirisPlus";
                              case DesignKind::kCcNvmNoDs: return "CcNvmNoDs";
                              case DesignKind::kCcNvm: return "CcNvm";
+                             case DesignKind::kCcNvmPlus: return "CcNvmPlus";
                            }
                            return "unknown";
                          });

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <functional>
 #include <string>
 
 #include "core/cc_nvm.h"
@@ -116,6 +117,109 @@ TEST(PersistenceTest, WrongKeysCannotAuthenticate) {
   }
   std::remove(path.c_str());
   std::remove((path + ".tcb").c_str());
+}
+
+// The battery-backed TCB registers must survive the power cycle exactly —
+// recovery's ROOT_old/ROOT_new/N_wb reasoning is only sound if the file
+// round-trip is bit-faithful at *every* point the drain can die.
+class DrainCrashPersistenceTest
+    : public ::testing::TestWithParam<DrainCrashPoint> {};
+
+TEST_P(DrainCrashPersistenceTest, TcbRegistersSurviveThePowerCycle) {
+  // ctest runs each instantiation as its own process; the image file must
+  // be unique per crash point or parallel runs trample each other.
+  const std::string path =
+      temp_path("tcb_cycle.img") +
+      std::to_string(static_cast<int>(GetParam()));
+  TcbRegisters saved;
+  {
+    CcNvmDesign design(small_config(), /*deferred_spreading=*/true);
+    for (std::uint64_t i = 0; i < 24; ++i) {
+      design.write_back(i * kLineSize, pattern_line(i));
+    }
+    design.drain_and_crash(GetParam());
+    saved = design.tcb();
+    ASSERT_TRUE(power_down_to_file(path, design));
+  }
+  {
+    CcNvmDesign design(small_config(), /*deferred_spreading=*/true);
+    ASSERT_TRUE(restore_from_file(path, design));
+    EXPECT_EQ(design.tcb().root_old, saved.root_old);
+    EXPECT_EQ(design.tcb().root_new, saved.root_new);
+    EXPECT_EQ(design.tcb().n_wb, saved.n_wb);
+    EXPECT_EQ(design.tcb().overflow_pending, saved.overflow_pending);
+    EXPECT_EQ(design.tcb().overflow_leaf, saved.overflow_leaf);
+    const RecoveryReport report = design.recover();
+    ASSERT_TRUE(report.clean) << report.detail;
+    for (std::uint64_t i = 0; i < 24; ++i) {
+      const ReadResult r = design.read_block(i * kLineSize);
+      EXPECT_TRUE(r.integrity_ok);
+      EXPECT_EQ(r.plaintext, pattern_line(i));
+    }
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tcb").c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCrashPoints, DrainCrashPersistenceTest,
+    ::testing::Values(DrainCrashPoint::kMidBatch,
+                      DrainCrashPoint::kAfterBatchBeforeEnd,
+                      DrainCrashPoint::kAfterEndBeforeCommit),
+    [](const auto& info) {
+      switch (info.param) {
+        case DrainCrashPoint::kNone: return "None";
+        case DrainCrashPoint::kMidBatch: return "MidBatch";
+        case DrainCrashPoint::kAfterBatchBeforeEnd:
+          return "AfterBatchBeforeEnd";
+        case DrainCrashPoint::kAfterEndBeforeCommit:
+          return "AfterEndBeforeCommit";
+      }
+      return "unknown";
+    });
+
+// Writes a crashed design to `path`, then lets `spoil` damage the .tcb
+// sidecar; restore_from_file must refuse rather than feed recovery a
+// half-read register file.
+void expect_restore_rejects(
+    const char* name, const std::function<void(const std::string&)>& spoil) {
+  const std::string path = temp_path(name);
+  {
+    CcNvmDesign design(small_config(), true);
+    design.write_back(0, pattern_line(1));
+    design.quiesce();
+    design.crash_power_loss();
+    ASSERT_TRUE(power_down_to_file(path, design));
+  }
+  spoil(path + ".tcb");
+  CcNvmDesign design(small_config(), true);
+  EXPECT_FALSE(restore_from_file(path, design));
+  std::remove(path.c_str());
+  std::remove((path + ".tcb").c_str());
+}
+
+TEST(PersistenceTest, TruncatedTcbFileFails) {
+  expect_restore_rejects("trunc.img", [](const std::string& tcb) {
+    std::FILE* f = std::fopen(tcb.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("CCNV", f);  // valid prefix, far too short
+    std::fclose(f);
+  });
+}
+
+TEST(PersistenceTest, CorruptTcbMagicFails) {
+  expect_restore_rejects("badmagic.img", [](const std::string& tcb) {
+    std::FILE* f = std::fopen(tcb.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fputc('X', f);  // clobber the first magic byte in place
+    std::fclose(f);
+  });
+}
+
+TEST(PersistenceTest, MissingTcbFileFails) {
+  expect_restore_rejects("notcb.img", [](const std::string& tcb) {
+    std::remove(tcb.c_str());
+  });
 }
 
 TEST(PersistenceTest, RequiresCrashedState) {

@@ -73,6 +73,8 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, SystemTest,
                              case core::DesignKind::kCcNvmNoDs:
                                return "CcNvmNoDs";
                              case core::DesignKind::kCcNvm: return "CcNvm";
+                             case core::DesignKind::kCcNvmPlus:
+                               return "CcNvmPlus";
                            }
                            return "unknown";
                          });

@@ -6,6 +6,7 @@
 //   ccnvm compare <workload> [refs]        all designs, normalized table
 //   ccnvm demo recovery                 functional crash+recover walkthrough
 //   ccnvm demo attack                   post-crash attack locating demo
+//   ccnvm audit [seed]                  audited crash sweep (CCNVM_AUDIT)
 //
 // Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus
 #include <cstdio>
@@ -13,6 +14,9 @@
 #include <optional>
 #include <string>
 
+#ifdef CCNVM_HAVE_AUDIT
+#include "audit/crash_sweep.h"
+#endif
 #include "attacks/injector.h"
 #include "common/rng.h"
 #include "core/cc_nvm.h"
@@ -153,13 +157,38 @@ int cmd_demo(const std::string& which) {
   return 2;
 }
 
+int cmd_audit(std::uint64_t seed) {
+#ifdef CCNVM_HAVE_AUDIT
+  audit::CrashSweepConfig cfg;
+  cfg.seed = seed;
+  const audit::CrashSweepResult r = audit::run_crash_sweep(cfg);
+  std::printf("audited crash sweep: all invariants held\n");
+  std::printf("  scenarios           %llu (crashes %llu, recoveries %llu)\n",
+              static_cast<unsigned long long>(r.scenarios),
+              static_cast<unsigned long long>(r.crashes),
+              static_cast<unsigned long long>(r.recoveries));
+  std::printf("  writes verified     %llu\n",
+              static_cast<unsigned long long>(r.writes_verified));
+  std::printf("  events / checks     %llu / %llu (image verifications %llu)\n",
+              static_cast<unsigned long long>(r.events_observed),
+              static_cast<unsigned long long>(r.checks_performed),
+              static_cast<unsigned long long>(r.image_verifications));
+  return 0;
+#else
+  (void)seed;
+  std::fprintf(stderr, "this ccnvm was built with CCNVM_AUDIT=OFF\n");
+  return 2;
+#endif
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: ccnvm list\n"
                "       ccnvm geometry <MiB>\n"
                "       ccnvm run <workload> <design> [refs=300000]\n"
                "       ccnvm compare <workload> [refs=300000]\n"
-               "       ccnvm demo <recovery|attack>\n");
+               "       ccnvm demo <recovery|attack>\n"
+               "       ccnvm audit [seed=1]\n");
   return 2;
 }
 
@@ -180,5 +209,8 @@ int main(int argc, char** argv) {
     return cmd_compare(argv[2], argc >= 4 ? std::stoull(argv[3]) : 300000);
   }
   if (cmd == "demo" && argc >= 3) return cmd_demo(argv[2]);
+  if (cmd == "audit") {
+    return cmd_audit(argc >= 3 ? std::stoull(argv[2]) : 1);
+  }
   return usage();
 }
