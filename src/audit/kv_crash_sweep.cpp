@@ -1,0 +1,308 @@
+#include "audit/kv_crash_sweep.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/invariant_auditor.h"
+#include "common/rng.h"
+#include "core/cc_nvm.h"
+#include "core/design.h"
+#include "store/kv_store.h"
+
+namespace ccnvm::audit {
+namespace {
+
+constexpr std::uint64_t kPages = 64;
+constexpr std::size_t kKeys = 20;
+
+store::StoreConfig sweep_store_config() {
+  store::StoreConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.heap_lines_per_shard = 192;  // 8 pages total, inside the 64-page DIMM
+  return cfg;
+}
+
+/// Same shaping idea as crash_sweep.cpp's sweep_config: geometry under
+/// which ordinary store traffic fires exactly the targeted drain trigger.
+core::DesignConfig sweep_design_config(core::DrainTrigger trigger) {
+  core::DesignConfig cfg;
+  cfg.data_capacity = kPages * kPageSize;
+  cfg.update_limit = 1u << 20;  // keep trigger (3) quiet by default
+  switch (trigger) {
+    case core::DrainTrigger::kDaqPressure:
+      // The store footprint is 8 pages, i.e. ~11 distinct tracked
+      // metadata lines; 6 entries force pressure drains while staying
+      // above the one-path minimum.
+      cfg.daq_entries = 6;
+      break;
+    case core::DrainTrigger::kDirtyEviction:
+      cfg.meta_cache_bytes = 8 * kLineSize;
+      cfg.meta_cache_ways = 2;
+      break;
+    case core::DrainTrigger::kUpdateLimit:
+      cfg.update_limit = 4;
+      break;
+    case core::DrainTrigger::kExplicit:
+      break;
+  }
+  return cfg;
+}
+
+std::string sweep_key(std::size_t i) {
+  return "key-" + std::to_string(i);
+}
+
+std::string sweep_value(std::uint64_t tag, std::uint64_t len) {
+  std::string v(len, '\0');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<char>(static_cast<std::uint8_t>(tag * 167 + i));
+  }
+  return v;
+}
+
+/// The store state one operation moves between: old on one side of the
+/// kill, new on the other. nullopt means "key absent".
+struct InFlightOp {
+  std::string key;
+  std::optional<std::string> before;
+  std::optional<std::string> after;
+};
+
+struct SweepTotals {
+  KvCrashSweepResult result;
+  void absorb(const InvariantAuditor& auditor) {
+    result.events_observed += auditor.events_observed();
+    result.checks_performed += auditor.checks_performed();
+    result.image_verifications += auditor.image_verifications();
+  }
+};
+
+/// Committed KV state (what must survive recovery exactly).
+using Expected = std::map<std::string, std::string>;
+
+/// Applies `ops` mixed operations, recording the committed state; returns
+/// true if an armed crash unwound one of them (recorded in `in_flight`).
+bool run_ops(store::SecureKvStore& kv, Rng& rng, std::size_t ops,
+             core::DrainTrigger trigger, Expected& expected,
+             std::optional<InFlightOp>& in_flight, SweepTotals& totals) {
+  std::uint64_t tag = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    // Update-limit shaping hammers one key so its header line's counter
+    // blows past N; the other triggers want spread-out traffic.
+    const std::size_t key_index =
+        (trigger == core::DrainTrigger::kUpdateLimit && i % 4 != 3)
+            ? 0
+            : static_cast<std::size_t>(rng.below(kKeys));
+    const std::string key = sweep_key(key_index);
+    const std::uint64_t roll = rng.below(100);
+    const auto it = expected.find(key);
+    const std::optional<std::string> before =
+        it == expected.end() ? std::nullopt
+                             : std::optional<std::string>(it->second);
+    try {
+      if (roll < 55) {
+        const std::string value = sweep_value(++tag, rng.below(140));
+        in_flight = InFlightOp{key, before, value};
+        CCNVM_CHECK_MSG(kv.put(key, value), "kv sweep: store unexpectedly full");
+        expected[key] = value;
+      } else if (roll < 80) {
+        in_flight = InFlightOp{key, before, std::nullopt};
+        kv.erase(key);
+        expected.erase(key);
+      } else {
+        in_flight = InFlightOp{key, before, before};  // reads change nothing
+        (void)kv.get(key);
+      }
+      in_flight.reset();
+      ++totals.result.ops_applied;
+    } catch (const core::InjectedPowerLoss&) {
+      ++totals.result.in_flight_ops;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Both directions of the acceptance criterion: every committed operation
+/// readable (zero lost), every surviving entry accounted for (zero
+/// spurious), the in-flight operation old-or-new.
+void verify_reopened(store::SecureKvStore& kv, const Expected& expected,
+                     const std::optional<InFlightOp>& in_flight,
+                     SweepTotals& totals) {
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::string key = sweep_key(i);
+    const std::optional<std::string> got = kv.get(key);
+    if (in_flight && in_flight->key == key) {
+      CCNVM_CHECK_MSG(got == in_flight->before || got == in_flight->after,
+                      "kv sweep: in-flight operation left a third state");
+    } else if (const auto it = expected.find(key); it != expected.end()) {
+      CCNVM_CHECK_MSG(got.has_value() && *got == it->second,
+                      "kv sweep: committed operation lost after recovery");
+    } else {
+      CCNVM_CHECK_MSG(!got.has_value(),
+                      "kv sweep: erased/unwritten key reappeared");
+    }
+    ++totals.result.keys_verified;
+  }
+  std::uint64_t scanned = 0;
+  kv.for_each([&](std::string_view key, std::string_view value) {
+    ++scanned;
+    const std::string k(key);
+    if (in_flight && in_flight->key == k) {
+      const std::optional<std::string> v{std::string(value)};
+      CCNVM_CHECK_MSG(v == in_flight->before || v == in_flight->after,
+                      "kv sweep: in-flight key scanned with a third value");
+      return;
+    }
+    const auto it = expected.find(k);
+    CCNVM_CHECK_MSG(it != expected.end(),
+                    "kv sweep: spurious survivor in the reopened store");
+    CCNVM_CHECK_MSG(it->second == value,
+                    "kv sweep: survivor carries a stale value");
+  });
+  CCNVM_CHECK_MSG(scanned == kv.size(),
+                  "kv sweep: scan and live count disagree");
+  totals.result.survivors_scanned += scanned;
+}
+
+void run_cc_scenario(const KvCrashSweepConfig& config, core::DesignKind kind,
+                     core::DrainTrigger trigger, core::DrainCrashPoint point,
+                     SweepTotals& totals) {
+  ++totals.result.scenarios;
+  auto design = core::make_design(kind, sweep_design_config(trigger));
+  auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
+  auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
+  CCNVM_CHECK_MSG(base != nullptr && cc != nullptr,
+                  "kv cc sweep needs a CcNvmDesign");
+  InvariantAuditor auditor(
+      InvariantAuditor::Options{.verify_image = config.verify_image});
+  auditor.attach(*base);
+
+  Rng rng(config.seed * 6700417 + static_cast<std::uint64_t>(kind) * 101 +
+          static_cast<std::uint64_t>(trigger) * 11 +
+          static_cast<std::uint64_t>(point));
+  store::SecureKvStore kv(*base, sweep_store_config());
+  Expected expected;
+  std::optional<InFlightOp> in_flight;
+
+  const bool armed = point != core::DrainCrashPoint::kNone &&
+                     trigger != core::DrainTrigger::kExplicit;
+  if (armed) cc->arm_drain_crash(point);
+
+  bool crashed = run_ops(kv, rng, config.ops_per_scenario, trigger, expected,
+                         in_flight, totals);
+  if (trigger == core::DrainTrigger::kExplicit && !crashed) {
+    if (point == core::DrainCrashPoint::kNone) {
+      kv.checkpoint();
+    } else {
+      cc->arm_drain_crash(point);
+      try {
+        kv.checkpoint();
+      } catch (const core::InjectedPowerLoss&) {
+        crashed = true;
+      }
+    }
+  }
+  if (point != core::DrainCrashPoint::kNone) {
+    CCNVM_CHECK_MSG(crashed, "kv sweep never reached the armed drain");
+  }
+  CCNVM_CHECK_MSG(
+      design->stats()
+              .drains_by_trigger[static_cast<std::size_t>(trigger)] >= 1,
+      "kv sweep workload never fired its target drain trigger");
+
+  design->crash_power_loss();
+  ++totals.result.crashes;
+  const core::RecoveryReport report = design->recover();
+  CCNVM_CHECK_MSG(report.clean, "kv sweep: cc recovery not clean");
+  ++totals.result.recoveries;
+
+  store::SecureKvStore reopened =
+      store::SecureKvStore::open(*base, sweep_store_config());
+  verify_reopened(reopened, expected, in_flight, totals);
+  totals.absorb(auditor);
+}
+
+void run_non_cc_scenario(const KvCrashSweepConfig& config,
+                         core::DesignKind kind, std::size_t crash_after,
+                         SweepTotals& totals) {
+  ++totals.result.scenarios;
+  core::DesignConfig cfg;
+  cfg.data_capacity = kPages * kPageSize;
+  cfg.meta_cache_bytes = 16 * kLineSize;  // eviction traffic for the audit
+  cfg.meta_cache_ways = 4;
+  auto design = core::make_design(kind, cfg);
+  auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
+  CCNVM_CHECK_MSG(base != nullptr, "kv non-cc sweep needs a SecureNvmBase");
+  InvariantAuditor auditor(
+      InvariantAuditor::Options{.verify_image = config.verify_image});
+  auditor.attach(*base);
+
+  Rng rng(config.seed * 104729 + static_cast<std::uint64_t>(kind) * 31 +
+          crash_after);
+  store::SecureKvStore kv(*base, sweep_store_config());
+  Expected expected;
+  std::optional<InFlightOp> in_flight;
+  run_ops(kv, rng, crash_after, core::DrainTrigger::kExplicit, expected,
+          in_flight, totals);
+  CCNVM_CHECK_MSG(!in_flight.has_value(),
+                  "unarmed non-cc scenario crashed mid-operation");
+
+  design->crash_power_loss();
+  ++totals.result.crashes;
+  const core::RecoveryReport report = design->recover();
+  if (kind == core::DesignKind::kWoCc) {
+    // The paper's foil: nothing authenticates after power loss, so the
+    // store cannot even be re-opened.
+    CCNVM_CHECK_MSG(report.unrecoverable,
+                    "w/o CC unexpectedly recovered the store");
+  } else {
+    CCNVM_CHECK_MSG(report.clean, "kv sweep: non-cc recovery not clean");
+    ++totals.result.recoveries;
+    store::SecureKvStore reopened =
+        store::SecureKvStore::open(*base, sweep_store_config());
+    verify_reopened(reopened, expected, in_flight, totals);
+  }
+  totals.absorb(auditor);
+}
+
+}  // namespace
+
+KvCrashSweepResult run_kv_crash_sweep(const KvCrashSweepConfig& config) {
+  SweepTotals totals;
+
+  constexpr core::DesignKind kCcKinds[] = {core::DesignKind::kCcNvmNoDs,
+                                           core::DesignKind::kCcNvm,
+                                           core::DesignKind::kCcNvmPlus};
+  constexpr core::DrainTrigger kTriggers[] = {
+      core::DrainTrigger::kDaqPressure, core::DrainTrigger::kDirtyEviction,
+      core::DrainTrigger::kUpdateLimit, core::DrainTrigger::kExplicit};
+  constexpr core::DrainCrashPoint kPoints[] = {
+      core::DrainCrashPoint::kNone, core::DrainCrashPoint::kMidBatch,
+      core::DrainCrashPoint::kAfterBatchBeforeEnd,
+      core::DrainCrashPoint::kAfterEndBeforeCommit};
+
+  for (core::DesignKind kind : kCcKinds) {
+    for (core::DrainTrigger trigger : kTriggers) {
+      for (core::DrainCrashPoint point : kPoints) {
+        run_cc_scenario(config, kind, trigger, point, totals);
+      }
+    }
+  }
+
+  constexpr core::DesignKind kOtherKinds[] = {core::DesignKind::kWoCc,
+                                              core::DesignKind::kStrict,
+                                              core::DesignKind::kOsirisPlus};
+  for (core::DesignKind kind : kOtherKinds) {
+    for (std::size_t crash_after = 0; crash_after <= 18; crash_after += 6) {
+      run_non_cc_scenario(config, kind, crash_after, totals);
+    }
+  }
+  return totals.result;
+}
+
+}  // namespace ccnvm::audit

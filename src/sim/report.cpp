@@ -81,4 +81,20 @@ bool write_raw_csv(const std::string& path,
   return true;
 }
 
+bool write_kv_csv(const std::string& path, const std::vector<KvCsvRow>& rows) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(),
+               "workload,design,ops,ops_per_sec,nvm_writes,writes_per_op,"
+               "writes_norm\n");
+  for (const KvCsvRow& row : rows) {
+    std::fprintf(f.get(), "%s,%s,%llu,%.1f,%llu,%.3f,%.6f\n",
+                 row.workload.c_str(), row.design.c_str(),
+                 static_cast<unsigned long long>(row.ops), row.ops_per_sec,
+                 static_cast<unsigned long long>(row.nvm_writes),
+                 row.writes_per_op, row.writes_norm);
+  }
+  return true;
+}
+
 }  // namespace ccnvm::sim

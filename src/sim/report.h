@@ -25,4 +25,19 @@ bool write_rows_csv(const std::string& path,
 bool write_raw_csv(const std::string& path,
                    const std::vector<BenchmarkRow>& rows);
 
+/// One (workload, design) cell of a YCSB run over the KV service layer
+/// (bench/ycsb, `ccnvm kv run`).
+struct KvCsvRow {
+  std::string workload;
+  std::string design;
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+  std::uint64_t nvm_writes = 0;
+  double writes_per_op = 0.0;
+  /// NVM writes normalized to the w/o CC cell of the same workload.
+  double writes_norm = 0.0;
+};
+
+bool write_kv_csv(const std::string& path, const std::vector<KvCsvRow>& rows);
+
 }  // namespace ccnvm::sim

@@ -1,0 +1,207 @@
+// A crash-consistent secure key-value store on cc-NVM.
+//
+// This is the application layer §1 motivates ("store and manipulate
+// persistent data in-place in memory"): a sharded, open-addressed hash
+// table whose every NVM access — bucket probes, value reads, header and
+// value writes — goes through a SecureNvmDesign, so the store
+// transparently inherits counter-mode encryption, data-HMAC + BMT
+// integrity, and (on the cc designs) epoch crash consistency.
+//
+// Layout. The NVM data region is split into `shards` equal slices; each
+// slice holds a bucket array (one 64 B header line per bucket) followed
+// by a value heap (line-granular). A bucket header carries the entry
+// state (empty / occupied / tombstone), the key (inline, <= 48 B), the
+// value length, and the heap extent holding the value. Values span
+// ceil(vlen/64) consecutive heap lines, so multi-line values are
+// first-class.
+//
+// Crash consistency. Every mutation is made atomic by ordering:
+//   put    — write the value lines to a *fresh* heap extent, then flip
+//            the header in ONE line write-back (the commit point), then
+//            free the old extent. Live value lines are never overwritten
+//            in place, so a committed value can never be torn.
+//   erase  — write the tombstone header (commit point), then free.
+// A crash between the write-backs of one operation leaves either the old
+// or the new header, both of which reference fully written value lines.
+// All DRAM-side bookkeeping (heap free lists, entry counts) is *derived*
+// state: open() rebuilds it by scanning the bucket headers, so nothing
+// volatile needs its own persistence story. Epoch drains batch only the
+// security metadata; data and DH lines persist through ADR as they are
+// written (§4.2), which is why every acknowledged operation — not just
+// checkpointed ones — survives recovery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "core/design.h"
+
+namespace ccnvm::store {
+
+/// Geometry of a store within the NVM data region. All sizes in lines.
+struct StoreConfig {
+  std::size_t shards = 4;
+  std::uint64_t buckets_per_shard = 512;
+  std::uint64_t heap_lines_per_shard = 1536;
+
+  /// CHECK-fails on nonsensical geometry (zero shards/buckets, a footprint
+  /// that cannot hold a single entry, ...).
+  void validate() const;
+
+  std::uint64_t lines_per_shard() const {
+    return buckets_per_shard + heap_lines_per_shard;
+  }
+  /// Bytes of NVM data region the store occupies (must fit the design's
+  /// data capacity).
+  std::uint64_t footprint_bytes() const {
+    return static_cast<std::uint64_t>(shards) * lines_per_shard() * kLineSize;
+  }
+
+  /// A geometry with comfortable slack for `keys` entries of up to
+  /// `max_value_bytes` each — used by the YCSB harnesses.
+  static StoreConfig sized_for(std::uint64_t keys,
+                               std::size_t max_value_bytes,
+                               std::size_t shards = 4);
+};
+
+struct StoreStats {
+  std::uint64_t puts = 0;
+  std::uint64_t inserts = 0;   // puts that created a new key
+  std::uint64_t updates = 0;   // puts that replaced a value
+  std::uint64_t failed_puts = 0;  // table or heap full
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t erase_hits = 0;
+  std::uint64_t probe_reads = 0;        // bucket header reads
+  std::uint64_t value_line_reads = 0;
+  std::uint64_t value_line_writes = 0;
+  std::uint64_t header_writes = 0;
+};
+
+/// A sharded, crash-consistent KV store over one secure-NVM design.
+/// Works on every design (the baselines simply give weaker crash
+/// guarantees); requires the functional engine (real contents).
+class SecureKvStore {
+ public:
+  static constexpr std::size_t kMaxKeyBytes = 48;
+  static constexpr std::size_t kMaxValueBytes = 0xFFFF;
+
+  /// Formats a fresh store over `nvm`'s data region, which must be in its
+  /// never-written state (a freshly constructed design). For an existing
+  /// image — e.g. after crash recovery or a host power cycle — use open().
+  SecureKvStore(core::SecureNvmBase& nvm, const StoreConfig& config);
+
+  SecureKvStore(SecureKvStore&&) = default;
+  SecureKvStore& operator=(SecureKvStore&&) = default;
+
+  /// Re-opens a store from an existing (typically just-recovered) image:
+  /// scans every bucket header, validates it, and rebuilds the DRAM-side
+  /// allocator and counts. CHECK-fails on corrupt headers or overlapping
+  /// value extents — recovery is supposed to have produced a clean image.
+  static SecureKvStore open(core::SecureNvmBase& nvm,
+                            const StoreConfig& config);
+
+  /// Inserts or replaces. Returns false — without mutating anything —
+  /// when the key is empty or over-long, the value exceeds the limit, or
+  /// the shard is out of buckets or heap space (headers encode klen in
+  /// 1..kMaxKeyBytes, so the empty key is not representable). May propagate core::InjectedPowerLoss from an armed
+  /// drain crash, in which case the operation is unacknowledged (the old
+  /// or the new state survives, never a mix).
+  bool put(std::string_view key, std::string_view value);
+
+  std::optional<std::string> get(std::string_view key);
+
+  /// Removes the key. Returns false if it was not present.
+  bool erase(std::string_view key);
+
+  /// Commits the open epoch (cc designs: a drain; others: persist dirty
+  /// metadata) — the application-visible checkpoint.
+  void checkpoint() { nvm_->quiesce(); }
+
+  /// Enumerates every live entry (shard-major, bucket order).
+  void for_each(
+      const std::function<void(std::string_view key, std::string_view value)>&
+          fn);
+
+  /// Live entries across all shards.
+  std::uint64_t size() const;
+  /// Free heap lines in the fullest-used shard's allocator, for tests.
+  std::uint64_t free_heap_lines(std::size_t shard) const;
+
+  const StoreConfig& config() const { return config_; }
+  const StoreStats& stats() const { return stats_; }
+  core::SecureNvmBase& nvm() { return *nvm_; }
+
+ private:
+  struct Extent {
+    std::uint64_t first_line = 0;  // within the shard's heap
+    std::uint64_t num_lines = 0;
+  };
+
+  /// DRAM-side shard state, all derivable from the bucket headers.
+  struct Shard {
+    std::vector<Extent> free_list;
+    std::uint64_t bump = 0;  // heap lines handed out past the free list
+    std::uint64_t live = 0;
+    std::uint64_t tombstones = 0;
+  };
+
+  /// Decoded bucket header.
+  struct Entry {
+    std::uint8_t state = 0;
+    std::string key;
+    std::uint16_t vlen = 0;
+    std::uint32_t value_line = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// Outcome of a probe sequence for one key.
+  struct Probe {
+    std::optional<std::uint64_t> match;  // bucket holding the key
+    Entry match_entry;                   // valid when match is set
+    std::optional<std::uint64_t> insert_slot;  // first tombstone or empty
+    bool insert_slot_is_tombstone = false;
+  };
+
+  struct TagCtor {};  // open() path: skip the fresh-format assumptions
+  SecureKvStore(TagCtor, core::SecureNvmBase& nvm, const StoreConfig& config);
+
+  static std::uint64_t hash_key(std::string_view key);
+  std::size_t shard_of(std::uint64_t h) const;
+  std::uint64_t home_bucket(std::uint64_t h) const;
+  Addr bucket_addr(std::size_t shard, std::uint64_t bucket) const;
+  Addr heap_addr(std::size_t shard, std::uint64_t heap_line) const;
+
+  static Line encode_header(const Entry& e);
+  static Entry decode_header(const Line& line);
+
+  /// Reads + decodes one bucket header, counting the probe.
+  Entry read_bucket(std::size_t shard, std::uint64_t bucket);
+
+  /// Linear-probes `key`'s shard. Reads at most buckets_per_shard headers.
+  Probe probe(std::size_t shard, std::string_view key);
+
+  std::optional<std::uint64_t> alloc(std::size_t shard,
+                                     std::uint64_t num_lines);
+  void free_extent(std::size_t shard, const Extent& extent);
+
+  std::string read_value(std::size_t shard, const Entry& e);
+
+  static std::uint64_t value_lines(std::size_t vlen) {
+    return (static_cast<std::uint64_t>(vlen) + kLineSize - 1) / kLineSize;
+  }
+
+  core::SecureNvmBase* nvm_;
+  StoreConfig config_;
+  std::vector<Shard> shards_;
+  StoreStats stats_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace ccnvm::store

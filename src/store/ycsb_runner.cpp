@@ -1,0 +1,94 @@
+#include "store/ycsb_runner.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace ccnvm::store {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Deterministic value content: key id + version, so correctness checks
+/// can recompute what any read should return.
+std::string make_value(std::uint64_t key_id, std::uint64_t version,
+                       std::uint32_t bytes) {
+  std::string v(bytes, '\0');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<char>(static_cast<std::uint8_t>(
+        key_id * 31 + version * 131 + i));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t capacity_for(const StoreConfig& config) {
+  const std::uint64_t needed =
+      config.footprint_bytes() + config.footprint_bytes() / 4;
+  std::uint64_t pages = 16;  // smallest complete-tree geometry in use
+  while (pages * kPageSize < needed) pages *= 4;
+  return pages * kPageSize;
+}
+
+YcsbRunResult run_ycsb_workload(core::SecureNvmBase& design,
+                                const StoreConfig& store_config,
+                                const trace::YcsbWorkload& workload,
+                                const YcsbRunOptions& options) {
+  YcsbRunResult result;
+  SecureKvStore kv(design, store_config);
+  trace::YcsbGenerator gen(workload, options.seed);
+
+  const Clock::time_point load_start = Clock::now();
+  for (std::uint64_t id = 0; id < workload.record_count; ++id) {
+    CCNVM_CHECK_MSG(kv.put(trace::YcsbGenerator::key_name(id),
+                           make_value(id, 0, workload.value_bytes)),
+                    "YCSB load phase ran out of store capacity");
+  }
+  kv.checkpoint();
+  result.load_seconds = seconds_since(load_start);
+  design.reset_stats();
+
+  const Clock::time_point run_start = Clock::now();
+  std::uint64_t version = 1;
+  for (std::uint64_t i = 0; i < options.ops; ++i) {
+    const trace::KvOp op = gen.next();
+    const std::string key = trace::YcsbGenerator::key_name(op.key_id);
+    switch (op.type) {
+      case trace::KvOpType::kRead: {
+        CCNVM_CHECK_MSG(kv.get(key).has_value(), "YCSB read missed");
+        ++result.reads;
+        break;
+      }
+      case trace::KvOpType::kUpdate:
+      case trace::KvOpType::kInsert: {
+        CCNVM_CHECK_MSG(
+            kv.put(key, make_value(op.key_id, version++, op.value_bytes)),
+            "YCSB mutation ran out of store capacity");
+        ++result.mutations;
+        break;
+      }
+      case trace::KvOpType::kReadModifyWrite: {
+        CCNVM_CHECK_MSG(kv.get(key).has_value(), "YCSB RMW read missed");
+        ++result.reads;
+        CCNVM_CHECK_MSG(
+            kv.put(key, make_value(op.key_id, version++, op.value_bytes)),
+            "YCSB RMW write ran out of store capacity");
+        ++result.mutations;
+        break;
+      }
+    }
+    ++result.ops;
+  }
+  if (options.final_checkpoint) kv.checkpoint();
+  result.run_seconds = seconds_since(run_start);
+  result.traffic = design.traffic();
+  result.design_stats = design.stats();
+  return result;
+}
+
+}  // namespace ccnvm::store

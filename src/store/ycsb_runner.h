@@ -1,0 +1,57 @@
+// End-to-end YCSB execution against one secure-NVM design: load a fresh
+// store, run a request stream, and report ops/s plus the NVM write
+// traffic of the measured phase. Shared by bench/ycsb.cpp and the
+// `ccnvm kv run` subcommand so both print the same numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "store/kv_store.h"
+#include "trace/ycsb.h"
+
+namespace ccnvm::store {
+
+struct YcsbRunOptions {
+  std::uint64_t ops = 20'000;
+  std::uint64_t seed = 42;
+  /// Quiesce (drain) at the end of the measured phase so the cc designs'
+  /// pending metadata traffic is charged to the run, keeping the write
+  /// comparison across designs honest.
+  bool final_checkpoint = true;
+};
+
+struct YcsbRunResult {
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t mutations = 0;  // updates + inserts + RMW writes
+  double load_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// Traffic of the measured phase only (stats are reset after load).
+  nvm::TrafficStats traffic{};
+  core::DesignStats design_stats{};
+
+  double ops_per_sec() const {
+    return run_seconds > 0.0 ? static_cast<double>(ops) / run_seconds : 0.0;
+  }
+  double writes_per_op() const {
+    return ops > 0 ? static_cast<double>(traffic.total_writes()) /
+                         static_cast<double>(ops)
+                   : 0.0;
+  }
+};
+
+/// Loads `workload.record_count` records into a fresh store laid out by
+/// `store_config`, checkpoints, resets the design's stats, then runs
+/// `options.ops` operations from a YcsbGenerator. Every operation must
+/// succeed (a failed put or a missed read trips a CCNVM_CHECK — the store
+/// is sized by the caller to make failures impossible).
+YcsbRunResult run_ycsb_workload(core::SecureNvmBase& design,
+                                const StoreConfig& store_config,
+                                const trace::YcsbWorkload& workload,
+                                const YcsbRunOptions& options = {});
+
+/// The smallest power-of-4 page count whose data capacity fits `config`
+/// (NvmLayout requires a complete 4-ary tree), as a byte capacity.
+std::uint64_t capacity_for(const StoreConfig& config);
+
+}  // namespace ccnvm::store

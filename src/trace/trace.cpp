@@ -6,12 +6,28 @@
 #include "common/check.h"
 
 namespace ccnvm::trace {
+namespace {
+
+bool in_unit(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+void WorkloadProfile::validate() const {
+  CCNVM_CHECK_MSG(working_set_bytes >= kPageSize,
+                  "working set smaller than a page");
+  CCNVM_CHECK_MSG(in_unit(write_fraction), "write_fraction outside [0, 1]");
+  CCNVM_CHECK_MSG(in_unit(seq_prob), "seq_prob outside [0, 1]");
+  CCNVM_CHECK_MSG(in_unit(hot_prob), "hot_prob outside [0, 1]");
+  CCNVM_CHECK_MSG(hot_fraction > 0.0 && hot_fraction <= 1.0,
+                  "hot_fraction outside (0, 1]");
+  CCNVM_CHECK_MSG(mean_gap >= 0.0, "mean_gap must be non-negative");
+  CCNVM_CHECK_MSG(touches_per_line >= 1, "touches_per_line must be >= 1");
+}
 
 TraceGenerator::TraceGenerator(const WorkloadProfile& profile,
                                std::uint64_t seed)
     : profile_(profile), rng_(seed) {
-  CCNVM_CHECK_MSG(profile.working_set_bytes >= kPageSize,
-                  "working set smaller than a page");
+  profile.validate();
   ws_lines_ = profile.working_set_bytes / kLineSize;
   hot_lines_ = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(

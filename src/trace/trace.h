@@ -45,6 +45,12 @@ struct WorkloadProfile {
   /// within the 64 B line (e.g. 8 for a double-precision streaming kernel
   /// that reads every element). Drives realistic L1 filtering.
   std::uint32_t touches_per_line = 1;
+
+  /// CHECK-fails on out-of-range fields: probabilities outside [0, 1], a
+  /// working set smaller than a page, a negative gap, zero touches. Called
+  /// by TraceGenerator's constructor, so malformed profiles die at
+  /// construction rather than producing silently skewed streams.
+  void validate() const;
 };
 
 class TraceGenerator {

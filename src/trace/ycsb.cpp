@@ -1,0 +1,147 @@
+#include "trace/ycsb.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ccnvm::trace {
+namespace {
+
+bool in_unit(double p) { return p >= 0.0 && p <= 1.0; }
+
+/// Scrambled-zipfian mapping: spreads the popular ranks across the dense
+/// id space so hotness is not correlated with insertion order (YCSB's
+/// ScrambledZipfianGenerator does the same with FNV).
+std::uint64_t scramble(std::uint64_t rank) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((rank >> (8 * i)) & 0xFF)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void YcsbWorkload::validate() const {
+  CCNVM_CHECK_MSG(in_unit(read_prop) && in_unit(update_prop) &&
+                      in_unit(insert_prop) && in_unit(rmw_prop),
+                  "YCSB proportions must lie in [0, 1]");
+  const double sum = read_prop + update_prop + insert_prop + rmw_prop;
+  CCNVM_CHECK_MSG(std::abs(sum - 1.0) < 1e-9,
+                  "YCSB proportions must sum to 1");
+  CCNVM_CHECK_MSG(record_count >= 1, "YCSB needs at least one record");
+  CCNVM_CHECK_MSG(zipf_theta > 0.0 && zipf_theta < 1.0,
+                  "zipfian theta must lie in (0, 1)");
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta)
+    : items_(0), theta_(theta) {
+  CCNVM_CHECK_MSG(items >= 1, "zipfian over an empty set");
+  CCNVM_CHECK_MSG(theta > 0.0 && theta < 1.0, "zipfian theta out of range");
+  zeta2_ = 1.0 + std::pow(0.5, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  grow(items);
+}
+
+void ZipfianGenerator::grow(std::uint64_t items) {
+  CCNVM_CHECK_MSG(items >= items_, "zipfian item count cannot shrink");
+  for (std::uint64_t i = items_ + 1; i <= items; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  items_ = items;
+  refresh();
+}
+
+void ZipfianGenerator::refresh() {
+  const double n = static_cast<double>(items_);
+  eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta_)) / (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) {
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (items_ >= 2 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      static_cast<double>(items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= items_ ? items_ - 1 : rank;
+}
+
+YcsbGenerator::YcsbGenerator(const YcsbWorkload& workload, std::uint64_t seed)
+    : workload_(workload),
+      rng_(seed),
+      zipf_(workload.record_count, workload.zipf_theta),
+      keys_(workload.record_count) {
+  workload_.validate();
+}
+
+std::uint64_t YcsbGenerator::pick_existing_key() {
+  const std::uint64_t rank = zipf_.next(rng_);
+  if (workload_.read_latest) {
+    // Workload D: the most recently inserted keys are the most popular.
+    return keys_ - 1 - (rank >= keys_ ? keys_ - 1 : rank);
+  }
+  return scramble(rank) % keys_;
+}
+
+KvOp YcsbGenerator::next() {
+  KvOp op;
+  const double roll = rng_.uniform();
+  double edge = workload_.read_prop;
+  if (roll < edge) {
+    op.type = KvOpType::kRead;
+    op.key_id = pick_existing_key();
+    return op;
+  }
+  edge += workload_.update_prop;
+  if (roll < edge) {
+    op.type = KvOpType::kUpdate;
+    op.key_id = pick_existing_key();
+    op.value_bytes = workload_.value_bytes;
+    return op;
+  }
+  edge += workload_.insert_prop;
+  if (roll < edge) {
+    op.type = KvOpType::kInsert;
+    op.key_id = keys_++;
+    zipf_.grow(keys_);
+    op.value_bytes = workload_.value_bytes;
+    return op;
+  }
+  op.type = KvOpType::kReadModifyWrite;
+  op.key_id = pick_existing_key();
+  op.value_bytes = workload_.value_bytes;
+  return op;
+}
+
+std::string YcsbGenerator::key_name(std::uint64_t key_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%010llu",
+                static_cast<unsigned long long>(key_id));
+  return buf;
+}
+
+std::vector<YcsbWorkload> ycsb_workloads() {
+  return {
+      {.name = "ycsb-a", .read_prop = 0.5, .update_prop = 0.5},
+      {.name = "ycsb-b", .read_prop = 0.95, .update_prop = 0.05},
+      {.name = "ycsb-c", .read_prop = 1.0},
+      {.name = "ycsb-d",
+       .read_prop = 0.95,
+       .insert_prop = 0.05,
+       .read_latest = true},
+      {.name = "ycsb-f", .read_prop = 0.5, .rmw_prop = 0.5},
+  };
+}
+
+YcsbWorkload ycsb_by_name(const std::string& name) {
+  for (const YcsbWorkload& w : ycsb_workloads()) {
+    if (w.name == name) return w;
+  }
+  CCNVM_CHECK_MSG(false, "unknown YCSB workload");
+  return {};
+}
+
+}  // namespace ccnvm::trace

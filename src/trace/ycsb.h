@@ -1,0 +1,104 @@
+// YCSB-style key-value request streams.
+//
+// The SPEC-shaped streams in trace.h exercise the designs with raw memory
+// references; the store subsystem (src/store) needs *operation* streams.
+// This generator reproduces the YCSB core workloads' structure: a keyspace
+// of dense record ids, zipfian key popularity (Gray et al.'s generator,
+// the one YCSB itself uses), and the classic A/B/C/D/F read/update/insert
+// mixes. Like every generator in this repo it is deterministic from one
+// seed, so benchmark runs and crash campaigns are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ccnvm::trace {
+
+enum class KvOpType { kRead, kUpdate, kInsert, kReadModifyWrite };
+
+/// One store operation. `key_id` is a dense record id; the harness maps it
+/// to a key string (YcsbGenerator::key_name) and fabricates the value.
+struct KvOp {
+  KvOpType type = KvOpType::kRead;
+  std::uint64_t key_id = 0;
+  std::uint32_t value_bytes = 0;  // for kUpdate / kInsert / kReadModifyWrite
+};
+
+/// One YCSB core-workload shape. Proportions must sum to 1.
+struct YcsbWorkload {
+  std::string name;
+  double read_prop = 1.0;
+  double update_prop = 0.0;
+  double insert_prop = 0.0;
+  double rmw_prop = 0.0;
+  /// Records loaded before the run (the initial keyspace).
+  std::uint64_t record_count = 2000;
+  /// Zipfian skew; YCSB's default is 0.99.
+  double zipf_theta = 0.99;
+  std::uint32_t value_bytes = 100;
+  /// Workload-D style: popularity follows recency (newest keys hottest)
+  /// instead of the scrambled-zipfian mapping.
+  bool read_latest = false;
+
+  /// CHECK-fails on out-of-range proportions, a zero keyspace, or a theta
+  /// outside (0, 1).
+  void validate() const;
+};
+
+/// Zipfian ranks via Gray et al.'s rejection-free method: next() returns a
+/// rank in [0, items()) where rank 0 is the most popular. grow() extends
+/// the item count incrementally (zeta is extended, not recomputed), which
+/// is what insert-bearing workloads need.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t items, double theta);
+
+  std::uint64_t next(Rng& rng);
+  void grow(std::uint64_t items);
+  std::uint64_t items() const { return items_; }
+
+ private:
+  void refresh();
+
+  std::uint64_t items_;
+  double theta_;
+  double zetan_ = 0.0;  // zeta(items, theta), extended by grow()
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  double zeta2_ = 0.0;
+};
+
+class YcsbGenerator {
+ public:
+  YcsbGenerator(const YcsbWorkload& workload, std::uint64_t seed);
+
+  KvOp next();
+
+  /// Current keyspace: record_count plus inserts generated so far.
+  std::uint64_t key_count() const { return keys_; }
+  const YcsbWorkload& workload() const { return workload_; }
+
+  /// The canonical key string for a record id ("user" + zero-padded id).
+  static std::string key_name(std::uint64_t key_id);
+
+ private:
+  std::uint64_t pick_existing_key();
+
+  YcsbWorkload workload_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  std::uint64_t keys_;
+};
+
+/// The five implemented core workloads: ycsb-a (50/50 read/update),
+/// ycsb-b (95/5), ycsb-c (read-only), ycsb-d (95/5 read/insert,
+/// read-latest), ycsb-f (50/50 read/read-modify-write).
+std::vector<YcsbWorkload> ycsb_workloads();
+
+/// Looks a workload up by name (CHECK-fails if unknown).
+YcsbWorkload ycsb_by_name(const std::string& name);
+
+}  // namespace ccnvm::trace

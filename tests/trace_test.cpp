@@ -1,6 +1,7 @@
 // Tests pinning the synthetic workload generators' statistical behaviour.
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "trace/trace.h"
 
 namespace ccnvm::trace {
@@ -104,6 +105,34 @@ TEST(TraceTest, MultiTouchDwellsOnLines) {
     same += refs[i].addr == refs[i - 1].addr ? 1 : 0;
   }
   EXPECT_NEAR(static_cast<double>(same) / refs.size(), 7.0 / 8.0, 0.02);
+}
+
+TEST(TraceTest, ValidateRejectsOutOfRangeProfiles) {
+  const CheckThrowScope throw_scope;
+
+  WorkloadProfile tiny = profile_by_name("gcc");
+  tiny.working_set_bytes = kPageSize / 2;
+  EXPECT_THROW(tiny.validate(), CheckFailure);
+  EXPECT_THROW(TraceGenerator(tiny, 1), CheckFailure)
+      << "the constructor must validate too";
+
+  WorkloadProfile bad_frac = profile_by_name("gcc");
+  bad_frac.write_fraction = 1.5;
+  EXPECT_THROW(bad_frac.validate(), CheckFailure);
+
+  WorkloadProfile bad_hot = profile_by_name("gcc");
+  bad_hot.hot_fraction = 0.0;  // hot subset must be non-empty
+  EXPECT_THROW(bad_hot.validate(), CheckFailure);
+
+  WorkloadProfile bad_gap = profile_by_name("gcc");
+  bad_gap.mean_gap = -1.0;
+  EXPECT_THROW(bad_gap.validate(), CheckFailure);
+
+  WorkloadProfile no_touch = profile_by_name("gcc");
+  no_touch.touches_per_line = 0;
+  EXPECT_THROW(no_touch.validate(), CheckFailure);
+
+  profile_by_name("gcc").validate();  // the shipped profiles are legal
 }
 
 TEST(TraceTest, CacheResidentProfileHasSmallFootprint) {

@@ -1,0 +1,184 @@
+// Tests pinning the YCSB generator: zipfian shape and determinism, the
+// workload mixes' proportions, insert/keyspace growth, and validation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "trace/ycsb.h"
+
+namespace ccnvm::trace {
+namespace {
+
+TEST(ZipfianTest, RanksStayInRange) {
+  ZipfianGenerator zipf(100, 0.99);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.next(rng), 100u);
+  }
+}
+
+TEST(ZipfianTest, LowRanksDominate) {
+  // With theta = 0.99 over 1000 items, YCSB's generator sends a large
+  // share of draws to the first few ranks and a clearly decreasing share
+  // down the tail.
+  ZipfianGenerator zipf(1000, 0.99);
+  Rng rng(7);
+  constexpr int kDraws = 200000;
+  std::vector<int> count(1000, 0);
+  for (int i = 0; i < kDraws; ++i) ++count[zipf.next(rng)];
+  EXPECT_GT(count[0], count[10]);
+  EXPECT_GT(count[10], count[100]);
+  const double top10 =
+      static_cast<double>(count[0] + count[1] + count[2] + count[3] +
+                          count[4] + count[5] + count[6] + count[7] +
+                          count[8] + count[9]) /
+      kDraws;
+  EXPECT_GT(top10, 0.35) << "zipf(0.99) head too light";
+  EXPECT_LT(top10, 0.75) << "zipf(0.99) head too heavy";
+}
+
+TEST(ZipfianTest, UniformThetaZeroIsIllegalButNearZeroIsFlat) {
+  // theta -> 0 approaches uniform; the shape must follow theta.
+  ZipfianGenerator flat(100, 0.05);
+  ZipfianGenerator skewed(100, 0.99);
+  Rng r1(11), r2(11);
+  int flat_head = 0, skewed_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (flat.next(r1) == 0) ++flat_head;
+    if (skewed.next(r2) == 0) ++skewed_head;
+  }
+  EXPECT_GT(skewed_head, 4 * flat_head);
+}
+
+TEST(ZipfianTest, GrowExtendsTheDomain) {
+  ZipfianGenerator zipf(10, 0.99);
+  zipf.grow(1000);
+  EXPECT_EQ(zipf.items(), 1000u);
+  Rng rng(5);
+  bool saw_past_original = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t rank = zipf.next(rng);
+    ASSERT_LT(rank, 1000u);
+    if (rank >= 10) saw_past_original = true;
+  }
+  EXPECT_TRUE(saw_past_original);
+}
+
+TEST(YcsbTest, DeterministicFromSeed) {
+  const YcsbWorkload w = ycsb_by_name("ycsb-a");
+  YcsbGenerator a(w, 42), b(w, 42);
+  for (int i = 0; i < 2000; ++i) {
+    const KvOp oa = a.next(), ob = b.next();
+    ASSERT_EQ(oa.type, ob.type);
+    ASSERT_EQ(oa.key_id, ob.key_id);
+    ASSERT_EQ(oa.value_bytes, ob.value_bytes);
+  }
+}
+
+TEST(YcsbTest, SeedsDiffer) {
+  const YcsbWorkload w = ycsb_by_name("ycsb-a");
+  YcsbGenerator a(w, 1), b(w, 2);
+  int same = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (a.next().key_id == b.next().key_id) ++same;
+  }
+  EXPECT_LT(same, 1800) << "different seeds should give different streams";
+}
+
+TEST(YcsbTest, FiveWorkloadsWithExpectedNames) {
+  const auto workloads = ycsb_workloads();
+  ASSERT_EQ(workloads.size(), 5u);
+  const char* expect[] = {"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-f"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(workloads[i].name, expect[i]);
+    workloads[i].validate();
+  }
+}
+
+TEST(YcsbTest, MixProportionsTrackTheWorkload) {
+  for (const YcsbWorkload& w : ycsb_workloads()) {
+    YcsbGenerator gen(w, 9);
+    constexpr int kOps = 50000;
+    std::map<KvOpType, int> count;
+    for (int i = 0; i < kOps; ++i) ++count[gen.next().type];
+    const auto frac = [&](KvOpType t) {
+      return static_cast<double>(count[t]) / kOps;
+    };
+    EXPECT_NEAR(frac(KvOpType::kRead), w.read_prop, 0.02) << w.name;
+    EXPECT_NEAR(frac(KvOpType::kUpdate), w.update_prop, 0.02) << w.name;
+    EXPECT_NEAR(frac(KvOpType::kInsert), w.insert_prop, 0.02) << w.name;
+    EXPECT_NEAR(frac(KvOpType::kReadModifyWrite), w.rmw_prop, 0.02) << w.name;
+  }
+}
+
+TEST(YcsbTest, ReadsStayInsideTheCurrentKeyspace) {
+  const YcsbWorkload w = ycsb_by_name("ycsb-d");  // inserts + read-latest
+  YcsbGenerator gen(w, 21);
+  for (int i = 0; i < 20000; ++i) {
+    const KvOp op = gen.next();
+    ASSERT_LT(op.key_id, gen.key_count()) << w.name;
+  }
+  EXPECT_GT(gen.key_count(), w.record_count) << "workload D must insert";
+}
+
+TEST(YcsbTest, InsertsHandOutFreshDenseIds) {
+  YcsbWorkload w = ycsb_by_name("ycsb-d");
+  w.record_count = 10;
+  YcsbGenerator gen(w, 3);
+  std::uint64_t expected_next = 10;
+  for (int i = 0; i < 5000; ++i) {
+    const KvOp op = gen.next();
+    if (op.type == KvOpType::kInsert) {
+      EXPECT_EQ(op.key_id, expected_next++);
+    }
+  }
+  EXPECT_EQ(gen.key_count(), expected_next);
+}
+
+TEST(YcsbTest, ReadLatestFavoursRecentKeys) {
+  YcsbWorkload w = ycsb_by_name("ycsb-d");
+  w.record_count = 1000;
+  YcsbGenerator gen(w, 17);
+  std::uint64_t newest_third = 0, reads = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const KvOp op = gen.next();
+    if (op.type != KvOpType::kRead) continue;
+    ++reads;
+    if (op.key_id >= gen.key_count() - gen.key_count() / 3) ++newest_third;
+  }
+  ASSERT_GT(reads, 0u);
+  EXPECT_GT(static_cast<double>(newest_third) / static_cast<double>(reads),
+            0.5)
+      << "read-latest should concentrate on the newest keys";
+}
+
+TEST(YcsbTest, KeyNamesAreStableAndDistinct) {
+  EXPECT_EQ(YcsbGenerator::key_name(0), "user0000000000");
+  EXPECT_EQ(YcsbGenerator::key_name(42), "user0000000042");
+  EXPECT_NE(YcsbGenerator::key_name(1), YcsbGenerator::key_name(10));
+}
+
+TEST(YcsbTest, ValidateRejectsBadWorkloads) {
+  const CheckThrowScope throw_scope;
+  YcsbWorkload w = ycsb_by_name("ycsb-a");
+  w.read_prop = 0.9;  // sum != 1
+  EXPECT_THROW(w.validate(), CheckFailure);
+
+  YcsbWorkload zero_keys = ycsb_by_name("ycsb-c");
+  zero_keys.record_count = 0;
+  EXPECT_THROW(zero_keys.validate(), CheckFailure);
+
+  YcsbWorkload bad_theta = ycsb_by_name("ycsb-c");
+  bad_theta.zipf_theta = 1.0;  // Gray's formulas need theta in (0, 1)
+  EXPECT_THROW(bad_theta.validate(), CheckFailure);
+}
+
+TEST(YcsbTest, UnknownWorkloadNameTrips) {
+  const CheckThrowScope throw_scope;
+  EXPECT_THROW(ycsb_by_name("ycsb-z"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ccnvm::trace

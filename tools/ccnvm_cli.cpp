@@ -7,15 +7,20 @@
 //   ccnvm demo recovery                 functional crash+recover walkthrough
 //   ccnvm demo attack                   post-crash attack locating demo
 //   ccnvm audit [seed]                  audited crash sweep (CCNVM_AUDIT)
+//   ccnvm kv run <workload> <design>    YCSB over the secure KV store
+//   ccnvm kv sweep [seed]               KV crash-kill sweep (CCNVM_AUDIT)
 //
 // Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 
 #ifdef CCNVM_HAVE_AUDIT
 #include "audit/crash_sweep.h"
+#include "audit/kv_crash_sweep.h"
 #endif
 #include "attacks/injector.h"
 #include "common/rng.h"
@@ -23,10 +28,28 @@
 #include "nvm/layout.h"
 #include "secure/tree_compare.h"
 #include "sim/experiment.h"
+#include "store/ycsb_runner.h"
 
 using namespace ccnvm;
 
 namespace {
+
+/// Strict decimal parse for argv values: rejects empty strings, signs,
+/// non-digits and overflow instead of letting std::stoull throw (or
+/// silently accept "12abc").
+std::optional<std::uint64_t> parse_u64(const std::string& arg) {
+  if (arg.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : arg) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;  // overflow
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
 
 std::optional<core::DesignKind> parse_design(const std::string& name) {
   if (name == "wocc") return core::DesignKind::kWoCc;
@@ -181,6 +204,88 @@ int cmd_audit(std::uint64_t seed) {
 #endif
 }
 
+int cmd_kv_run(const std::string& workload_name, const std::string& design,
+               std::uint64_t ops, std::uint64_t records) {
+  const auto kind = parse_design(design);
+  if (!kind) {
+    std::fprintf(stderr, "unknown design '%s'\n", design.c_str());
+    return 2;
+  }
+  trace::YcsbWorkload workload;
+  bool found = false;
+  for (const trace::YcsbWorkload& w : trace::ycsb_workloads()) {
+    if (w.name == workload_name) {
+      workload = w;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown YCSB workload '%s' (ycsb-a..d, ycsb-f)\n",
+                 workload_name.c_str());
+    return 2;
+  }
+  workload.record_count = records;
+  store::YcsbRunOptions options;
+  options.ops = ops;
+  const std::uint64_t peak_keys = records + ops / 16 + 64;
+  const store::StoreConfig store_config =
+      store::StoreConfig::sized_for(peak_keys, workload.value_bytes);
+  core::DesignConfig design_config;
+  design_config.data_capacity = store::capacity_for(store_config);
+  auto nvm = core::make_design(*kind, design_config);
+  auto& base = dynamic_cast<core::SecureNvmBase&>(*nvm);
+  const store::YcsbRunResult r =
+      store::run_ycsb_workload(base, store_config, workload, options);
+  std::printf("%s on %s: %llu records, %llu ops\n",
+              std::string(nvm->name()).c_str(), workload.name.c_str(),
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(r.ops));
+  std::printf("  throughput          %.0f ops/s (load %.3f s, run %.3f s)\n",
+              r.ops_per_sec(), r.load_seconds, r.run_seconds);
+  std::printf("  reads / mutations   %llu / %llu\n",
+              static_cast<unsigned long long>(r.reads),
+              static_cast<unsigned long long>(r.mutations));
+  std::printf("  NVM writes          %llu (data %llu, DH %llu, counters "
+              "%llu, MT %llu)\n",
+              static_cast<unsigned long long>(r.traffic.total_writes()),
+              static_cast<unsigned long long>(r.traffic.data_writes),
+              static_cast<unsigned long long>(r.traffic.dh_writes),
+              static_cast<unsigned long long>(r.traffic.counter_writes),
+              static_cast<unsigned long long>(r.traffic.mt_writes));
+  std::printf("  writes per op       %.3f   drains %llu\n", r.writes_per_op(),
+              static_cast<unsigned long long>(r.design_stats.drains));
+  return 0;
+}
+
+int cmd_kv_sweep(std::uint64_t seed) {
+#ifdef CCNVM_HAVE_AUDIT
+  audit::KvCrashSweepConfig cfg;
+  cfg.seed = seed;
+  const audit::KvCrashSweepResult r = audit::run_kv_crash_sweep(cfg);
+  std::printf("kv crash-kill sweep: zero lost, zero spurious\n");
+  std::printf("  scenarios           %llu (crashes %llu, recoveries %llu)\n",
+              static_cast<unsigned long long>(r.scenarios),
+              static_cast<unsigned long long>(r.crashes),
+              static_cast<unsigned long long>(r.recoveries));
+  std::printf("  ops applied         %llu (killed mid-flight %llu)\n",
+              static_cast<unsigned long long>(r.ops_applied),
+              static_cast<unsigned long long>(r.in_flight_ops));
+  std::printf("  keys / survivors    %llu / %llu\n",
+              static_cast<unsigned long long>(r.keys_verified),
+              static_cast<unsigned long long>(r.survivors_scanned));
+  std::printf("  events / checks     %llu / %llu (image verifications %llu)\n",
+              static_cast<unsigned long long>(r.events_observed),
+              static_cast<unsigned long long>(r.checks_performed),
+              static_cast<unsigned long long>(r.image_verifications));
+  return 0;
+#else
+  (void)seed;
+  std::fprintf(stderr, "this ccnvm was built with CCNVM_AUDIT=OFF\n");
+  return 2;
+#endif
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: ccnvm list\n"
@@ -188,8 +293,20 @@ int usage() {
                "       ccnvm run <workload> <design> [refs=300000]\n"
                "       ccnvm compare <workload> [refs=300000]\n"
                "       ccnvm demo <recovery|attack>\n"
-               "       ccnvm audit [seed=1]\n");
+               "       ccnvm audit [seed=1]\n"
+               "       ccnvm kv run <ycsb-a|b|c|d|f> <design> [ops=20000] "
+               "[records=2000]\n"
+               "       ccnvm kv sweep [seed=1]\n"
+               "designs: wocc sc osiris ccnvm-nods ccnvm ccnvm-plus\n");
   return 2;
+}
+
+/// argv[i] as a checked number, or `fallback` when argv is too short.
+/// nullopt means a malformed argument (caller prints usage).
+std::optional<std::uint64_t> arg_u64(int argc, char** argv, int i,
+                                     std::uint64_t fallback) {
+  if (argc <= i) return fallback;
+  return parse_u64(argv[i]);
 }
 
 }  // namespace
@@ -199,18 +316,35 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
   if (cmd == "geometry" && argc >= 3) {
-    return cmd_geometry(std::stoull(argv[2]));
+    const auto mib = parse_u64(argv[2]);
+    return mib ? cmd_geometry(*mib) : usage();
   }
   if (cmd == "run" && argc >= 4) {
-    return cmd_run(argv[2], argv[3],
-                   argc >= 5 ? std::stoull(argv[4]) : 300000);
+    const auto refs = arg_u64(argc, argv, 4, 300000);
+    return refs ? cmd_run(argv[2], argv[3], *refs) : usage();
   }
   if (cmd == "compare" && argc >= 3) {
-    return cmd_compare(argv[2], argc >= 4 ? std::stoull(argv[3]) : 300000);
+    const auto refs = arg_u64(argc, argv, 3, 300000);
+    return refs ? cmd_compare(argv[2], *refs) : usage();
   }
   if (cmd == "demo" && argc >= 3) return cmd_demo(argv[2]);
   if (cmd == "audit") {
-    return cmd_audit(argc >= 3 ? std::stoull(argv[2]) : 1);
+    const auto seed = arg_u64(argc, argv, 2, 1);
+    return seed ? cmd_audit(*seed) : usage();
+  }
+  if (cmd == "kv" && argc >= 3) {
+    const std::string sub = argv[2];
+    if (sub == "run" && argc >= 5) {
+      const auto ops = arg_u64(argc, argv, 5, 20000);
+      const auto records = arg_u64(argc, argv, 6, 2000);
+      if (!ops || !records) return usage();
+      return cmd_kv_run(argv[3], argv[4], *ops, *records);
+    }
+    if (sub == "sweep") {
+      const auto seed = arg_u64(argc, argv, 3, 1);
+      return seed ? cmd_kv_sweep(*seed) : usage();
+    }
+    return usage();
   }
   return usage();
 }
