@@ -2,64 +2,32 @@
 
 #include <memory>
 #include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "audit/invariant_auditor.h"
+#include "audit/sweep_shape.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/cc_nvm.h"
 #include "core/design.h"
 
 namespace ccnvm::audit {
 namespace {
 
-constexpr std::uint64_t kPages = 64;
-
-Line pattern_line(std::uint64_t tag) {
-  Line l{};
-  for (std::size_t i = 0; i < kLineSize; ++i) {
-    l[i] = static_cast<std::uint8_t>(tag * 131 + i);
-  }
-  return l;
-}
-
-/// Geometry shaped so `trigger` is the drain trigger the workload hits:
-/// a DAQ too small for many distinct pages, a Meta Cache too small to
-/// hold the working set, an update limit a hammered line exceeds fast, or
-/// roomy everything so only explicit drains fire.
-core::DesignConfig sweep_config(core::DrainTrigger trigger) {
-  core::DesignConfig cfg;
-  cfg.data_capacity = kPages * kPageSize;
-  cfg.update_limit = 1u << 20;  // keep trigger (3) quiet by default
-  switch (trigger) {
-    case core::DrainTrigger::kDaqPressure:
-      cfg.daq_entries = 12;  // three distinct pages' reservations
-      break;
-    case core::DrainTrigger::kDirtyEviction:
-      cfg.meta_cache_bytes = 8 * kLineSize;
-      cfg.meta_cache_ways = 2;
-      break;
-    case core::DrainTrigger::kUpdateLimit:
-      cfg.update_limit = 4;
-      break;
-    case core::DrainTrigger::kExplicit:
-      break;
-  }
-  return cfg;
-}
-
 Addr sweep_addr(core::DrainTrigger trigger, std::size_t i, Rng& rng) {
   switch (trigger) {
     case core::DrainTrigger::kDaqPressure:
     case core::DrainTrigger::kDirtyEviction:
       // Distinct pages: each write-back reserves a fresh counter + path.
-      return (i % kPages) * kPageSize + (rng.below(kPageSize / kLineSize)) *
-                                            kLineSize;
+      return (i % kSweepPages) * kPageSize +
+             (rng.below(kPageSize / kLineSize)) * kLineSize;
     case core::DrainTrigger::kUpdateLimit:
       // Hammer one line past N, with a second line for post-crash
       // verification fodder.
       return (i % 5 == 4) ? kPageSize + kLineSize : 0;
     case core::DrainTrigger::kExplicit:
-      return rng.below(kPages * kPageSize / kLineSize) * kLineSize;
+      return rng.below(kSweepPages * kPageSize / kLineSize) * kLineSize;
   }
   return 0;
 }
@@ -80,17 +48,17 @@ void verify_acknowledged(core::SecureNvmDesign& design,
     const core::ReadResult r = design.read_block(addr);
     CCNVM_CHECK_MSG(r.integrity_ok,
                     "crash sweep: acknowledged write failed integrity");
-    CCNVM_CHECK_MSG(r.plaintext == pattern_line(tag),
+    CCNVM_CHECK_MSG(r.plaintext == sweep_pattern_line(tag),
                     "crash sweep: acknowledged write lost after recovery");
     ++totals.result.writes_verified;
   }
 }
 
-void run_cc_scenario(const CrashSweepConfig& config, core::DesignKind kind,
-                     core::DrainTrigger trigger, core::DrainCrashPoint point,
-                     SweepTotals& totals) {
+void run_cc_scenario(const CrashSweepConfig& config, std::uint64_t case_seed,
+                     core::DesignKind kind, core::DrainTrigger trigger,
+                     core::DrainCrashPoint point, SweepTotals& totals) {
   ++totals.result.scenarios;
-  auto design = core::make_design(kind, sweep_config(trigger));
+  auto design = core::make_design(kind, shaped_design_config(trigger));
   auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
   auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
   CCNVM_CHECK_MSG(base != nullptr && cc != nullptr,
@@ -99,10 +67,7 @@ void run_cc_scenario(const CrashSweepConfig& config, core::DesignKind kind,
       InvariantAuditor::Options{.verify_image = config.verify_image});
   auditor.attach(*base);
 
-  Rng rng(config.seed * 1000003 +
-          static_cast<std::uint64_t>(kind) * 101 +
-          static_cast<std::uint64_t>(trigger) * 11 +
-          static_cast<std::uint64_t>(point));
+  Rng rng(case_seed);
   std::unordered_map<Addr, std::uint64_t> latest;
   const bool armed =
       point != core::DrainCrashPoint::kNone &&
@@ -114,7 +79,7 @@ void run_cc_scenario(const CrashSweepConfig& config, core::DesignKind kind,
   for (std::size_t i = 0; i < config.ops_per_scenario && !crashed; ++i) {
     const Addr a = line_base(sweep_addr(trigger, i, rng));
     try {
-      design->write_back(a, pattern_line(++tag));
+      design->write_back(a, sweep_pattern_line(++tag));
       latest[a] = tag;
     } catch (const core::InjectedPowerLoss&) {
       // Power died inside this write-back's drain: the write was never
@@ -154,11 +119,12 @@ void run_cc_scenario(const CrashSweepConfig& config, core::DesignKind kind,
   totals.absorb(auditor);
 }
 
-void run_non_cc_scenario(const CrashSweepConfig& config, core::DesignKind kind,
+void run_non_cc_scenario(const CrashSweepConfig& config,
+                         std::uint64_t case_seed, core::DesignKind kind,
                          std::size_t crash_after, SweepTotals& totals) {
   ++totals.result.scenarios;
   core::DesignConfig cfg;
-  cfg.data_capacity = kPages * kPageSize;
+  cfg.data_capacity = kSweepPages * kPageSize;
   cfg.meta_cache_bytes = 16 * kLineSize;  // eviction traffic for the audit
   cfg.meta_cache_ways = 4;
   auto design = core::make_design(kind, cfg);
@@ -168,13 +134,12 @@ void run_non_cc_scenario(const CrashSweepConfig& config, core::DesignKind kind,
       InvariantAuditor::Options{.verify_image = config.verify_image});
   auditor.attach(*base);
 
-  Rng rng(config.seed * 7919 + static_cast<std::uint64_t>(kind) * 31 +
-          crash_after);
+  Rng rng(case_seed);
   std::unordered_map<Addr, std::uint64_t> latest;
   for (std::size_t i = 0; i < crash_after; ++i) {
-    const Addr a =
-        line_base(rng.below(kPages * kPageSize / kLineSize) * kLineSize);
-    design->write_back(a, pattern_line(i + 1));
+    const Addr a = line_base(rng.below(kSweepPages * kPageSize / kLineSize) *
+                             kLineSize);
+    design->write_back(a, sweep_pattern_line(i + 1));
     latest[a] = i + 1;
   }
   design->crash_power_loss();
@@ -192,39 +157,70 @@ void run_non_cc_scenario(const CrashSweepConfig& config, core::DesignKind kind,
   totals.absorb(auditor);
 }
 
-}  // namespace
+/// One cell of the sweep matrix, enumerable up front so the scenarios can
+/// run as independent jobs.
+struct CcScenario {
+  core::DesignKind kind;
+  core::DrainTrigger trigger;
+  core::DrainCrashPoint point;
+};
+struct NonCcScenario {
+  core::DesignKind kind;
+  std::size_t crash_after;
+};
+using Scenario = std::variant<CcScenario, NonCcScenario>;
 
-CrashSweepResult run_crash_sweep(const CrashSweepConfig& config) {
-  SweepTotals totals;
-
-  constexpr core::DesignKind kCcKinds[] = {core::DesignKind::kCcNvmNoDs,
-                                           core::DesignKind::kCcNvm,
-                                           core::DesignKind::kCcNvmPlus};
-  constexpr core::DrainTrigger kTriggers[] = {
-      core::DrainTrigger::kDaqPressure, core::DrainTrigger::kDirtyEviction,
-      core::DrainTrigger::kUpdateLimit, core::DrainTrigger::kExplicit};
-  constexpr core::DrainCrashPoint kPoints[] = {
-      core::DrainCrashPoint::kNone, core::DrainCrashPoint::kMidBatch,
-      core::DrainCrashPoint::kAfterBatchBeforeEnd,
-      core::DrainCrashPoint::kAfterEndBeforeCommit};
-
-  for (core::DesignKind kind : kCcKinds) {
-    for (core::DrainTrigger trigger : kTriggers) {
-      for (core::DrainCrashPoint point : kPoints) {
-        run_cc_scenario(config, kind, trigger, point, totals);
+std::vector<Scenario> enumerate_scenarios() {
+  std::vector<Scenario> scenarios;
+  for (core::DesignKind kind : kCcSweepKinds) {
+    for (core::DrainTrigger trigger : kSweepTriggers) {
+      for (core::DrainCrashPoint point : kSweepCrashPoints) {
+        scenarios.push_back(CcScenario{kind, trigger, point});
       }
     }
   }
-
-  constexpr core::DesignKind kOtherKinds[] = {core::DesignKind::kWoCc,
-                                              core::DesignKind::kStrict,
-                                              core::DesignKind::kOsirisPlus};
-  for (core::DesignKind kind : kOtherKinds) {
+  for (core::DesignKind kind : kNonCcSweepKinds) {
     for (std::size_t crash_after = 0; crash_after <= 24; crash_after += 4) {
-      run_non_cc_scenario(config, kind, crash_after, totals);
+      scenarios.push_back(NonCcScenario{kind, crash_after});
     }
   }
-  return totals.result;
+  return scenarios;
+}
+
+}  // namespace
+
+CrashSweepResult run_crash_sweep(const CrashSweepConfig& config) {
+  const std::vector<Scenario> scenarios = enumerate_scenarios();
+
+  // Each scenario derives its RNG stream from (seed, scenario index), so
+  // the totals below are bit-identical for every jobs value.
+  const std::vector<CrashSweepResult> partials =
+      parallel_map<CrashSweepResult>(
+          scenarios.size(), config.jobs, [&](std::size_t i) {
+            SweepTotals totals;
+            const std::uint64_t case_seed = derive_seed(config.seed, i);
+            if (const auto* cc = std::get_if<CcScenario>(&scenarios[i])) {
+              run_cc_scenario(config, case_seed, cc->kind, cc->trigger,
+                              cc->point, totals);
+            } else {
+              const auto& other = std::get<NonCcScenario>(scenarios[i]);
+              run_non_cc_scenario(config, case_seed, other.kind,
+                                  other.crash_after, totals);
+            }
+            return totals.result;
+          });
+
+  CrashSweepResult result;
+  for (const CrashSweepResult& p : partials) {
+    result.scenarios += p.scenarios;
+    result.crashes += p.crashes;
+    result.recoveries += p.recoveries;
+    result.writes_verified += p.writes_verified;
+    result.events_observed += p.events_observed;
+    result.checks_performed += p.checks_performed;
+    result.image_verifications += p.image_verifications;
+  }
+  return result;
 }
 
 }  // namespace ccnvm::audit

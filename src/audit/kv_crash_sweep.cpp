@@ -4,10 +4,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "audit/invariant_auditor.h"
+#include "audit/sweep_shape.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/cc_nvm.h"
 #include "core/design.h"
 #include "store/kv_store.h"
@@ -15,40 +18,18 @@
 namespace ccnvm::audit {
 namespace {
 
-constexpr std::uint64_t kPages = 64;
 constexpr std::size_t kKeys = 20;
+
+/// The store footprint is 8 pages, i.e. ~11 distinct tracked metadata
+/// lines; 6 DAQ entries force pressure drains while staying above the
+/// one-path minimum.
+constexpr std::size_t kKvSweepDaqEntries = 6;
 
 store::StoreConfig sweep_store_config() {
   store::StoreConfig cfg;
   cfg.shards = 2;
   cfg.buckets_per_shard = 64;
   cfg.heap_lines_per_shard = 192;  // 8 pages total, inside the 64-page DIMM
-  return cfg;
-}
-
-/// Same shaping idea as crash_sweep.cpp's sweep_config: geometry under
-/// which ordinary store traffic fires exactly the targeted drain trigger.
-core::DesignConfig sweep_design_config(core::DrainTrigger trigger) {
-  core::DesignConfig cfg;
-  cfg.data_capacity = kPages * kPageSize;
-  cfg.update_limit = 1u << 20;  // keep trigger (3) quiet by default
-  switch (trigger) {
-    case core::DrainTrigger::kDaqPressure:
-      // The store footprint is 8 pages, i.e. ~11 distinct tracked
-      // metadata lines; 6 entries force pressure drains while staying
-      // above the one-path minimum.
-      cfg.daq_entries = 6;
-      break;
-    case core::DrainTrigger::kDirtyEviction:
-      cfg.meta_cache_bytes = 8 * kLineSize;
-      cfg.meta_cache_ways = 2;
-      break;
-    case core::DrainTrigger::kUpdateLimit:
-      cfg.update_limit = 4;
-      break;
-    case core::DrainTrigger::kExplicit:
-      break;
-  }
   return cfg;
 }
 
@@ -169,11 +150,12 @@ void verify_reopened(store::SecureKvStore& kv, const Expected& expected,
   totals.result.survivors_scanned += scanned;
 }
 
-void run_cc_scenario(const KvCrashSweepConfig& config, core::DesignKind kind,
-                     core::DrainTrigger trigger, core::DrainCrashPoint point,
-                     SweepTotals& totals) {
+void run_cc_scenario(const KvCrashSweepConfig& config, std::uint64_t case_seed,
+                     core::DesignKind kind, core::DrainTrigger trigger,
+                     core::DrainCrashPoint point, SweepTotals& totals) {
   ++totals.result.scenarios;
-  auto design = core::make_design(kind, sweep_design_config(trigger));
+  auto design = core::make_design(
+      kind, shaped_design_config(trigger, kKvSweepDaqEntries));
   auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
   auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
   CCNVM_CHECK_MSG(base != nullptr && cc != nullptr,
@@ -182,9 +164,7 @@ void run_cc_scenario(const KvCrashSweepConfig& config, core::DesignKind kind,
       InvariantAuditor::Options{.verify_image = config.verify_image});
   auditor.attach(*base);
 
-  Rng rng(config.seed * 6700417 + static_cast<std::uint64_t>(kind) * 101 +
-          static_cast<std::uint64_t>(trigger) * 11 +
-          static_cast<std::uint64_t>(point));
+  Rng rng(case_seed);
   store::SecureKvStore kv(*base, sweep_store_config());
   Expected expected;
   std::optional<InFlightOp> in_flight;
@@ -228,11 +208,11 @@ void run_cc_scenario(const KvCrashSweepConfig& config, core::DesignKind kind,
 }
 
 void run_non_cc_scenario(const KvCrashSweepConfig& config,
-                         core::DesignKind kind, std::size_t crash_after,
-                         SweepTotals& totals) {
+                         std::uint64_t case_seed, core::DesignKind kind,
+                         std::size_t crash_after, SweepTotals& totals) {
   ++totals.result.scenarios;
   core::DesignConfig cfg;
-  cfg.data_capacity = kPages * kPageSize;
+  cfg.data_capacity = kSweepPages * kPageSize;
   cfg.meta_cache_bytes = 16 * kLineSize;  // eviction traffic for the audit
   cfg.meta_cache_ways = 4;
   auto design = core::make_design(kind, cfg);
@@ -242,8 +222,7 @@ void run_non_cc_scenario(const KvCrashSweepConfig& config,
       InvariantAuditor::Options{.verify_image = config.verify_image});
   auditor.attach(*base);
 
-  Rng rng(config.seed * 104729 + static_cast<std::uint64_t>(kind) * 31 +
-          crash_after);
+  Rng rng(case_seed);
   store::SecureKvStore kv(*base, sweep_store_config());
   Expected expected;
   std::optional<InFlightOp> in_flight;
@@ -270,39 +249,73 @@ void run_non_cc_scenario(const KvCrashSweepConfig& config,
   totals.absorb(auditor);
 }
 
-}  // namespace
+/// One cell of the sweep matrix, enumerable up front so the scenarios can
+/// run as independent jobs.
+struct CcScenario {
+  core::DesignKind kind;
+  core::DrainTrigger trigger;
+  core::DrainCrashPoint point;
+};
+struct NonCcScenario {
+  core::DesignKind kind;
+  std::size_t crash_after;
+};
+using Scenario = std::variant<CcScenario, NonCcScenario>;
 
-KvCrashSweepResult run_kv_crash_sweep(const KvCrashSweepConfig& config) {
-  SweepTotals totals;
-
-  constexpr core::DesignKind kCcKinds[] = {core::DesignKind::kCcNvmNoDs,
-                                           core::DesignKind::kCcNvm,
-                                           core::DesignKind::kCcNvmPlus};
-  constexpr core::DrainTrigger kTriggers[] = {
-      core::DrainTrigger::kDaqPressure, core::DrainTrigger::kDirtyEviction,
-      core::DrainTrigger::kUpdateLimit, core::DrainTrigger::kExplicit};
-  constexpr core::DrainCrashPoint kPoints[] = {
-      core::DrainCrashPoint::kNone, core::DrainCrashPoint::kMidBatch,
-      core::DrainCrashPoint::kAfterBatchBeforeEnd,
-      core::DrainCrashPoint::kAfterEndBeforeCommit};
-
-  for (core::DesignKind kind : kCcKinds) {
-    for (core::DrainTrigger trigger : kTriggers) {
-      for (core::DrainCrashPoint point : kPoints) {
-        run_cc_scenario(config, kind, trigger, point, totals);
+std::vector<Scenario> enumerate_scenarios() {
+  std::vector<Scenario> scenarios;
+  for (core::DesignKind kind : kCcSweepKinds) {
+    for (core::DrainTrigger trigger : kSweepTriggers) {
+      for (core::DrainCrashPoint point : kSweepCrashPoints) {
+        scenarios.push_back(CcScenario{kind, trigger, point});
       }
     }
   }
-
-  constexpr core::DesignKind kOtherKinds[] = {core::DesignKind::kWoCc,
-                                              core::DesignKind::kStrict,
-                                              core::DesignKind::kOsirisPlus};
-  for (core::DesignKind kind : kOtherKinds) {
+  for (core::DesignKind kind : kNonCcSweepKinds) {
     for (std::size_t crash_after = 0; crash_after <= 18; crash_after += 6) {
-      run_non_cc_scenario(config, kind, crash_after, totals);
+      scenarios.push_back(NonCcScenario{kind, crash_after});
     }
   }
-  return totals.result;
+  return scenarios;
+}
+
+}  // namespace
+
+KvCrashSweepResult run_kv_crash_sweep(const KvCrashSweepConfig& config) {
+  const std::vector<Scenario> scenarios = enumerate_scenarios();
+
+  // Each scenario derives its RNG stream from (seed, scenario index), so
+  // the totals below are bit-identical for every jobs value.
+  const std::vector<KvCrashSweepResult> partials =
+      parallel_map<KvCrashSweepResult>(
+          scenarios.size(), config.jobs, [&](std::size_t i) {
+            SweepTotals totals;
+            const std::uint64_t case_seed = derive_seed(config.seed, i);
+            if (const auto* cc = std::get_if<CcScenario>(&scenarios[i])) {
+              run_cc_scenario(config, case_seed, cc->kind, cc->trigger,
+                              cc->point, totals);
+            } else {
+              const auto& other = std::get<NonCcScenario>(scenarios[i]);
+              run_non_cc_scenario(config, case_seed, other.kind,
+                                  other.crash_after, totals);
+            }
+            return totals.result;
+          });
+
+  KvCrashSweepResult result;
+  for (const KvCrashSweepResult& p : partials) {
+    result.scenarios += p.scenarios;
+    result.crashes += p.crashes;
+    result.recoveries += p.recoveries;
+    result.ops_applied += p.ops_applied;
+    result.in_flight_ops += p.in_flight_ops;
+    result.keys_verified += p.keys_verified;
+    result.survivors_scanned += p.survivors_scanned;
+    result.events_observed += p.events_observed;
+    result.checks_performed += p.checks_performed;
+    result.image_verifications += p.image_verifications;
+  }
+  return result;
 }
 
 }  // namespace ccnvm::audit

@@ -30,6 +30,10 @@ struct KvCrashSweepConfig {
   std::size_t ops_per_scenario = 48;
   /// Forwarded to InvariantAuditor::Options::verify_image.
   bool verify_image = true;
+  /// Worker threads for the scenario matrix (0 = hardware concurrency).
+  /// Results are bit-identical for every value: each scenario derives its
+  /// RNG stream from (seed, scenario index) and totals fold in index order.
+  std::size_t jobs = 1;
 };
 
 struct KvCrashSweepResult {

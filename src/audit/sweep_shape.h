@@ -1,0 +1,81 @@
+// Shared scenario shaping for the crash sweeps and fuzz engines.
+//
+// Both sweeps (raw write-backs and KV operations) and the crash fuzzer
+// need the same ingredients: a design geometry under which ordinary
+// traffic fires exactly one targeted drain trigger, deterministic
+// pattern data, and the canonical scenario matrix (cc designs × triggers
+// × crash points, plus the non-draining designs). Previously each sweep
+// carried its own copy; this header is the single source.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/design.h"
+#include "core/protocol_observer.h"
+
+namespace ccnvm::audit {
+
+/// DIMM size every sweep scenario runs on (64 pages keeps the O(tree)
+/// image verifications affordable at full-matrix scale).
+inline constexpr std::uint64_t kSweepPages = 64;
+
+/// Deterministic line contents for tag `tag` — self-consistent fill used
+/// to verify acknowledged writes after recovery.
+inline Line sweep_pattern_line(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag * 131 + i);
+  }
+  return l;
+}
+
+/// Geometry shaped so `trigger` is the drain trigger the workload hits:
+/// a DAQ too small for many distinct pages, a Meta Cache too small to
+/// hold the working set, an update limit a hammered line exceeds fast, or
+/// roomy everything so only explicit drains fire. `daq_entries` lets the
+/// KV sweep (smaller footprint) tighten the pressure trigger.
+inline core::DesignConfig shaped_design_config(core::DrainTrigger trigger,
+                                               std::size_t daq_entries = 12) {
+  core::DesignConfig cfg;
+  cfg.data_capacity = kSweepPages * kPageSize;
+  cfg.update_limit = 1u << 20;  // keep trigger (3) quiet by default
+  switch (trigger) {
+    case core::DrainTrigger::kDaqPressure:
+      cfg.daq_entries = daq_entries;
+      break;
+    case core::DrainTrigger::kDirtyEviction:
+      cfg.meta_cache_bytes = 8 * kLineSize;
+      cfg.meta_cache_ways = 2;
+      break;
+    case core::DrainTrigger::kUpdateLimit:
+      cfg.update_limit = 4;
+      break;
+    case core::DrainTrigger::kExplicit:
+      break;
+  }
+  return cfg;
+}
+
+/// The canonical sweep matrix: every design that drains, every §4.2
+/// trigger, every §4.2 crash window.
+inline constexpr std::array<core::DesignKind, 3> kCcSweepKinds = {
+    core::DesignKind::kCcNvmNoDs, core::DesignKind::kCcNvm,
+    core::DesignKind::kCcNvmPlus};
+
+inline constexpr std::array<core::DrainTrigger, 4> kSweepTriggers = {
+    core::DrainTrigger::kDaqPressure, core::DrainTrigger::kDirtyEviction,
+    core::DrainTrigger::kUpdateLimit, core::DrainTrigger::kExplicit};
+
+inline constexpr std::array<core::DrainCrashPoint, 4> kSweepCrashPoints = {
+    core::DrainCrashPoint::kNone, core::DrainCrashPoint::kMidBatch,
+    core::DrainCrashPoint::kAfterBatchBeforeEnd,
+    core::DrainCrashPoint::kAfterEndBeforeCommit};
+
+/// The non-draining designs (crash-after-K-operations passes).
+inline constexpr std::array<core::DesignKind, 3> kNonCcSweepKinds = {
+    core::DesignKind::kWoCc, core::DesignKind::kStrict,
+    core::DesignKind::kOsirisPlus};
+
+}  // namespace ccnvm::audit

@@ -85,13 +85,18 @@ std::uint64_t OsirisPlusDesign::fetch_metadata(Addr line_addr) {
 }
 
 void OsirisPlusDesign::quiesce() {
-  // Persist every dirty counter line so audits and planned shutdowns see
-  // fresh counters. Tree nodes stay chip-only by design.
-  std::vector<Addr> dirty;
-  meta_cache_.for_each_dirty([&](Addr a) {
-    if (layout_.is_counter_addr(a)) dirty.push_back(a);
-  });
-  for (Addr a : dirty) {
+  // Persist every counter line whose NVM copy is stale so audits and
+  // planned shutdowns see fresh counters. Walking the cache's dirty lines
+  // is not enough: a stop-loss eviction drops a dirty counter without
+  // persisting it, leaving a stale NVM copy that is no longer cached —
+  // updates_since_persist_ still tracks it. Tree nodes stay chip-only by
+  // design.
+  std::vector<Addr> stale;
+  for (const auto& [a, updates] : updates_since_persist_) {
+    if (updates > 0 && layout_.is_counter_addr(a)) stale.push_back(a);
+  }
+  std::sort(stale.begin(), stale.end());
+  for (Addr a : stale) {
     persist_metadata(a, /*batched=*/false);
     meta_cache_.clean(a);
   }

@@ -12,6 +12,31 @@
 
 namespace ccnvm {
 
+/// One splitmix64 round — the finalizer used both to seed the generator
+/// state and to derive independent stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives an independent stream seed from (seed, stream). Concurrent
+/// jobs must never share one generator (their draws would interleave
+/// nondeterministically) nor use additive mixes like `seed * K + id`
+/// (nearby ids collide across seeds, correlating "independent" streams);
+/// chaining the splitmix64 finalizer through both words gives every
+/// (seed, stream) pair its own well-separated sequence.
+constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  return splitmix64(splitmix64(seed) ^ splitmix64(~stream));
+}
+
+/// Three-level variant for (seed, scenario, role)-style derivations.
+constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream,
+                                    std::uint64_t substream) {
+  return derive_seed(derive_seed(seed, stream), substream);
+}
+
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -22,11 +47,8 @@ class Rng {
   /// guarantees a well-mixed nonzero state for any seed (including 0).
   void reseed(std::uint64_t seed) {
     for (auto& word : state_) {
+      word = splitmix64(seed);
       seed += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
     }
   }
 

@@ -1,0 +1,84 @@
+// Deterministic parallel job executor.
+//
+// The fuzzing campaigns and crash sweeps are embarrassingly parallel: a
+// scenario/case is a pure function of (campaign seed, job index), and the
+// campaign result is a fold over the per-job results *in index order*.
+// parallel_for runs exactly that shape: jobs pull indices from a shared
+// atomic counter, write results only into their own index's slot, and the
+// caller reduces sequentially afterwards — so the observable outcome is
+// bit-identical for any worker count, including 1 (which runs inline on
+// the calling thread, with no threads spawned at all).
+//
+// Exceptions: a throwing job does not tear down the run. Every worker
+// keeps draining indices; after the join, the exception from the
+// *lowest-index* failing job is rethrown, so error reporting is as
+// deterministic as the results. Jobs that must survive their own failures
+// (fuzz cases) catch internally and return a failure value instead.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ccnvm {
+
+/// Number of workers to use for `jobs == 0` ("auto"): the hardware
+/// concurrency, floored at 1.
+inline std::size_t default_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs fn(i) for every i in [0, count) on `workers` threads (0 = auto).
+/// fn must not touch state shared with other indices except through its
+/// own result slot; the call returns after every index ran. The first
+/// exception by index order is rethrown.
+template <typename Fn>
+void parallel_for(std::size_t count, std::size_t workers, Fn&& fn) {
+  if (count == 0) return;
+  if (workers == 0) workers = default_parallelism();
+  if (workers > count) workers = count;
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(count);
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+/// parallel_for that materializes results: out[i] = fn(i). The output
+/// vector is ordered by index, so reductions over it are independent of
+/// the worker count and of scheduling.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, std::size_t workers, Fn&& fn) {
+  std::vector<T> out(count);
+  parallel_for(count, workers, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace ccnvm

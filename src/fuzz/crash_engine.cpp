@@ -1,0 +1,234 @@
+// Crash engine: randomized versions of the sweeps' scenarios.
+//
+// Where the sweeps enumerate the (design x trigger x crash point) matrix
+// with fixed workload shapes, each fuzz case *samples* one cell and then
+// randomizes everything the matrix holds constant: the operation mix and
+// order, the address/key distribution, where in the trace the armed drain
+// fires, and whether the workload is raw write-backs or KV operations.
+// The InvariantAuditor rides along, so a broken drain-protocol invariant
+// fails the case even when end-to-end recovery happens to look fine.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "audit/invariant_auditor.h"
+#include "audit/sweep_shape.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/cc_nvm.h"
+#include "core/design.h"
+#include "fuzz/fuzz.h"
+#include "store/kv_store.h"
+
+namespace ccnvm::fuzz::detail {
+namespace {
+
+using audit::kCcSweepKinds;
+using audit::kSweepCrashPoints;
+using audit::kSweepPages;
+using audit::kSweepTriggers;
+using audit::shaped_design_config;
+using audit::sweep_pattern_line;
+
+store::StoreConfig crash_store_config() {
+  store::StoreConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.heap_lines_per_shard = 192;
+  return cfg;
+}
+
+/// Random address whose distribution still fires `trigger`: spread-out
+/// pages for DAQ pressure / evictions, one hammered line (plus fodder)
+/// for the update limit.
+Addr crash_addr(core::DrainTrigger trigger, Rng& rng) {
+  if (trigger == core::DrainTrigger::kUpdateLimit && !rng.chance(0.2)) {
+    return 0;
+  }
+  return rng.below(kSweepPages * kPageSize / kLineSize) * kLineSize;
+}
+
+void run_raw_case(core::SecureNvmDesign& design, core::CcNvmDesign& cc,
+                  core::DrainTrigger trigger, core::DrainCrashPoint point,
+                  std::size_t max_ops, Rng& rng, CaseOutcome& out) {
+  std::unordered_map<Addr, std::uint64_t> latest;
+  bool crashed = false;
+  std::uint64_t tag = 0;
+  for (std::size_t i = 0; i < max_ops && !crashed; ++i) {
+    ++out.ops;
+    const Addr a = crash_addr(trigger, rng);
+    try {
+      design.write_back(a, sweep_pattern_line(++tag));
+      latest[a] = tag;
+    } catch (const core::InjectedPowerLoss&) {
+      latest.erase(a);  // never acknowledged: old-or-new is allowed
+      crashed = true;
+    }
+  }
+  if (trigger == core::DrainTrigger::kExplicit && !crashed) {
+    try {
+      cc.force_drain();
+    } catch (const core::InjectedPowerLoss&) {
+      crashed = true;
+    }
+  }
+  if (point != core::DrainCrashPoint::kNone) {
+    CCNVM_CHECK_MSG(crashed, "crash fuzz: armed drain never fired");
+    ++out.checks;
+  }
+
+  design.crash_power_loss();
+  ++out.crashes;
+  const core::RecoveryReport report = design.recover();
+  CCNVM_CHECK_MSG(report.clean, "crash fuzz: recovery not clean");
+  ++out.recoveries;
+  std::uint64_t acc = 0;  // order-insensitive: latest is an unordered_map
+  for (const auto& [addr, expect_tag] : latest) {
+    const core::ReadResult r = design.read_block(addr);
+    CCNVM_CHECK_MSG(r.integrity_ok && r.plaintext == sweep_pattern_line(expect_tag),
+                    "crash fuzz: acknowledged write lost after recovery");
+    ++out.checks;
+    acc ^= splitmix64(addr * 1000003 + expect_tag);
+  }
+  fold_digest(out.digest, acc);
+  fold_digest(out.digest, latest.size());
+}
+
+void run_kv_case(core::SecureNvmBase& base, core::CcNvmDesign& cc,
+                 core::DrainTrigger trigger, core::DrainCrashPoint point,
+                 std::size_t max_ops, Rng& rng, CaseOutcome& out) {
+  constexpr std::size_t kKeys = 16;
+  store::SecureKvStore kv(base, crash_store_config());
+  std::map<std::string, std::string> expected;
+  // The operation unwound by the injected power loss: its key may
+  // surface with the old or the new state, never a third one.
+  std::optional<std::string> in_flight_key;
+  std::optional<std::string> in_flight_before;
+  std::optional<std::string> in_flight_after;
+
+  bool crashed = false;
+  std::uint64_t tag = 0;
+  for (std::size_t i = 0; i < max_ops && !crashed; ++i) {
+    ++out.ops;
+    const std::size_t key_index =
+        (trigger == core::DrainTrigger::kUpdateLimit && !rng.chance(0.25))
+            ? 0
+            : static_cast<std::size_t>(rng.below(kKeys));
+    const std::string key = "fz-" + std::to_string(key_index);
+    const auto it = expected.find(key);
+    const std::optional<std::string> before =
+        it == expected.end() ? std::nullopt
+                             : std::optional<std::string>(it->second);
+    const std::uint64_t roll = rng.below(100);
+    try {
+      if (roll < 55) {
+        const std::uint64_t vtag = ++tag;
+        std::string value(rng.below(140), '\0');
+        for (std::size_t j = 0; j < value.size(); ++j) {
+          value[j] = static_cast<char>(static_cast<std::uint8_t>(vtag * 167 + j));
+        }
+        in_flight_key = key;
+        in_flight_before = before;
+        in_flight_after = value;
+        CCNVM_CHECK_MSG(kv.put(key, value), "crash fuzz: store full");
+        expected[key] = value;
+      } else if (roll < 80) {
+        in_flight_key = key;
+        in_flight_before = before;
+        in_flight_after = std::nullopt;
+        kv.erase(key);
+        expected.erase(key);
+      } else {
+        in_flight_key = key;
+        in_flight_before = before;
+        in_flight_after = before;
+        (void)kv.get(key);
+      }
+      in_flight_key.reset();
+    } catch (const core::InjectedPowerLoss&) {
+      crashed = true;
+    }
+  }
+  if (trigger == core::DrainTrigger::kExplicit && !crashed) {
+    try {
+      kv.checkpoint();
+    } catch (const core::InjectedPowerLoss&) {
+      crashed = true;
+    }
+  }
+  if (point != core::DrainCrashPoint::kNone) {
+    CCNVM_CHECK_MSG(crashed, "crash fuzz: armed drain never fired");
+    ++out.checks;
+  }
+
+  cc.crash_power_loss();
+  ++out.crashes;
+  const core::RecoveryReport report = cc.recover();
+  CCNVM_CHECK_MSG(report.clean, "crash fuzz: KV recovery not clean");
+  ++out.recoveries;
+
+  store::SecureKvStore reopened =
+      store::SecureKvStore::open(base, crash_store_config());
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::string key = "fz-" + std::to_string(i);
+    const std::optional<std::string> got = reopened.get(key);
+    if (in_flight_key && *in_flight_key == key) {
+      CCNVM_CHECK_MSG(got == in_flight_before || got == in_flight_after,
+                      "crash fuzz: in-flight operation left a third state");
+    } else if (const auto it = expected.find(key); it != expected.end()) {
+      CCNVM_CHECK_MSG(got.has_value() && *got == it->second,
+                      "crash fuzz: committed KV operation lost");
+    } else {
+      CCNVM_CHECK_MSG(!got.has_value(),
+                      "crash fuzz: erased/unwritten key reappeared");
+    }
+    ++out.checks;
+    fold_digest(out.digest, got ? got->size() + 1 : 0);
+  }
+  fold_digest(out.digest, reopened.size());
+}
+
+}  // namespace
+
+CaseOutcome run_crash_case(std::uint64_t case_seed, std::size_t max_ops,
+                           core::CcNvmDesign::ProtocolMutation planted_bug) {
+  CaseOutcome out;
+  Rng rng(case_seed);
+  const core::DesignKind kind = kCcSweepKinds[rng.below(kCcSweepKinds.size())];
+  const core::DrainTrigger trigger =
+      kSweepTriggers[rng.below(kSweepTriggers.size())];
+  const core::DrainCrashPoint point =
+      kSweepCrashPoints[rng.below(kSweepCrashPoints.size())];
+  const bool kv_mode = rng.chance(0.5);
+
+  auto design = core::make_design(
+      kind, shaped_design_config(trigger, kv_mode ? 6 : 12));
+  auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
+  auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
+  CCNVM_CHECK_MSG(base != nullptr && cc != nullptr,
+                  "crash fuzz needs a CcNvmDesign");
+  audit::InvariantAuditor auditor(
+      audit::InvariantAuditor::Options{.verify_image = true});
+  auditor.attach(*base);
+  if (planted_bug != core::CcNvmDesign::ProtocolMutation::kNone) {
+    cc->inject_protocol_mutation(planted_bug);
+  }
+  if (point != core::DrainCrashPoint::kNone) cc->arm_drain_crash(point);
+
+  if (kv_mode) {
+    run_kv_case(*base, *cc, trigger, point, max_ops, rng, out);
+  } else {
+    run_raw_case(*design, *cc, trigger, point, max_ops, rng, out);
+  }
+  out.checks += auditor.checks_performed();
+  fold_digest(out.digest, auditor.events_observed());
+  fold_digest(out.digest, auditor.checks_performed());
+  return out;
+}
+
+}  // namespace ccnvm::fuzz::detail

@@ -2,12 +2,11 @@
 // across crashes, against each design's claimed capability (§3, §4.4).
 #include <gtest/gtest.h>
 
-#include <algorithm>
-
 #include "attacks/injector.h"
 #include "common/rng.h"
 #include "core/cc_nvm.h"
 #include "core/design.h"
+#include "support/design_helpers.h"
 
 namespace ccnvm::core {
 namespace {
@@ -20,39 +19,15 @@ using attacks::spoof_counter;
 using attacks::spoof_data;
 using attacks::spoof_dh;
 using attacks::spoof_node;
-
-Line pattern_line(std::uint64_t tag) {
-  Line l{};
-  for (std::size_t i = 0; i < kLineSize; ++i) {
-    l[i] = static_cast<std::uint8_t>(tag * 11 + i);
-  }
-  return l;
-}
-
-DesignConfig small_config() {
-  DesignConfig c;
-  c.data_capacity = 64 * kPageSize;
-  return c;
-}
-
-bool located(const RecoveryReport& r, Addr addr) {
-  return std::find(r.tampered_blocks.begin(), r.tampered_blocks.end(),
-                   line_base(addr)) != r.tampered_blocks.end();
-}
-
-// Writes some data, quiesces (so metadata is persisted), and crashes.
-void populate_quiesce_crash(SecureNvmBase& design, int blocks = 20) {
-  for (int i = 0; i < blocks; ++i) {
-    design.write_back(static_cast<Addr>(i) * kLineSize, pattern_line(i));
-  }
-  design.quiesce();
-  design.crash_power_loss();
-}
+using testsupport::located;
+using testsupport::pattern_line;
+using testsupport::populate_quiesce_crash;
+using testsupport::small_design_config;
 
 // ---------------- Runtime detection ----------------
 
 TEST(RuntimeAttackTest, SpoofedDataFailsRead) {
-  auto design = make_design(DesignKind::kCcNvm, small_config());
+  auto design = make_design(DesignKind::kCcNvm, small_design_config());
   design->write_back(0x40, pattern_line(1));
   Rng rng(1);
   spoof_data(*design, 0x40, rng);
@@ -60,7 +35,7 @@ TEST(RuntimeAttackTest, SpoofedDataFailsRead) {
 }
 
 TEST(RuntimeAttackTest, SpoofedDhFailsRead) {
-  auto design = make_design(DesignKind::kCcNvm, small_config());
+  auto design = make_design(DesignKind::kCcNvm, small_design_config());
   design->write_back(0x40, pattern_line(1));
   Rng rng(1);
   spoof_dh(*design, 0x40, rng);
@@ -68,7 +43,7 @@ TEST(RuntimeAttackTest, SpoofedDhFailsRead) {
 }
 
 TEST(RuntimeAttackTest, SplicedDataFailsRead) {
-  auto design = make_design(DesignKind::kCcNvm, small_config());
+  auto design = make_design(DesignKind::kCcNvm, small_design_config());
   design->write_back(0 * kLineSize, pattern_line(1));
   design->write_back(9 * kLineSize, pattern_line(2));
   splice_data(*design, 0 * kLineSize, 9 * kLineSize);
@@ -80,7 +55,7 @@ TEST(RuntimeAttackTest, SplicedDataFailsRead) {
 TEST(RuntimeAttackTest, ReplayedDataFailsReadAtRuntime) {
   // At runtime the live counter is on-chip, so even a consistent old
   // (data, DH) pair mismatches the newer counter.
-  auto design = make_design(DesignKind::kCcNvm, small_config());
+  auto design = make_design(DesignKind::kCcNvm, small_design_config());
   design->write_back(0x40, pattern_line(1));
   auto* base = dynamic_cast<SecureNvmBase*>(design.get());
   base->quiesce();
@@ -91,7 +66,7 @@ TEST(RuntimeAttackTest, ReplayedDataFailsReadAtRuntime) {
 }
 
 TEST(RuntimeAttackTest, AuditFindsTamperedMetadata) {
-  auto design = make_design(DesignKind::kCcNvm, small_config());
+  auto design = make_design(DesignKind::kCcNvm, small_design_config());
   auto* base = dynamic_cast<SecureNvmBase*>(design.get());
   for (int i = 0; i < 10; ++i) {
     design->write_back(static_cast<Addr>(i) * kPageSize, pattern_line(i));
@@ -109,7 +84,7 @@ TEST(RuntimeAttackTest, AuditFindsTamperedMetadata) {
 class CcNvmPostCrashAttackTest : public ::testing::TestWithParam<bool> {
  protected:
   std::unique_ptr<CcNvmDesign> make() {
-    return std::make_unique<CcNvmDesign>(small_config(), GetParam());
+    return std::make_unique<CcNvmDesign>(small_design_config(), GetParam());
   }
 };
 
@@ -203,6 +178,9 @@ TEST_P(CcNvmPostCrashAttackTest, WholesaleRollbackIsDetected) {
   const RecoveryReport report = design->recover();
   EXPECT_TRUE(report.attack_detected)
       << "an internally consistent old image must still mismatch the roots";
+  EXPECT_TRUE(report.attack_located)
+      << "both roots committed past the snapshot: step 1 pinpoints it";
+  EXPECT_FALSE(report.replayed_nodes.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(BothVariants, CcNvmPostCrashAttackTest,
@@ -214,7 +192,7 @@ INSTANTIATE_TEST_SUITE_P(BothVariants, CcNvmPostCrashAttackTest,
 // ---------------- Post-crash: the baselines' limits ----------------
 
 TEST(BaselinePostCrashAttackTest, OsirisDetectsButCannotLocate) {
-  auto design = make_design(DesignKind::kOsirisPlus, small_config());
+  auto design = make_design(DesignKind::kOsirisPlus, small_design_config());
   auto* base = dynamic_cast<SecureNvmBase*>(design.get());
   populate_quiesce_crash(*base);
   Rng rng(9);
@@ -226,7 +204,7 @@ TEST(BaselinePostCrashAttackTest, OsirisDetectsButCannotLocate) {
 }
 
 TEST(BaselinePostCrashAttackTest, StrictLocatesSpoofedData) {
-  auto design = make_design(DesignKind::kStrict, small_config());
+  auto design = make_design(DesignKind::kStrict, small_design_config());
   auto* base = dynamic_cast<SecureNvmBase*>(design.get());
   populate_quiesce_crash(*base);
   Rng rng(9);
@@ -240,7 +218,7 @@ TEST(BaselinePostCrashAttackTest, StrictLocatesSpoofedData) {
 TEST(BaselinePostCrashAttackTest, NoAttackMeansCleanReports) {
   for (DesignKind kind : {DesignKind::kStrict, DesignKind::kOsirisPlus,
                           DesignKind::kCcNvmNoDs, DesignKind::kCcNvm}) {
-    auto design = make_design(kind, small_config());
+    auto design = make_design(kind, small_design_config());
     auto* base = dynamic_cast<SecureNvmBase*>(design.get());
     populate_quiesce_crash(*base);
     const RecoveryReport report = design->recover();
@@ -249,12 +227,103 @@ TEST(BaselinePostCrashAttackTest, NoAttackMeansCleanReports) {
   }
 }
 
+// ---------------- Splice / wholesale rollback, per recovery mode --------
+// The same two attacks against each RecoveryMode, pinning the §4.4
+// capability ladder: w/o CC cannot recover at all, SC locates, Osiris
+// detects but drops everything, cc-NVM's cases live in the suites above.
+
+TEST(RecoveryModeMatrixTest, WoCcIsUnrecoverableEvenWhenSpliced) {
+  auto design = make_design(DesignKind::kWoCc, small_design_config());
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  populate_quiesce_crash(*base);
+  splice_data(*design, 1 * kLineSize, 8 * kLineSize);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.unrecoverable) << "the volatile root died with power";
+  EXPECT_FALSE(report.clean);
+}
+
+TEST(RecoveryModeMatrixTest, WoCcIsUnrecoverableUnderWholesaleRollback) {
+  auto design = make_design(DesignKind::kWoCc, small_design_config());
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  for (int i = 0; i < 6; ++i) {
+    design->write_back(static_cast<Addr>(i) * kLineSize, pattern_line(i));
+  }
+  base->quiesce();
+  const nvm::NvmImage snapshot = design->image().snapshot();
+  design->write_back(2 * kLineSize, pattern_line(60));
+  base->quiesce();
+  base->crash_power_loss();
+  replay_everything(*design, snapshot);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.unrecoverable);
+}
+
+TEST(RecoveryModeMatrixTest, StrictLocatesSplicedData) {
+  auto design = make_design(DesignKind::kStrict, small_design_config());
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  populate_quiesce_crash(*base);
+  splice_data(*design, 4 * kLineSize, 13 * kLineSize);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_TRUE(report.attack_located);
+  EXPECT_TRUE(located(report, 4 * kLineSize));
+  EXPECT_TRUE(located(report, 13 * kLineSize));
+}
+
+TEST(RecoveryModeMatrixTest, StrictLocatesWholesaleRollback) {
+  // SC's NVM state is always current, so a rolled-back image mismatches
+  // the live root on the very chain walk — located, not just detected.
+  auto design = make_design(DesignKind::kStrict, small_design_config());
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  for (int i = 0; i < 6; ++i) {
+    design->write_back(static_cast<Addr>(i) * kLineSize, pattern_line(i));
+  }
+  const nvm::NvmImage snapshot = design->image().snapshot();
+  design->write_back(2 * kLineSize, pattern_line(60));
+  base->crash_power_loss();
+  replay_everything(*design, snapshot);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_TRUE(report.attack_located);
+  EXPECT_FALSE(report.clean);
+}
+
+TEST(RecoveryModeMatrixTest, OsirisDetectsSpliceButDropsData) {
+  auto design = make_design(DesignKind::kOsirisPlus, small_design_config());
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  populate_quiesce_crash(*base);
+  splice_data(*design, 4 * kLineSize, 13 * kLineSize);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected);
+  EXPECT_FALSE(report.attack_located) << "no second root to localize against";
+  EXPECT_TRUE(report.data_dropped) << "all data must go (§3)";
+}
+
+TEST(RecoveryModeMatrixTest, OsirisDetectsWholesaleRollback) {
+  auto design = make_design(DesignKind::kOsirisPlus, small_design_config());
+  auto* base = dynamic_cast<SecureNvmBase*>(design.get());
+  for (int i = 0; i < 6; ++i) {
+    design->write_back(static_cast<Addr>(i) * kLineSize, pattern_line(i));
+  }
+  base->quiesce();
+  const nvm::NvmImage snapshot = design->image().snapshot();
+  design->write_back(2 * kLineSize, pattern_line(60));
+  base->quiesce();
+  base->crash_power_loss();
+  replay_everything(*design, snapshot);
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.attack_detected)
+      << "the rebuilt root mismatches the TCB root";
+  EXPECT_FALSE(report.attack_located);
+  EXPECT_TRUE(report.data_dropped);
+}
+
 // Property sweep: random single-block spoofing anywhere in the written
 // region is always located by cc-NVM, exactly.
 class SpoofSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SpoofSweepTest, RandomVictimAlwaysLocated) {
-  CcNvmDesign design(small_config(), /*deferred_spreading=*/true);
+  CcNvmDesign design(small_design_config(), /*deferred_spreading=*/true);
   Rng rng(GetParam());
   const int blocks = 30;
   for (int i = 0; i < blocks; ++i) {

@@ -43,5 +43,23 @@ TEST(CrashSweepTest, ImageVerificationCanBeDisabled) {
   EXPECT_GT(r.checks_performed, 0u);
 }
 
+TEST(CrashSweepTest, ParallelSweepMatchesSerialExactly) {
+  // Scenario seeds derive from (campaign seed, index) and totals fold in
+  // index order, so the worker count must be unobservable.
+  CrashSweepConfig serial;
+  serial.seed = 21;
+  CrashSweepConfig wide = serial;
+  wide.jobs = 4;
+  const CrashSweepResult a = run_crash_sweep(serial);
+  const CrashSweepResult b = run_crash_sweep(wide);
+  EXPECT_EQ(a.scenarios, b.scenarios);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.writes_verified, b.writes_verified);
+  EXPECT_EQ(a.events_observed, b.events_observed);
+  EXPECT_EQ(a.checks_performed, b.checks_performed);
+  EXPECT_EQ(a.image_verifications, b.image_verifications);
+}
+
 }  // namespace
 }  // namespace ccnvm::audit

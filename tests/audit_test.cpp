@@ -12,23 +12,12 @@
 #include "common/check.h"
 #include "core/cc_nvm.h"
 #include "core/design.h"
+#include "support/design_helpers.h"
 
 namespace ccnvm::audit {
 namespace {
 
-Line pattern_line(std::uint64_t tag) {
-  Line l{};
-  for (std::size_t i = 0; i < kLineSize; ++i) {
-    l[i] = static_cast<std::uint8_t>(tag * 3 + i);
-  }
-  return l;
-}
-
-core::DesignConfig small_config() {
-  core::DesignConfig c;
-  c.data_capacity = 64 * kPageSize;
-  return c;
-}
+using testsupport::pattern_line;
 
 TEST(AuditTest, AuditorObservesEveryDesign) {
   // Checks run live on every design kind; merely finishing the workload
@@ -38,7 +27,7 @@ TEST(AuditTest, AuditorObservesEveryDesign) {
        {core::DesignKind::kWoCc, core::DesignKind::kStrict,
         core::DesignKind::kOsirisPlus, core::DesignKind::kCcNvmNoDs,
         core::DesignKind::kCcNvm, core::DesignKind::kCcNvmPlus}) {
-    auto design = core::make_design(kind, small_config());
+    auto design = core::make_design(kind, testsupport::small_design_config());
     auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
     ASSERT_NE(base, nullptr);
     InvariantAuditor auditor;
@@ -60,7 +49,7 @@ TEST(AuditTest, AuditorObservesEveryDesign) {
 }
 
 TEST(AuditTest, ArmedDrainCrashIsAuditedThroughRecovery) {
-  core::CcNvmDesign design(small_config(), /*deferred_spreading=*/true);
+  core::CcNvmDesign design(testsupport::small_design_config(), /*deferred_spreading=*/true);
   InvariantAuditor auditor;
   auditor.attach(design);
   for (std::uint64_t i = 0; i < 16; ++i) {
@@ -83,7 +72,7 @@ TEST(AuditTest, ArmedDrainCrashIsAuditedThroughRecovery) {
 // Runs a drain under `mutation` with the auditor attached and returns the
 // CCNVM_CHECK failure message, or "" if nothing tripped.
 std::string mutated_drain_failure(core::CcNvmDesign::ProtocolMutation m) {
-  core::CcNvmDesign design(small_config(), /*deferred_spreading=*/true);
+  core::CcNvmDesign design(testsupport::small_design_config(), /*deferred_spreading=*/true);
   InvariantAuditor auditor;
   auditor.attach(design);
   for (std::uint64_t i = 0; i < 8; ++i) {

@@ -8,33 +8,18 @@
 #include "attacks/injector.h"
 #include "common/rng.h"
 #include "core/cc_nvm_plus.h"
+#include "support/design_helpers.h"
 
 namespace ccnvm::core {
 namespace {
 
-Line pattern_line(std::uint64_t tag) {
-  Line l{};
-  for (std::size_t i = 0; i < kLineSize; ++i) {
-    l[i] = static_cast<std::uint8_t>(tag * 13 + i);
-  }
-  return l;
-}
-
-DesignConfig small_config() {
-  DesignConfig c;
-  c.data_capacity = 64 * kPageSize;
-  return c;
-}
-
-bool located(const RecoveryReport& r, Addr addr) {
-  return std::find(r.tampered_blocks.begin(), r.tampered_blocks.end(),
-                   line_base(addr)) != r.tampered_blocks.end();
-}
+using testsupport::located;
+using testsupport::pattern_line;
 
 TEST(CcNvmPlusTest, EpochWindowReplayIsLocated) {
   // The attack base cc-NVM can only detect (§4.3): replay an uncommitted
   // write-back. cc-NVM+ pinpoints the block.
-  CcNvmPlusDesign design(small_config());
+  CcNvmPlusDesign design(testsupport::small_design_config());
   design.write_back(0x40, pattern_line(1));
   design.force_drain();
   const nvm::NvmImage snapshot = design.image().snapshot();
@@ -52,7 +37,7 @@ TEST(CcNvmPlusTest, EpochWindowReplayIsLocated) {
 }
 
 TEST(CcNvmPlusTest, MultipleWindowReplaysAllLocated) {
-  CcNvmPlusDesign design(small_config());
+  CcNvmPlusDesign design(testsupport::small_design_config());
   for (Addr a : {Addr{0x0}, Addr{0x40}, Addr{0x80}, Addr{0xc0}}) {
     design.write_back(a, pattern_line(a));
   }
@@ -74,7 +59,7 @@ TEST(CcNvmPlusTest, MultipleWindowReplaysAllLocated) {
 }
 
 TEST(CcNvmPlusTest, CleanCrashHasNoFalsePositives) {
-  CcNvmPlusDesign design(small_config());
+  CcNvmPlusDesign design(testsupport::small_design_config());
   Rng rng(3);
   std::unordered_map<Addr, std::uint64_t> latest;
   for (std::uint64_t i = 0; i < 300; ++i) {
@@ -91,7 +76,7 @@ TEST(CcNvmPlusTest, CleanCrashHasNoFalsePositives) {
 }
 
 TEST(CcNvmPlusTest, CrashInCommitWindowIsClean) {
-  CcNvmPlusDesign design(small_config());
+  CcNvmPlusDesign design(testsupport::small_design_config());
   design.write_back(0, pattern_line(1));
   design.write_back(kPageSize, pattern_line(2));
   design.drain_and_crash(CcNvmDesign::DrainCrashPoint::kAfterEndBeforeCommit);
@@ -100,7 +85,7 @@ TEST(CcNvmPlusTest, CrashInCommitWindowIsClean) {
 }
 
 TEST(CcNvmPlusTest, RegistersClearAfterRecovery) {
-  CcNvmPlusDesign design(small_config());
+  CcNvmPlusDesign design(testsupport::small_design_config());
   design.write_back(0, pattern_line(1));
   EXPECT_FALSE(design.update_registers().empty());
   design.crash_power_loss();
@@ -111,7 +96,7 @@ TEST(CcNvmPlusTest, RegistersClearAfterRecovery) {
 }
 
 TEST(CcNvmPlusTest, RegistersClearAtDrainCommit) {
-  CcNvmPlusDesign design(small_config());
+  CcNvmPlusDesign design(testsupport::small_design_config());
   design.write_back(0, pattern_line(1));
   EXPECT_FALSE(design.update_registers().empty());
   design.force_drain();
@@ -119,7 +104,7 @@ TEST(CcNvmPlusTest, RegistersClearAtDrainCommit) {
 }
 
 TEST(CcNvmPlusTest, SpoofingStillLocated) {
-  CcNvmPlusDesign design(small_config());
+  CcNvmPlusDesign design(testsupport::small_design_config());
   for (int i = 0; i < 8; ++i) {
     design.write_back(static_cast<Addr>(i) * kLineSize, pattern_line(i));
   }
@@ -135,7 +120,7 @@ TEST(CcNvmPlusTest, SpoofingStillLocated) {
 TEST(CcNvmPlusTest, RuntimeBehaviourMatchesCcNvm) {
   // The registers change only recovery; traffic, drains and blocking must
   // be identical to cc-NVM with DS for the same write-back stream.
-  DesignConfig cfg = small_config();
+  DesignConfig cfg = testsupport::small_design_config();
   CcNvmPlusDesign plus(cfg);
   CcNvmDesign base(cfg, /*deferred_spreading=*/true);
   Rng rng(7);
@@ -150,7 +135,7 @@ TEST(CcNvmPlusTest, RuntimeBehaviourMatchesCcNvm) {
 }
 
 TEST(CcNvmPlusTest, FactoryProducesIt) {
-  auto design = make_design(DesignKind::kCcNvmPlus, small_config());
+  auto design = make_design(DesignKind::kCcNvmPlus, testsupport::small_design_config());
   EXPECT_EQ(design->name(), "cc-NVM+");
 }
 

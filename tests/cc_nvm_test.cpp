@@ -6,24 +6,17 @@
 #include "common/rng.h"
 #include "core/cc_nvm.h"
 #include "core/daq.h"
+#include "support/design_helpers.h"
 
 namespace ccnvm::core {
 namespace {
 
-Line pattern_line(std::uint64_t tag) {
-  Line l{};
-  for (std::size_t i = 0; i < kLineSize; ++i) {
-    l[i] = static_cast<std::uint8_t>(tag * 197 + i * 3);
-  }
-  return l;
-}
+using testsupport::pattern_line;
 
+// Local shorthand: the shared 64-page geometry with this file's most
+// frequently varied knobs first.
 DesignConfig cfg(std::size_t daq = 64, std::uint32_t n = 16) {
-  DesignConfig c;
-  c.data_capacity = 64 * kPageSize;
-  c.daq_entries = daq;
-  c.update_limit = n;
-  return c;
+  return testsupport::small_design_config(daq, n);
 }
 
 // ---------------- DirtyAddressQueue unit tests ----------------

@@ -1,0 +1,132 @@
+// The fuzzing campaigns as tier-1 tests: per-engine mini campaigns pass,
+// a fixed seed is bit-identical across worker counts, planted protocol
+// bugs are caught within a smoke budget, and failing cases minimize.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "fuzz/fuzz.h"
+
+namespace ccnvm::fuzz {
+namespace {
+
+using core::CcNvmDesign;
+
+FuzzConfig mini(Engine engine, std::uint64_t iters) {
+  FuzzConfig cfg;
+  cfg.engine = engine;
+  cfg.seed = 7;
+  cfg.iterations = iters;
+  cfg.jobs = 2;
+  return cfg;
+}
+
+TEST(FuzzEngineTest, NamesRoundTrip) {
+  for (Engine e : {Engine::kDifferential, Engine::kCrash, Engine::kAttack}) {
+    EXPECT_EQ(parse_engine(engine_name(e)), e);
+  }
+  EXPECT_EQ(parse_engine("diff"), Engine::kDifferential);
+  EXPECT_EQ(parse_engine("bogus"), std::nullopt);
+}
+
+TEST(FuzzCampaignTest, DifferentialMiniCampaignPasses) {
+  const FuzzCampaignResult r = run_fuzz_campaign(mini(Engine::kDifferential, 12));
+  EXPECT_TRUE(r.ok()) << (r.failures.empty() ? "" : r.failures[0].message);
+  EXPECT_EQ(r.iterations, 12u);
+  EXPECT_GT(r.reads_compared, 0u) << "cases must actually compare reads";
+  EXPECT_GT(r.checks, 0u);
+}
+
+TEST(FuzzCampaignTest, CrashMiniCampaignPasses) {
+  const FuzzCampaignResult r = run_fuzz_campaign(mini(Engine::kCrash, 16));
+  EXPECT_TRUE(r.ok()) << (r.failures.empty() ? "" : r.failures[0].message);
+  EXPECT_EQ(r.crashes, 16u) << "every crash case loses power";
+  EXPECT_EQ(r.recoveries, 16u);
+  EXPECT_GT(r.checks, 0u) << "the invariant auditor must have run";
+}
+
+TEST(FuzzCampaignTest, AttackMiniCampaignPasses) {
+  const FuzzCampaignResult r = run_fuzz_campaign(mini(Engine::kAttack, 24));
+  EXPECT_TRUE(r.ok()) << (r.failures.empty() ? "" : r.failures[0].message);
+  EXPECT_EQ(r.attacks, 24u) << "every case injects exactly one attack";
+}
+
+TEST(FuzzCampaignTest, FixedSeedIsBitIdenticalAcrossWorkerCounts) {
+  for (Engine engine :
+       {Engine::kDifferential, Engine::kCrash, Engine::kAttack}) {
+    FuzzConfig cfg = mini(engine, 10);
+    cfg.jobs = 1;
+    const FuzzCampaignResult serial = run_fuzz_campaign(cfg);
+    cfg.jobs = 8;
+    const FuzzCampaignResult wide = run_fuzz_campaign(cfg);
+    EXPECT_EQ(serial.digest, wide.digest) << engine_name(engine);
+    EXPECT_EQ(serial.ops, wide.ops) << engine_name(engine);
+    EXPECT_EQ(serial.checks, wide.checks) << engine_name(engine);
+  }
+}
+
+TEST(FuzzCampaignTest, PlantedProtocolBugsAreCaught) {
+  // The acceptance self-test: a deliberately broken drain protocol must
+  // be caught by the crash engine within a smoke-sized budget, with every
+  // reported failure carrying a replayable seed.
+  for (auto bug : {CcNvmDesign::ProtocolMutation::kLeakDaqEntry,
+                   CcNvmDesign::ProtocolMutation::kSkipNwbReset,
+                   CcNvmDesign::ProtocolMutation::kCommitBeforeEnd}) {
+    FuzzConfig cfg = mini(Engine::kCrash, 64);
+    cfg.seed = 1;
+    cfg.planted_bug = bug;
+    cfg.minimize = false;  // keep the self-test fast
+    const FuzzCampaignResult r = run_fuzz_campaign(cfg);
+    EXPECT_FALSE(r.ok()) << "planted bug survived the campaign";
+    for (const FuzzFailure& f : r.failures) {
+      EXPECT_NE(f.case_seed, 0u);
+      EXPECT_NE(f.repro(Engine::kCrash).find("--replay="), std::string::npos);
+    }
+  }
+}
+
+TEST(FuzzCampaignTest, MinimizationShrinksTheOpBudget) {
+  // With a planted bug most crash cases fail regardless of trailing ops,
+  // so the shrinker must find a budget well under the campaign max.
+  FuzzConfig cfg = mini(Engine::kCrash, 32);
+  cfg.seed = 1;
+  cfg.planted_bug = CcNvmDesign::ProtocolMutation::kLeakDaqEntry;
+  const FuzzCampaignResult r = run_fuzz_campaign(cfg);
+  ASSERT_FALSE(r.ok());
+  bool any_shrunk = false;
+  for (const FuzzFailure& f : r.failures) {
+    EXPECT_LE(f.ops, cfg.max_ops);
+    any_shrunk |= f.ops < cfg.max_ops;
+    // The minimized budget must still reproduce.
+    const CheckThrowScope throw_scope;
+    const CaseOutcome again =
+        run_fuzz_case(Engine::kCrash, f.case_seed, f.ops, cfg.planted_bug);
+    EXPECT_FALSE(again.ok) << "minimized repro no longer fails";
+  }
+  EXPECT_TRUE(any_shrunk);
+}
+
+TEST(FuzzCampaignTest, ReplayedCaseMatchesTheCampaignDigest) {
+  // A single case replayed standalone must produce the same digest the
+  // campaign folded in — this is what makes the repro line trustworthy.
+  FuzzConfig cfg = mini(Engine::kDifferential, 1);
+  const FuzzCampaignResult campaign = run_fuzz_campaign(cfg);
+  ASSERT_TRUE(campaign.ok());
+  const CheckThrowScope throw_scope;
+  const CaseOutcome replay =
+      run_fuzz_case(Engine::kDifferential, derive_seed(cfg.seed, 0),
+                    cfg.max_ops);
+  std::uint64_t folded = 0;
+  fold_digest(folded, replay.digest);
+  EXPECT_EQ(folded, campaign.digest);
+}
+
+TEST(FuzzCampaignTest, TimedModeRunsAtLeastOneBatch) {
+  FuzzConfig cfg = mini(Engine::kCrash, 0);
+  cfg.seconds = 0.2;
+  const FuzzCampaignResult r = run_fuzz_campaign(cfg);
+  EXPECT_TRUE(r.ok()) << (r.failures.empty() ? "" : r.failures[0].message);
+  EXPECT_GT(r.iterations, 0u);
+}
+
+}  // namespace
+}  // namespace ccnvm::fuzz

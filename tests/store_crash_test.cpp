@@ -47,5 +47,23 @@ TEST(KvCrashSweepTest, ImageVerificationCanBeDisabled) {
   EXPECT_GT(r.checks_performed, 0u);
 }
 
+TEST(KvCrashSweepTest, ParallelSweepMatchesSerialExactly) {
+  KvCrashSweepConfig serial;
+  serial.seed = 21;
+  serial.ops_per_scenario = 30;
+  KvCrashSweepConfig wide = serial;
+  wide.jobs = 4;
+  const KvCrashSweepResult a = run_kv_crash_sweep(serial);
+  const KvCrashSweepResult b = run_kv_crash_sweep(wide);
+  EXPECT_EQ(a.scenarios, b.scenarios);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.ops_applied, b.ops_applied);
+  EXPECT_EQ(a.in_flight_ops, b.in_flight_ops);
+  EXPECT_EQ(a.keys_verified, b.keys_verified);
+  EXPECT_EQ(a.survivors_scanned, b.survivors_scanned);
+  EXPECT_EQ(a.events_observed, b.events_observed);
+  EXPECT_EQ(a.checks_performed, b.checks_performed);
+}
+
 }  // namespace
 }  // namespace ccnvm::audit

@@ -11,31 +11,15 @@
 #include "core/design.h"
 #include "store/kv_store.h"
 #include "store/ycsb_runner.h"
+#include "support/design_helpers.h"
+#include "support/store_helpers.h"
 
 namespace ccnvm::store {
 namespace {
 
-core::DesignConfig small_design_config() {
-  core::DesignConfig cfg;
-  cfg.data_capacity = 64 * kPageSize;
-  return cfg;
-}
-
-StoreConfig small_store_config() {
-  StoreConfig cfg;
-  cfg.shards = 2;
-  cfg.buckets_per_shard = 64;
-  cfg.heap_lines_per_shard = 192;
-  return cfg;
-}
-
-std::string value_of(std::size_t len, char seed) {
-  std::string v(len, '\0');
-  for (std::size_t i = 0; i < len; ++i) {
-    v[i] = static_cast<char>(seed + static_cast<char>(i % 23));
-  }
-  return v;
-}
+using testsupport::small_design_config;
+using testsupport::small_store_config;
+using testsupport::value_of;
 
 TEST(StoreConfigTest, FootprintArithmetic) {
   const StoreConfig cfg = small_store_config();

@@ -1,0 +1,53 @@
+// Shared fixtures for design-level tests: the canonical 64-page test
+// geometry, deterministic payload lines, and the populate/quiesce/crash
+// preamble most post-crash tests start from. Header-only so any test
+// binary can use it without extra link dependencies.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/design.h"
+
+namespace ccnvm::testsupport {
+
+/// Deterministic, tag-distinguishable payload line.
+inline Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  for (std::size_t i = 0; i < kLineSize; ++i) {
+    l[i] = static_cast<std::uint8_t>(tag * 11 + i);
+  }
+  return l;
+}
+
+/// 64-page DIMM (a complete arity-4 tree), paper-default knobs unless a
+/// test overrides them.
+inline core::DesignConfig small_design_config(
+    std::size_t daq_entries = 64, std::uint32_t update_limit = 16) {
+  core::DesignConfig c;
+  c.data_capacity = 64 * kPageSize;
+  c.daq_entries = daq_entries;
+  c.update_limit = update_limit;
+  return c;
+}
+
+/// Did recovery pin `addr`'s block as tampered?
+inline bool located(const core::RecoveryReport& r, Addr addr) {
+  return std::find(r.tampered_blocks.begin(), r.tampered_blocks.end(),
+                   line_base(addr)) != r.tampered_blocks.end();
+}
+
+/// Writes some data, quiesces (so metadata is persisted), and crashes —
+/// the standard preamble for post-crash attack/recovery tests.
+inline void populate_quiesce_crash(core::SecureNvmBase& design,
+                                   int blocks = 20) {
+  for (int i = 0; i < blocks; ++i) {
+    design.write_back(static_cast<Addr>(i) * kLineSize,
+                      pattern_line(static_cast<std::uint64_t>(i)));
+  }
+  design.quiesce();
+  design.crash_power_loss();
+}
+
+}  // namespace ccnvm::testsupport

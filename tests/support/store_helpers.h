@@ -1,0 +1,31 @@
+// Shared fixtures for KV service-layer tests: the 2-shard test store
+// geometry and deterministic value payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "store/kv_store.h"
+
+namespace ccnvm::testsupport {
+
+/// Two shards, 8 data pages total — fits the 64-page test DIMM with room
+/// for metadata.
+inline store::StoreConfig small_store_config() {
+  store::StoreConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.heap_lines_per_shard = 192;
+  return cfg;
+}
+
+/// Deterministic printable-ish payload of the given length.
+inline std::string value_of(std::size_t len, char seed) {
+  std::string v(len, '\0');
+  for (std::size_t i = 0; i < len; ++i) {
+    v[i] = static_cast<char>(seed + static_cast<char>(i % 23));
+  }
+  return v;
+}
+
+}  // namespace ccnvm::testsupport

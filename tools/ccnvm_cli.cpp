@@ -6,9 +6,12 @@
 //   ccnvm compare <workload> [refs]        all designs, normalized table
 //   ccnvm demo recovery                 functional crash+recover walkthrough
 //   ccnvm demo attack                   post-crash attack locating demo
-//   ccnvm audit [seed]                  audited crash sweep (CCNVM_AUDIT)
+//   ccnvm audit [seed] [jobs]           audited crash sweep (CCNVM_AUDIT)
 //   ccnvm kv run <workload> <design>    YCSB over the secure KV store
-//   ccnvm kv sweep [seed]               KV crash-kill sweep (CCNVM_AUDIT)
+//   ccnvm kv sweep [seed] [jobs]        KV crash-kill sweep (CCNVM_AUDIT)
+//   ccnvm fuzz --engine=<diff|crash|attack> [--seed=S] [--budget=N|Ns]
+//              [--jobs=J] [--ops=K] [--replay=CASE_SEED] [--out=FILE]
+//                                       randomized campaigns (CCNVM_AUDIT)
 //
 // Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus
 #include <cctype>
@@ -21,6 +24,8 @@
 #ifdef CCNVM_HAVE_AUDIT
 #include "audit/crash_sweep.h"
 #include "audit/kv_crash_sweep.h"
+#include "common/check.h"
+#include "fuzz/fuzz.h"
 #endif
 #include "attacks/injector.h"
 #include "common/rng.h"
@@ -180,10 +185,11 @@ int cmd_demo(const std::string& which) {
   return 2;
 }
 
-int cmd_audit(std::uint64_t seed) {
+int cmd_audit(std::uint64_t seed, std::uint64_t jobs) {
 #ifdef CCNVM_HAVE_AUDIT
   audit::CrashSweepConfig cfg;
   cfg.seed = seed;
+  cfg.jobs = static_cast<std::size_t>(jobs);
   const audit::CrashSweepResult r = audit::run_crash_sweep(cfg);
   std::printf("audited crash sweep: all invariants held\n");
   std::printf("  scenarios           %llu (crashes %llu, recoveries %llu)\n",
@@ -199,6 +205,7 @@ int cmd_audit(std::uint64_t seed) {
   return 0;
 #else
   (void)seed;
+  (void)jobs;
   std::fprintf(stderr, "this ccnvm was built with CCNVM_AUDIT=OFF\n");
   return 2;
 #endif
@@ -258,10 +265,11 @@ int cmd_kv_run(const std::string& workload_name, const std::string& design,
   return 0;
 }
 
-int cmd_kv_sweep(std::uint64_t seed) {
+int cmd_kv_sweep(std::uint64_t seed, std::uint64_t jobs) {
 #ifdef CCNVM_HAVE_AUDIT
   audit::KvCrashSweepConfig cfg;
   cfg.seed = seed;
+  cfg.jobs = static_cast<std::size_t>(jobs);
   const audit::KvCrashSweepResult r = audit::run_kv_crash_sweep(cfg);
   std::printf("kv crash-kill sweep: zero lost, zero spurious\n");
   std::printf("  scenarios           %llu (crashes %llu, recoveries %llu)\n",
@@ -281,6 +289,165 @@ int cmd_kv_sweep(std::uint64_t seed) {
   return 0;
 #else
   (void)seed;
+  (void)jobs;
+  std::fprintf(stderr, "this ccnvm was built with CCNVM_AUDIT=OFF\n");
+  return 2;
+#endif
+}
+
+#ifdef CCNVM_HAVE_AUDIT
+std::optional<core::CcNvmDesign::ProtocolMutation> parse_planted_bug(
+    const std::string& name) {
+  using M = core::CcNvmDesign::ProtocolMutation;
+  if (name == "none") return M::kNone;
+  if (name == "leak-daq") return M::kLeakDaqEntry;
+  if (name == "skip-nwb-reset") return M::kSkipNwbReset;
+  if (name == "commit-before-end") return M::kCommitBeforeEnd;
+  return std::nullopt;
+}
+
+void print_failures(const fuzz::FuzzCampaignResult& result,
+                    const std::string& out_path) {
+  for (const fuzz::FuzzFailure& f : result.failures) {
+    const std::string first_line =
+        f.message.substr(0, f.message.find('\n'));
+    std::printf("FAIL iteration=%llu seed=%llu ops=%llu: %s\n",
+                static_cast<unsigned long long>(f.iteration),
+                static_cast<unsigned long long>(f.case_seed),
+                static_cast<unsigned long long>(f.ops), first_line.c_str());
+    std::printf("  repro: %s\n", f.repro(result.engine).c_str());
+  }
+  if (!out_path.empty()) {
+    if (std::FILE* out = std::fopen(out_path.c_str(), "w")) {
+      for (const fuzz::FuzzFailure& f : result.failures) {
+        std::fprintf(out, "%s\n", f.repro(result.engine).c_str());
+      }
+      std::fclose(out);
+      std::printf("failing seeds written to %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    }
+  }
+}
+#endif
+
+int usage();
+
+int cmd_fuzz(int argc, char** argv) {
+#ifdef CCNVM_HAVE_AUDIT
+  fuzz::FuzzConfig cfg;
+  std::optional<std::uint64_t> replay;
+  std::string out_path;
+  bool engine_set = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of =
+        [&arg](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.size() >= n && arg.compare(0, n, prefix) == 0) {
+        return arg.substr(n);
+      }
+      return std::nullopt;
+    };
+    if (const auto v = value_of("--engine=")) {
+      const auto engine = fuzz::parse_engine(*v);
+      if (!engine) {
+        std::fprintf(stderr, "unknown engine '%s' (diff|crash|attack)\n",
+                     v->c_str());
+        return 2;
+      }
+      cfg.engine = *engine;
+      engine_set = true;
+    } else if (const auto v = value_of("--seed=")) {
+      const auto seed = parse_u64(*v);
+      if (!seed) return usage();
+      cfg.seed = *seed;
+    } else if (const auto v = value_of("--jobs=")) {
+      const auto jobs = parse_u64(*v);
+      if (!jobs) return usage();
+      cfg.jobs = static_cast<std::size_t>(*jobs);
+    } else if (const auto v = value_of("--budget=")) {
+      // Digits = case count; an 's' suffix = wall-clock seconds (timed
+      // campaigns keep per-case determinism only).
+      if (!v->empty() && v->back() == 's') {
+        const auto secs = parse_u64(v->substr(0, v->size() - 1));
+        if (!secs) return usage();
+        cfg.seconds = static_cast<double>(*secs);
+      } else {
+        const auto iters = parse_u64(*v);
+        if (!iters) return usage();
+        cfg.iterations = *iters;
+      }
+    } else if (const auto v = value_of("--ops=")) {
+      const auto ops = parse_u64(*v);
+      if (!ops) return usage();
+      cfg.max_ops = static_cast<std::size_t>(*ops);
+    } else if (const auto v = value_of("--replay=")) {
+      replay = parse_u64(*v);
+      if (!replay) return usage();
+    } else if (const auto v = value_of("--out=")) {
+      out_path = *v;
+    } else if (const auto v = value_of("--planted-bug=")) {
+      const auto bug = parse_planted_bug(*v);
+      if (!bug) {
+        std::fprintf(stderr,
+                     "unknown planted bug '%s' "
+                     "(none|leak-daq|skip-nwb-reset|commit-before-end)\n",
+                     v->c_str());
+        return 2;
+      }
+      cfg.planted_bug = *bug;
+    } else if (arg == "--no-minimize") {
+      cfg.minimize = false;
+    } else {
+      return usage();
+    }
+  }
+  if (!engine_set) return usage();
+
+  if (replay) {
+    // Single-case replay of a reported failure seed.
+    CheckThrowScope throw_scope;
+    const fuzz::CaseOutcome outcome =
+        fuzz::run_fuzz_case(cfg.engine, *replay, cfg.max_ops, cfg.planted_bug);
+    if (outcome.ok) {
+      std::printf("replay %llu on %s: ok (%llu ops, digest %016llx)\n",
+                  static_cast<unsigned long long>(*replay),
+                  std::string(fuzz::engine_name(cfg.engine)).c_str(),
+                  static_cast<unsigned long long>(outcome.ops),
+                  static_cast<unsigned long long>(outcome.digest));
+      return 0;
+    }
+    std::printf("replay %llu on %s: FAIL\n%s\n",
+                static_cast<unsigned long long>(*replay),
+                std::string(fuzz::engine_name(cfg.engine)).c_str(),
+                outcome.message.c_str());
+    return 1;
+  }
+
+  const fuzz::FuzzCampaignResult result = fuzz::run_fuzz_campaign(cfg);
+  std::printf("fuzz %s: %llu cases, seed %llu, digest %016llx\n",
+              std::string(fuzz::engine_name(result.engine)).c_str(),
+              static_cast<unsigned long long>(result.iterations),
+              static_cast<unsigned long long>(result.seed),
+              static_cast<unsigned long long>(result.digest));
+  std::printf("  ops %llu  crashes %llu  recoveries %llu  attacks %llu\n",
+              static_cast<unsigned long long>(result.ops),
+              static_cast<unsigned long long>(result.crashes),
+              static_cast<unsigned long long>(result.recoveries),
+              static_cast<unsigned long long>(result.attacks));
+  std::printf("  reads compared %llu  checks %llu  failures %llu\n",
+              static_cast<unsigned long long>(result.reads_compared),
+              static_cast<unsigned long long>(result.checks),
+              static_cast<unsigned long long>(result.failures.size()));
+  if (!result.ok()) {
+    print_failures(result, out_path);
+    return 1;
+  }
+  return 0;
+#else
+  (void)argc;
+  (void)argv;
   std::fprintf(stderr, "this ccnvm was built with CCNVM_AUDIT=OFF\n");
   return 2;
 #endif
@@ -293,10 +460,14 @@ int usage() {
                "       ccnvm run <workload> <design> [refs=300000]\n"
                "       ccnvm compare <workload> [refs=300000]\n"
                "       ccnvm demo <recovery|attack>\n"
-               "       ccnvm audit [seed=1]\n"
+               "       ccnvm audit [seed=1] [jobs=1]\n"
                "       ccnvm kv run <ycsb-a|b|c|d|f> <design> [ops=20000] "
                "[records=2000]\n"
-               "       ccnvm kv sweep [seed=1]\n"
+               "       ccnvm kv sweep [seed=1] [jobs=1]\n"
+               "       ccnvm fuzz --engine=<diff|crash|attack> [--seed=1]\n"
+               "             [--budget=256|30s] [--jobs=1] [--ops=48]\n"
+               "             [--replay=CASE_SEED] [--out=FILE]\n"
+               "             [--planted-bug=NAME] [--no-minimize]\n"
                "designs: wocc sc osiris ccnvm-nods ccnvm ccnvm-plus\n");
   return 2;
 }
@@ -330,8 +501,10 @@ int main(int argc, char** argv) {
   if (cmd == "demo" && argc >= 3) return cmd_demo(argv[2]);
   if (cmd == "audit") {
     const auto seed = arg_u64(argc, argv, 2, 1);
-    return seed ? cmd_audit(*seed) : usage();
+    const auto jobs = arg_u64(argc, argv, 3, 1);
+    return seed && jobs ? cmd_audit(*seed, *jobs) : usage();
   }
+  if (cmd == "fuzz") return cmd_fuzz(argc, argv);
   if (cmd == "kv" && argc >= 3) {
     const std::string sub = argv[2];
     if (sub == "run" && argc >= 5) {
@@ -342,7 +515,8 @@ int main(int argc, char** argv) {
     }
     if (sub == "sweep") {
       const auto seed = arg_u64(argc, argv, 3, 1);
-      return seed ? cmd_kv_sweep(*seed) : usage();
+      const auto jobs = arg_u64(argc, argv, 4, 1);
+      return seed && jobs ? cmd_kv_sweep(*seed, *jobs) : usage();
     }
     return usage();
   }
