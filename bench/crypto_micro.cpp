@@ -4,8 +4,11 @@
 // but they bound how fast functional simulations run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "crypto/aes128.h"
+#include "crypto/dispatch.h"
 #include "crypto/hmac_sha1.h"
 #include "crypto/otp.h"
 #include "crypto/sha1.h"
@@ -89,13 +92,71 @@ BENCHMARK(BM_MerkleNodeCompute);
 void BM_FullTreeBuild(benchmark::State& state) {
   const nvm::NvmLayout layout(static_cast<std::uint64_t>(state.range(0)));
   const secure::MerkleEngine engine(crypto::HmacKey::from_seed(5), layout);
+  const std::size_t jobs = static_cast<std::size_t>(state.range(1));
   Line leaf{};
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.build_full_tree(
         [&](const nvm::NodeId&) { return leaf; },
-        [](const nvm::NodeId&, const Line&) {}));
+        [](const nvm::NodeId&, const Line&) {}, jobs));
   }
 }
-BENCHMARK(BM_FullTreeBuild)->Arg(1 << 20)->Arg(16 << 20);
+BENCHMARK(BM_FullTreeBuild)
+    ->ArgsProduct({{1 << 20, 16 << 20}, {1, 0}})
+    ->ArgNames({"bytes", "jobs"});
+
+// --- Per-dispatch-tier throughput ---------------------------------------
+//
+// The two quantities the functional simulator spends nearly all of its
+// crypto time on: 64-byte line tags (every write-back computes a counter
+// HMAC and a data HMAC) and 64-byte one-time pads (4 AES blocks per
+// line). Reported per tier the host supports — items_per_second is
+// tags/sec resp. pads/sec — with the tier pinned for the duration of the
+// benchmark and the process default restored afterwards.
+
+void BM_HmacTagPerTier(benchmark::State& state) {
+  const auto tiers = crypto::available_sha1_impls();
+  const auto tier = static_cast<crypto::Sha1Impl>(state.range(0));
+  if (std::find(tiers.begin(), tiers.end(), tier) == tiers.end()) {
+    state.SkipWithError("tier not available on this host/build");
+    return;
+  }
+  const crypto::Sha1Impl saved = crypto::active_sha1_impl();
+  crypto::force_sha1_impl(tier);
+  state.SetLabel(crypto::impl_name(tier));
+  const crypto::HmacEngine engine(crypto::HmacKey::from_seed(1));
+  Line line{};
+  line[0] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.tag(line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  crypto::force_sha1_impl(saved);
+}
+BENCHMARK(BM_HmacTagPerTier)
+    ->DenseRange(0, static_cast<int>(crypto::Sha1Impl::kNative))
+    ->ArgNames({"tier"});
+
+void BM_OtpPadPerTier(benchmark::State& state) {
+  const auto tiers = crypto::available_aes_impls();
+  const auto tier = static_cast<crypto::AesImpl>(state.range(0));
+  if (std::find(tiers.begin(), tiers.end(), tier) == tiers.end()) {
+    state.SkipWithError("tier not available on this host/build");
+    return;
+  }
+  const crypto::AesImpl saved = crypto::active_aes_impl();
+  crypto::force_aes_impl(tier);
+  state.SetLabel(crypto::impl_name(tier));
+  const crypto::Aes128 cipher(crypto::Aes128::key_from_seed(3));
+  std::uint64_t minor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::generate_otp(cipher, 0x1000, {1, ++minor}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  crypto::force_aes_impl(saved);
+}
+BENCHMARK(BM_OtpPadPerTier)
+    ->DenseRange(0, static_cast<int>(crypto::AesImpl::kNative))
+    ->ArgNames({"tier"});
 
 }  // namespace

@@ -3,14 +3,38 @@
 //     increases memory writes by 5.5x vs the no-crash-consistency system;
 //   - cc-NVM improves IPC by 20.4% over Osiris Plus while adding 29.6%
 //     write traffic, buying locate-after-crash protection.
+//
+//   headline [--json out.json]
+//
+// --json additionally writes the machine-readable baseline record
+// (per-design geomean IPC/writes, the claim deltas, and the run's
+// wall-clock; schema in docs/PERF.md) that CI tracks as
+// BENCH_headline.json.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "crypto/dispatch.h"
 #include "sim/experiment.h"
+#include "sim/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ccnvm;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   sim::ExperimentConfig config;
+  const auto t0 = std::chrono::steady_clock::now();
   const auto rows = sim::run_figure5_grid(config);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
   struct Claim {
     const char* text;
@@ -40,6 +64,38 @@ int main() {
   std::printf("%-42s %10s %10s\n", "claim", "paper", "measured");
   for (const Claim& c : claims) {
     std::printf("%-42s %10.1f %10.1f\n", c.text, c.paper, c.measured);
+  }
+
+  if (!json_path.empty()) {
+    sim::BenchJson doc;
+    doc.bench = "headline";
+    doc.crypto_aes = crypto::impl_name(crypto::active_aes_impl());
+    doc.crypto_sha1 = crypto::impl_name(crypto::active_sha1_impl());
+    doc.wall_seconds = wall;
+    const struct {
+      const char* name;
+      core::DesignKind kind;
+    } designs[] = {
+        {"strict", core::DesignKind::kStrict},
+        {"osiris_plus", core::DesignKind::kOsirisPlus},
+        {"cc_nvm", core::DesignKind::kCcNvm},
+    };
+    for (const auto& d : designs) {
+      doc.metrics.push_back({std::string("geomean_ipc_norm/") + d.name,
+                             sim::geomean_ipc(rows, d.kind), "x"});
+      doc.metrics.push_back({std::string("geomean_writes_norm/") + d.name,
+                             sim::geomean_writes(rows, d.kind), "x"});
+    }
+    for (const Claim& c : claims) {
+      doc.metrics.push_back({std::string("claim/") + c.text, c.measured, ""});
+    }
+    if (!sim::write_bench_json(json_path, doc)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\n(json written to %s; wall %.3fs; crypto aes=%s sha1=%s)\n",
+                json_path.c_str(), wall, doc.crypto_aes.c_str(),
+                doc.crypto_sha1.c_str());
   }
   return 0;
 }

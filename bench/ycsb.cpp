@@ -3,16 +3,20 @@
 // normalized to the w/o CC baseline — the paper's write-efficiency story
 // (Fig. 5b) retold at the key-value API instead of raw write-backs.
 //
-//   ycsb [--smoke] [out.csv]
+//   ycsb [--smoke] [--json out.json] [out.csv]
 //
 // --smoke shrinks the record/op counts so the binary doubles as a CI
 // check (every cell still runs, through the same code path).
+// --json writes the machine-readable baseline record (per-cell ops/s and
+// the run's wall-clock; schema in docs/PERF.md).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/design.h"
+#include "crypto/dispatch.h"
 #include "sim/report.h"
 #include "store/ycsb_runner.h"
 
@@ -21,13 +25,17 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string csv_path;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       csv_path = argv[i];
     }
   }
+  const auto t0 = std::chrono::steady_clock::now();
 
   const std::vector<core::DesignKind> kinds = {
       core::DesignKind::kWoCc, core::DesignKind::kStrict,
@@ -84,6 +92,26 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\n(csv written to %s)\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    sim::BenchJson doc;
+    doc.bench = smoke ? "ycsb-smoke" : "ycsb";
+    doc.crypto_aes = crypto::impl_name(crypto::active_aes_impl());
+    doc.crypto_sha1 = crypto::impl_name(crypto::active_sha1_impl());
+    doc.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    for (const sim::KvCsvRow& row : csv_rows) {
+      doc.metrics.push_back({"ops_per_sec/" + row.workload + "/" + row.design,
+                             row.ops_per_sec, "ops/s"});
+    }
+    if (!sim::write_bench_json(json_path, doc)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("(json written to %s; wall %.3fs; crypto aes=%s sha1=%s)\n",
+                json_path.c_str(), doc.wall_seconds, doc.crypto_aes.c_str(),
+                doc.crypto_sha1.c_str());
   }
   return 0;
 }

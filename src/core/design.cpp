@@ -452,6 +452,7 @@ RecoveryReport SecureNvmBase::recover() {
   inputs.tcb = tcb_;
   inputs.update_limit = config_.update_limit;
   inputs.mode = recovery_mode();
+  inputs.jobs = config_.recovery_jobs;
   augment_recovery_inputs(inputs);
   RecoveryManager manager(inputs);
   RecoveryReport report = manager.run();

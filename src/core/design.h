@@ -75,6 +75,9 @@ struct DesignConfig {
   /// from the read critical path. Functional detection is unchanged —
   /// failures are still reported, just off the latency path.
   bool speculative_reads = false;
+  /// Workers for the recovery step-4 full-tree rebuild (1 = inline,
+  /// 0 = hardware concurrency). Bit-identical for any value.
+  std::size_t recovery_jobs = 1;
   nvm::TimingParams timing{};
 };
 

@@ -178,7 +178,7 @@ Line RecoveryManager::rebuild_tree(const std::vector<CounterBlock>& blocks,
   const auto writer = [&](const NodeId& id, const Line& value) {
     if (persist) in_.image->write_line(layout.node_addr(id), value);
   };
-  const Line root = in_.merkle->build_full_tree(leaf_reader, writer);
+  const Line root = in_.merkle->build_full_tree(leaf_reader, writer, in_.jobs);
   if (persist) {
     for (std::uint64_t leaf = 0; leaf < layout.num_pages(); ++leaf) {
       in_.image->write_line(layout.data_capacity() + leaf * kLineSize,

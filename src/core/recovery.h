@@ -96,6 +96,9 @@ struct RecoveryInputs {
   /// MICRO'18 mechanism. Functionally equivalent (the HMAC remains the
   /// authority); changes the cost accounting.
   bool use_ecc_oracle = false;
+  /// Worker count for the step-4 full-tree rebuild (1 = inline, 0 = auto).
+  /// The rebuilt tree is bit-identical for any value.
+  std::size_t jobs = 1;
 };
 
 class RecoveryManager {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/dispatch.h"
+
 namespace ccnvm::crypto {
 namespace {
 
@@ -76,6 +78,54 @@ void add_round_key(std::uint8_t s[16], const std::uint8_t rk[16]) {
   for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
 }
 
+// ---- T-table path -----------------------------------------------------
+//
+// Each Te table folds SubBytes and MixColumns into one 32-bit word per
+// input byte: Te0[x] = (2·S[x], S[x], S[x], 3·S[x]) as a big-endian word,
+// Te1..Te3 are byte rotations of Te0 for the other three row positions.
+// One round is 16 table lookups + 4 XOR chains instead of 16 S-box
+// lookups, 12 xtime multiplies and the explicit ShiftRows permutation.
+
+constexpr std::uint32_t rotr8(std::uint32_t w) { return (w >> 8) | (w << 24); }
+
+struct TeTables {
+  std::uint32_t t0[256], t1[256], t2[256], t3[256];
+};
+
+constexpr TeTables make_te_tables() {
+  TeTables t{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                            (static_cast<std::uint32_t>(s) << 16) |
+                            (static_cast<std::uint32_t>(s) << 8) |
+                            static_cast<std::uint32_t>(s3);
+    t.t0[i] = w;
+    t.t1[i] = rotr8(w);
+    t.t2[i] = rotr8(rotr8(w));
+    t.t3[i] = rotr8(rotr8(rotr8(w)));
+  }
+  return t;
+}
+
+constexpr TeTables kTe = make_te_tables();
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
 }  // namespace
 
 Aes128::Aes128(const Key& key) {
@@ -89,6 +139,9 @@ Aes128::Aes128(const Key& key) {
     temp[0] ^= kRcon[round - 1];
     for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(prev[i] ^ temp[i]);
     for (int i = 4; i < 16; ++i) out[i] = static_cast<std::uint8_t>(prev[i] ^ out[i - 4]);
+  }
+  for (std::size_t w = 0; w < 44; ++w) {
+    round_keys_be_[w] = load_be32(round_keys_[w / 4].data() + (w % 4) * 4);
   }
 }
 
@@ -104,6 +157,19 @@ Aes128::Key Aes128::key_from_seed(std::uint64_t seed) {
 }
 
 Aes128::Block Aes128::encrypt(const Block& plaintext) const {
+  switch (detail::g_aes_impl) {
+    case AesImpl::kTable:
+      return encrypt_table(plaintext);
+#ifdef CCNVM_NATIVE_CRYPTO
+    case AesImpl::kNative:
+      return encrypt_native(plaintext);
+#endif
+    default:
+      return encrypt_reference(plaintext);
+  }
+}
+
+Aes128::Block Aes128::encrypt_reference(const Block& plaintext) const {
   std::uint8_t s[16];
   std::memcpy(s, plaintext.data(), 16);
   add_round_key(s, round_keys_[0].data());
@@ -118,6 +184,53 @@ Aes128::Block Aes128::encrypt(const Block& plaintext) const {
   add_round_key(s, round_keys_[10].data());
   Block out;
   std::memcpy(out.data(), s, 16);
+  return out;
+}
+
+Aes128::Block Aes128::encrypt_table(const Block& plaintext) const {
+  const std::uint32_t* rk = round_keys_be_.data();
+  // State as four big-endian column words (byte 0 = row 0 of column 0).
+  std::uint32_t s0 = load_be32(plaintext.data() + 0) ^ rk[0];
+  std::uint32_t s1 = load_be32(plaintext.data() + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(plaintext.data() + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(plaintext.data() + 12) ^ rk[3];
+
+  for (int round = 1; round <= 9; ++round) {
+    rk += 4;
+    // Column c pulls row r from column (c + r) mod 4 — ShiftRows fused
+    // into the table indexing.
+    const std::uint32_t t0 = kTe.t0[s0 >> 24] ^ kTe.t1[(s1 >> 16) & 0xff] ^
+                             kTe.t2[(s2 >> 8) & 0xff] ^ kTe.t3[s3 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = kTe.t0[s1 >> 24] ^ kTe.t1[(s2 >> 16) & 0xff] ^
+                             kTe.t2[(s3 >> 8) & 0xff] ^ kTe.t3[s0 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = kTe.t0[s2 >> 24] ^ kTe.t1[(s3 >> 16) & 0xff] ^
+                             kTe.t2[(s0 >> 8) & 0xff] ^ kTe.t3[s1 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = kTe.t0[s3 >> 24] ^ kTe.t1[(s0 >> 16) & 0xff] ^
+                             kTe.t2[(s1 >> 8) & 0xff] ^ kTe.t3[s2 & 0xff] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
+  }
+
+  rk += 4;
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  const auto last = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                       std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kSbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kSbox[d & 0xff]);
+  };
+  Block out;
+  store_be32(out.data() + 0, last(s0, s1, s2, s3) ^ rk[0]);
+  store_be32(out.data() + 4, last(s1, s2, s3, s0) ^ rk[1]);
+  store_be32(out.data() + 8, last(s2, s3, s0, s1) ^ rk[2]);
+  store_be32(out.data() + 12, last(s3, s0, s1, s2) ^ rk[3]);
   return out;
 }
 

@@ -5,10 +5,13 @@
 // produced by *encrypting* the seed. Hence only the forward cipher is
 // implemented.
 //
-// This is a plain table-free software implementation (S-box lookup per
-// byte). It is not constant-time — it models a hardware AES engine inside
-// a simulator; the timing the architecture sees is the configured 72 ns
-// pipeline latency, not this code's wall time.
+// Three dispatch-selected implementations (crypto/dispatch.h), all
+// bit-identical: the spec-transcription reference (S-box lookup + xtime
+// per byte), a 32-bit T-table path (the portable default), and AES-NI
+// under CCNVM_NATIVE_CRYPTO. None is constant-time and none needs to be —
+// this models a hardware AES engine inside a simulator; the timing the
+// architecture sees is the configured 72 ns pipeline latency, not this
+// code's wall time.
 #pragma once
 
 #include <array>
@@ -30,12 +33,21 @@ class Aes128 {
   /// Derives a deterministic key from a 64-bit seed (simulation only).
   static Key key_from_seed(std::uint64_t seed);
 
-  /// Encrypts one 16-byte block.
+  /// Encrypts one 16-byte block through the active dispatch tier.
   Block encrypt(const Block& plaintext) const;
 
+  /// Fixed-tier entry points (differential tests, micro-benches).
+  Block encrypt_reference(const Block& plaintext) const;
+  Block encrypt_table(const Block& plaintext) const;
+  /// Defined in aes128_ni.cpp; only linked under CCNVM_NATIVE_CRYPTO and
+  /// only callable when dispatch reports the native tier available.
+  Block encrypt_native(const Block& plaintext) const;
+
  private:
-  // 11 round keys of 16 bytes each.
+  // 11 round keys of 16 bytes each, plus the same keys packed as
+  // big-endian words for the T-table path.
   std::array<std::array<std::uint8_t, 16>, 11> round_keys_{};
+  std::array<std::uint32_t, 44> round_keys_be_{};
 };
 
 }  // namespace ccnvm::crypto

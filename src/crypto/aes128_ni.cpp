@@ -1,0 +1,35 @@
+// AES-128 encryption via AES-NI.
+//
+// Compiled only when CCNVM_NATIVE_CRYPTO=ON (this file gets -maes);
+// selected at runtime only when CPUID reports the instructions
+// (crypto/dispatch.cpp). Key expansion stays in portable code — the
+// 11 byte-wise round keys load directly as XMM operands, so AESENC /
+// AESENCLAST is all this file adds.
+#include "crypto/aes128.h"
+
+#ifdef CCNVM_NATIVE_CRYPTO
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace ccnvm::crypto {
+
+Aes128::Block Aes128::encrypt_native(const Block& plaintext) const {
+  const auto rk = [this](int round) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+        round_keys_[static_cast<std::size_t>(round)].data()));
+  };
+  __m128i s =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(plaintext.data()));
+  s = _mm_xor_si128(s, rk(0));
+  for (int round = 1; round <= 9; ++round) s = _mm_aesenc_si128(s, rk(round));
+  s = _mm_aesenclast_si128(s, rk(10));
+  Block out;
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out.data()), s);
+  return out;
+}
+
+}  // namespace ccnvm::crypto
+
+#endif  // x86
+#endif  // CCNVM_NATIVE_CRYPTO

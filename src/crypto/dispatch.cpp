@@ -1,0 +1,141 @@
+#include "crypto/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace ccnvm::crypto {
+namespace {
+
+bool cpu_supports_aesni() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(CCNVM_NATIVE_CRYPTO)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 25)) != 0;  // AESNI
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_sha_ni() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(CCNVM_NATIVE_CRYPTO)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  // The SHA-NI kernel also uses PSHUFB (SSSE3) and PEXTRD (SSE4.1).
+  const bool ssse3 = (ecx & (1u << 9)) != 0;
+  const bool sse41 = (ecx & (1u << 19)) != 0;
+  if (!ssse3 || !sse41) return false;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 29)) != 0;  // SHA extensions
+#else
+  return false;
+#endif
+}
+
+/// CCNVM_CRYPTO=reference|table|native caps the startup selection (a tier
+/// the host cannot run is ignored, falling back to the best available).
+int env_tier_cap() {
+  const char* env = std::getenv("CCNVM_CRYPTO");
+  if (env == nullptr) return 2;
+  if (std::strcmp(env, "reference") == 0) return 0;
+  if (std::strcmp(env, "table") == 0) return 1;
+  return 2;
+}
+
+AesImpl pick_aes_impl() {
+  const int cap = env_tier_cap();
+  if (cap >= 2 && cpu_supports_aesni()) return AesImpl::kNative;
+  if (cap >= 1) return AesImpl::kTable;
+  return AesImpl::kReference;
+}
+
+Sha1Impl pick_sha1_impl() {
+  // SHA-1 has no table tier; "table" caps it at the portable reference.
+  if (env_tier_cap() >= 2 && cpu_supports_sha_ni()) return Sha1Impl::kNative;
+  return Sha1Impl::kReference;
+}
+
+}  // namespace
+
+namespace detail {
+// Read on every Aes128::encrypt / Sha1 compression. Dynamically
+// initialized at process start; the zero value reached before that (in
+// case another static initializer hashes first) is the reference tier,
+// which is always correct.
+AesImpl g_aes_impl = pick_aes_impl();
+Sha1Impl g_sha1_impl = pick_sha1_impl();
+}  // namespace detail
+
+const char* impl_name(AesImpl impl) {
+  switch (impl) {
+    case AesImpl::kReference: return "reference";
+    case AesImpl::kTable: return "table";
+    case AesImpl::kNative: return "aes-ni";
+  }
+  return "?";
+}
+
+const char* impl_name(Sha1Impl impl) {
+  switch (impl) {
+    case Sha1Impl::kReference: return "reference";
+    case Sha1Impl::kNative: return "sha-ni";
+  }
+  return "?";
+}
+
+bool impl_available(AesImpl impl) {
+  switch (impl) {
+    case AesImpl::kReference:
+    case AesImpl::kTable:
+      return true;
+    case AesImpl::kNative:
+      return cpu_supports_aesni();
+  }
+  return false;
+}
+
+bool impl_available(Sha1Impl impl) {
+  switch (impl) {
+    case Sha1Impl::kReference: return true;
+    case Sha1Impl::kNative: return cpu_supports_sha_ni();
+  }
+  return false;
+}
+
+std::vector<AesImpl> available_aes_impls() {
+  std::vector<AesImpl> out;
+  for (AesImpl impl :
+       {AesImpl::kReference, AesImpl::kTable, AesImpl::kNative}) {
+    if (impl_available(impl)) out.push_back(impl);
+  }
+  return out;
+}
+
+std::vector<Sha1Impl> available_sha1_impls() {
+  std::vector<Sha1Impl> out;
+  for (Sha1Impl impl : {Sha1Impl::kReference, Sha1Impl::kNative}) {
+    if (impl_available(impl)) out.push_back(impl);
+  }
+  return out;
+}
+
+AesImpl active_aes_impl() { return detail::g_aes_impl; }
+Sha1Impl active_sha1_impl() { return detail::g_sha1_impl; }
+
+void force_aes_impl(AesImpl impl) {
+  CCNVM_CHECK_MSG(impl_available(impl), "AES tier not available on this host");
+  detail::g_aes_impl = impl;
+}
+
+void force_sha1_impl(Sha1Impl impl) {
+  CCNVM_CHECK_MSG(impl_available(impl),
+                  "SHA-1 tier not available on this host");
+  detail::g_sha1_impl = impl;
+}
+
+}  // namespace ccnvm::crypto

@@ -1,0 +1,59 @@
+// Runtime dispatch between crypto implementations.
+//
+// Every implementation of a primitive is bit-identical — AES-128 and
+// SHA-1 are fully specified functions — so the dispatch choice can never
+// change a digest, an NVM image, or a fuzz result; it only changes how
+// many nanoseconds the simulator spends per tag or pad. Three tiers:
+//
+//   reference — the straightforward spec transcription (S-box/xtime AES,
+//               scalar SHA-1). Always available; the oracle the other
+//               tiers are differentially tested against.
+//   table     — 32-bit T-table AES (the portable default; SHA-1 has no
+//               table tier, its optimized scalar path is the reference).
+//   native    — AES-NI / SHA-NI via compiler intrinsics. Compiled only
+//               under CCNVM_NATIVE_CRYPTO=ON and selected only when
+//               CPUID reports the extensions at runtime.
+//
+// Selection happens once at process start (highest available tier); tests
+// and benchmarks may force a tier with force_*_impl. The CCNVM_CRYPTO
+// environment variable ("reference", "table", "native") overrides the
+// default selection for whole-process A/B runs without a rebuild.
+#pragma once
+
+#include <vector>
+
+namespace ccnvm::crypto {
+
+enum class AesImpl { kReference = 0, kTable = 1, kNative = 2 };
+enum class Sha1Impl { kReference = 0, kNative = 1 };
+
+const char* impl_name(AesImpl impl);
+const char* impl_name(Sha1Impl impl);
+
+/// Whether the tier is compiled in and the host CPU supports it.
+bool impl_available(AesImpl impl);
+bool impl_available(Sha1Impl impl);
+
+/// Every available tier, reference first.
+std::vector<AesImpl> available_aes_impls();
+std::vector<Sha1Impl> available_sha1_impls();
+
+/// The tier currently used by Aes128::encrypt / Sha1 compression.
+AesImpl active_aes_impl();
+Sha1Impl active_sha1_impl();
+
+/// Force a tier process-wide (tests/benches). The tier must be available.
+/// Not thread-safe against concurrent crypto use; call at a quiesced
+/// point, as the differential tests and micro-benches do.
+void force_aes_impl(AesImpl impl);
+void force_sha1_impl(Sha1Impl impl);
+
+namespace detail {
+// The live selections, read on every encrypt/compress call. Zero-init
+// (before the dynamic initializer in dispatch.cpp runs) is the reference
+// tier, which is always correct.
+extern AesImpl g_aes_impl;
+extern Sha1Impl g_sha1_impl;
+}  // namespace detail
+
+}  // namespace ccnvm::crypto

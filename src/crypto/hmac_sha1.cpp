@@ -1,5 +1,6 @@
 #include "crypto/hmac_sha1.h"
 
+#include <bit>
 #include <cstring>
 
 namespace ccnvm::crypto {
@@ -17,27 +18,39 @@ HmacKey HmacKey::from_seed(std::uint64_t seed) {
 }
 
 HmacSha1::HmacSha1(const HmacKey& key) {
-  // Key is 20 bytes (< 64), so it is zero-padded to the block size.
-  std::array<std::uint8_t, 64> ipad{};
+  // Key is 20 bytes (< 64), so it is zero-padded to the block size. Both
+  // pad blocks are absorbed here, once; the resulting midstates are what
+  // every subsequent tag under this key resumes from.
+  std::array<std::uint8_t, Sha1::kBlockSize> ipad{};
   std::memcpy(ipad.data(), key.bytes.data(), key.bytes.size());
-  opad_ = ipad;
-  for (std::size_t i = 0; i < 64; ++i) {
+  std::array<std::uint8_t, Sha1::kBlockSize> opad = ipad;
+  for (std::size_t i = 0; i < Sha1::kBlockSize; ++i) {
     ipad[i] ^= 0x36;
-    opad_[i] ^= 0x5c;
+    opad[i] ^= 0x5c;
   }
   inner_.update(ipad);
+  inner_mid_ = inner_.save();
+  Sha1 outer;
+  outer.update(opad);
+  outer_mid_ = outer.save();
 }
 
 void HmacSha1::update_u64(std::uint64_t v) {
   std::uint8_t buf[8];
-  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(buf, &v, sizeof(v));
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
   inner_.update(buf);
 }
 
 Sha1::Digest HmacSha1::finalize() {
   const Sha1::Digest inner_digest = inner_.finalize();
   Sha1 outer;
-  outer.update(opad_);
+  outer.restore(outer_mid_);
   outer.update(inner_digest);
   return outer.finalize();
 }

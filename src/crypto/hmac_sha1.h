@@ -5,6 +5,14 @@
 //   * counter HMACs: HMAC(key, child node contents || node id)
 // The paper stores 128-bit codewords, so tags are the first 16 bytes of the
 // 20-byte HMAC-SHA1 output (the standard HMAC truncation).
+//
+// The ipad/opad prefix blocks depend only on the key, so their SHA-1
+// compressions are performed once per key and cached as midstates
+// (Sha1::State). Tagging a 64-byte line then costs three compressions
+// (message, inner padding, outer) instead of five — the difference is the
+// dominant software cost of every simulated write-back, so the secure
+// engines keep a persistent HmacEngine instead of re-deriving the
+// midstates per tag.
 #pragma once
 
 #include <cstdint>
@@ -33,21 +41,57 @@ Sha1::Digest hmac_sha1(const HmacKey& key,
 /// 128-bit truncated HMAC-SHA1, the tag format used throughout the BMT.
 Tag128 hmac_tag(const HmacKey& key, std::span<const std::uint8_t> message);
 
-/// Incremental variant for multi-part messages (avoids concatenation
-/// buffers on hot simulation paths).
+/// Incremental HMAC for multi-part messages (avoids concatenation buffers
+/// on hot simulation paths). Constructing from a key absorbs ipad and
+/// opad once; after finalize(), reset() rewinds to the post-ipad midstate
+/// so the same object can tag another message with no key re-absorption.
 class HmacSha1 {
  public:
   explicit HmacSha1(const HmacKey& key);
 
   void update(std::span<const std::uint8_t> data) { inner_.update(data); }
+  /// Absorbs `v` in little-endian byte order.
   void update_u64(std::uint64_t v);
 
   Sha1::Digest finalize();
   Tag128 finalize_tag();
 
+  /// Rewinds to the post-ipad state (no compressions), ready for a new
+  /// message under the same key.
+  void reset() { inner_.restore(inner_mid_); }
+
  private:
-  std::array<std::uint8_t, 64> opad_{};
+  Sha1::State inner_mid_;  // after absorbing key ^ ipad
+  Sha1::State outer_mid_;  // after absorbing key ^ opad
   Sha1 inner_;
+};
+
+/// Per-key HMAC context: the midstate pair computed once, handed out as
+/// cheap clones. This is what MerkleEngine / CmeEngine hold for the
+/// lifetime of their key. const and safely shareable across the
+/// deterministic executor's workers (tag()/begin() never mutate it).
+class HmacEngine {
+ public:
+  explicit HmacEngine(const HmacKey& key) : proto_(key) {}
+
+  /// A fresh incremental MAC under this key — no compressions spent.
+  HmacSha1 begin() const { return proto_; }
+
+  Tag128 tag(std::span<const std::uint8_t> message) const {
+    HmacSha1 mac = proto_;
+    mac.update(message);
+    return mac.finalize_tag();
+  }
+
+  Sha1::Digest digest(std::span<const std::uint8_t> message) const {
+    HmacSha1 mac = proto_;
+    mac.update(message);
+    return mac.finalize();
+  }
+
+ private:
+  // Kept in the fresh post-ipad state; copied, never mutated.
+  HmacSha1 proto_;
 };
 
 }  // namespace ccnvm::crypto

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "common/check.h"
+#include "crypto/dispatch.h"
+
 namespace ccnvm::crypto {
 namespace {
 
@@ -9,7 +12,108 @@ constexpr std::uint32_t rotl(std::uint32_t x, int n) {
   return (x << n) | (x >> (32 - n));
 }
 
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  v = __builtin_bswap32(v);
+#endif
+  return v;
+}
+
 }  // namespace
+
+namespace detail {
+
+// Optimized scalar kernel: fully unrolled rounds with a rotating variable
+// assignment (no per-round shuffling of a..e) and an on-the-fly message
+// schedule in a 16-word ring instead of a precomputed w[80].
+void sha1_compress_portable(std::uint32_t state[5], const std::uint8_t* data,
+                            std::size_t blocks) {
+  std::uint32_t h0 = state[0], h1 = state[1], h2 = state[2], h3 = state[3],
+                h4 = state[4];
+
+  for (std::size_t blk = 0; blk < blocks; ++blk, data += 64) {
+    std::uint32_t w[16];
+    for (int t = 0; t < 16; ++t) w[t] = load_be32(data + t * 4);
+
+    std::uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+
+// Message-schedule word for round t (t >= 16), updated in place.
+#define CCNVM_SHA1_W(t)                                               \
+  (w[(t) & 15] = rotl(w[((t) + 13) & 15] ^ w[((t) + 8) & 15] ^        \
+                          w[((t) + 2) & 15] ^ w[(t) & 15],            \
+                      1))
+#define CCNVM_SHA1_R(a, b, c, d, e, f, k, wt)        \
+  do {                                               \
+    (e) += rotl((a), 5) + (f) + (k) + (wt);          \
+    (b) = rotl((b), 30);                             \
+  } while (0)
+#define CCNVM_SHA1_F1(b, c, d) (((b) & (c)) | (~(b) & (d)))
+#define CCNVM_SHA1_F2(b, c, d) ((b) ^ (c) ^ (d))
+#define CCNVM_SHA1_F3(b, c, d) (((b) & (c)) | ((b) & (d)) | ((c) & (d)))
+#define CCNVM_SHA1_G1(a, b, c, d, e, t)                                      \
+  CCNVM_SHA1_R(a, b, c, d, e, CCNVM_SHA1_F1(b, c, d), 0x5A827999u,           \
+               (t) < 16 ? w[(t)] : CCNVM_SHA1_W(t))
+#define CCNVM_SHA1_G2(a, b, c, d, e, t)                                      \
+  CCNVM_SHA1_R(a, b, c, d, e, CCNVM_SHA1_F2(b, c, d), 0x6ED9EBA1u,           \
+               CCNVM_SHA1_W(t))
+#define CCNVM_SHA1_G3(a, b, c, d, e, t)                                      \
+  CCNVM_SHA1_R(a, b, c, d, e, CCNVM_SHA1_F3(b, c, d), 0x8F1BBCDCu,           \
+               CCNVM_SHA1_W(t))
+#define CCNVM_SHA1_G4(a, b, c, d, e, t)                                      \
+  CCNVM_SHA1_R(a, b, c, d, e, CCNVM_SHA1_F2(b, c, d), 0xCA62C1D6u,           \
+               CCNVM_SHA1_W(t))
+#define CCNVM_SHA1_ROUND5(G, t)       \
+  G(a, b, c, d, e, (t) + 0);          \
+  G(e, a, b, c, d, (t) + 1);          \
+  G(d, e, a, b, c, (t) + 2);          \
+  G(c, d, e, a, b, (t) + 3);          \
+  G(b, c, d, e, a, (t) + 4)
+
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G1, 0);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G1, 5);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G1, 10);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G1, 15);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G2, 20);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G2, 25);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G2, 30);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G2, 35);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G3, 40);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G3, 45);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G3, 50);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G3, 55);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G4, 60);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G4, 65);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G4, 70);
+    CCNVM_SHA1_ROUND5(CCNVM_SHA1_G4, 75);
+
+#undef CCNVM_SHA1_ROUND5
+#undef CCNVM_SHA1_G4
+#undef CCNVM_SHA1_G3
+#undef CCNVM_SHA1_G2
+#undef CCNVM_SHA1_G1
+#undef CCNVM_SHA1_F3
+#undef CCNVM_SHA1_F2
+#undef CCNVM_SHA1_F1
+#undef CCNVM_SHA1_R
+#undef CCNVM_SHA1_W
+
+    h0 += a;
+    h1 += b;
+    h2 += c;
+    h3 += d;
+    h4 += e;
+  }
+
+  state[0] = h0;
+  state[1] = h1;
+  state[2] = h2;
+  state[3] = h3;
+  state[4] = h4;
+}
+
+}  // namespace detail
 
 void Sha1::reset() {
   state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
@@ -17,67 +121,36 @@ void Sha1::reset() {
   buffered_ = 0;
 }
 
-void Sha1::process_block(const std::uint8_t* block) {
-  std::uint32_t w[80];
-  for (int t = 0; t < 16; ++t) {
-    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
-           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
-           static_cast<std::uint32_t>(block[t * 4 + 3]);
+void Sha1::process_blocks(const std::uint8_t* data, std::size_t blocks) {
+  switch (detail::g_sha1_impl) {
+#ifdef CCNVM_NATIVE_CRYPTO
+    case Sha1Impl::kNative:
+      detail::sha1_compress_native(state_.data(), data, blocks);
+      return;
+#endif
+    default:
+      detail::sha1_compress_portable(state_.data(), data, blocks);
+      return;
   }
-  for (int t = 16; t < 80; ++t) {
-    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
-                e = state_[4];
-
-  for (int t = 0; t < 80; ++t) {
-    std::uint32_t f, k;
-    if (t < 20) {
-      f = (b & c) | (~b & d);
-      k = 0x5A827999u;
-    } else if (t < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ED9EBA1u;
-    } else if (t < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8F1BBCDCu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xCA62C1D6u;
-    }
-    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[t];
-    e = d;
-    d = c;
-    c = rotl(b, 30);
-    b = a;
-    a = temp;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
 }
 
 void Sha1::update(std::span<const std::uint8_t> data) {
   total_bytes_ += data.size();
   std::size_t i = 0;
   if (buffered_ > 0) {
-    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    const std::size_t take = std::min(data.size(), kBlockSize - buffered_);
     std::memcpy(buffer_.data() + buffered_, data.data(), take);
     buffered_ += take;
     i = take;
-    if (buffered_ == 64) {
-      process_block(buffer_.data());
+    if (buffered_ == kBlockSize) {
+      process_blocks(buffer_.data(), 1);
       buffered_ = 0;
     }
   }
-  while (i + 64 <= data.size()) {
-    process_block(data.data() + i);
-    i += 64;
+  if (i + kBlockSize <= data.size()) {
+    const std::size_t blocks = (data.size() - i) / kBlockSize;
+    process_blocks(data.data() + i, blocks);
+    i += blocks * kBlockSize;
   }
   if (i < data.size()) {
     std::memcpy(buffer_.data(), data.data() + i, data.size() - i);
@@ -87,32 +160,46 @@ void Sha1::update(std::span<const std::uint8_t> data) {
 
 Sha1::Digest Sha1::finalize() {
   const std::uint64_t bit_len = total_bytes_ * 8;
-  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit big-endian
-  // message length.
-  const std::uint8_t one = 0x80;
-  update({&one, 1});
-  const std::uint8_t zero = 0x00;
-  while (buffered_ != 56) {
-    update({&zero, 1});
+  // Append 0x80, zero-pad to 56 mod 64, then the 64-bit big-endian
+  // message length — composed block-wise in the residual buffer.
+  buffer_[buffered_++] = 0x80;
+  if (buffered_ > kBlockSize - 8) {
+    std::memset(buffer_.data() + buffered_, 0, kBlockSize - buffered_);
+    process_blocks(buffer_.data(), 1);
+    buffered_ = 0;
   }
-  std::uint8_t len[8];
+  std::memset(buffer_.data() + buffered_, 0, kBlockSize - 8 - buffered_);
   for (int i = 0; i < 8; ++i) {
-    len[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+    buffer_[kBlockSize - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
   }
-  update(len);
+  process_blocks(buffer_.data(), 1);
+  buffered_ = 0;
 
   Digest out{};
   for (int i = 0; i < 5; ++i) {
     out[static_cast<std::size_t>(i * 4)] =
-        static_cast<std::uint8_t>(state_[i] >> 24);
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
     out[static_cast<std::size_t>(i * 4 + 1)] =
-        static_cast<std::uint8_t>(state_[i] >> 16);
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
     out[static_cast<std::size_t>(i * 4 + 2)] =
-        static_cast<std::uint8_t>(state_[i] >> 8);
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
     out[static_cast<std::size_t>(i * 4 + 3)] =
-        static_cast<std::uint8_t>(state_[i]);
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
   }
   return out;
+}
+
+Sha1::State Sha1::save() const {
+  CCNVM_CHECK_MSG(buffered_ == 0,
+                  "midstate snapshots are only defined at block boundaries");
+  return State{state_, total_bytes_};
+}
+
+void Sha1::restore(const State& state) {
+  state_ = state.h;
+  total_bytes_ = state.total_bytes;
+  buffered_ = 0;
 }
 
 }  // namespace ccnvm::crypto

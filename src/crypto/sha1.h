@@ -6,6 +6,10 @@
 // free behaviour over the exact byte layouts the architecture defines.
 // (SHA-1 is cryptographically broken for adversarial collision resistance
 // in general, but it is the paper's primitive and adequate for a simulator.)
+//
+// The compression function is dispatch-selected (crypto/dispatch.h): an
+// optimized scalar kernel by default, SHA-NI under CCNVM_NATIVE_CRYPTO on
+// hosts that report the extension. All tiers are bit-identical.
 #pragma once
 
 #include <array>
@@ -14,6 +18,16 @@
 #include <span>
 
 namespace ccnvm::crypto {
+
+namespace detail {
+/// Runs the SHA-1 compression function over `blocks` consecutive 64-byte
+/// blocks. The scalar kernel is always linked; the SHA-NI kernel only
+/// under CCNVM_NATIVE_CRYPTO (callers go through the dispatch switch).
+void sha1_compress_portable(std::uint32_t state[5], const std::uint8_t* data,
+                            std::size_t blocks);
+void sha1_compress_native(std::uint32_t state[5], const std::uint8_t* data,
+                          std::size_t blocks);
+}  // namespace detail
 
 /// Incremental SHA-1 hasher.
 ///
@@ -24,7 +38,18 @@ namespace ccnvm::crypto {
 class Sha1 {
  public:
   static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
   using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  /// A resumable midstate: the chaining value after some whole number of
+  /// compressed blocks. save()/restore() let a keyed construction (HMAC)
+  /// absorb its fixed prefix once and clone the hasher per message.
+  struct State {
+    std::array<std::uint32_t, 5> h{};
+    std::uint64_t total_bytes = 0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
 
   Sha1() { reset(); }
 
@@ -35,8 +60,15 @@ class Sha1 {
   void update(std::span<const std::uint8_t> data);
 
   /// Pads, finishes, and returns the digest. The object must be reset()
-  /// before further use.
+  /// (or restore()d) before further use.
   Digest finalize();
+
+  /// Snapshots the chaining state. Only valid at a block boundary (no
+  /// bytes buffered), which is where every fixed 64-byte HMAC pad ends.
+  State save() const;
+
+  /// Resumes hashing from a snapshot taken by save().
+  void restore(const State& state);
 
   /// One-shot convenience.
   static Digest hash(std::span<const std::uint8_t> data) {
@@ -46,11 +78,11 @@ class Sha1 {
   }
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* data, std::size_t blocks);
 
   std::array<std::uint32_t, 5> state_{};
   std::uint64_t total_bytes_ = 0;
-  std::array<std::uint8_t, 64> buffer_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
   std::size_t buffered_ = 0;
 };
 

@@ -1,0 +1,90 @@
+// SHA-1 compression via the x86 SHA extensions (SHA-NI).
+//
+// Compiled only when CCNVM_NATIVE_CRYPTO=ON (this file gets -msha -mssse3
+// -msse4.1); selected at runtime only when CPUID reports SHA + SSSE3 +
+// SSE4.1 (crypto/dispatch.cpp). Bit-identical to the scalar kernel — the
+// differential tests in tests/crypto_dispatch_test.cpp cross-check them.
+//
+// Structure: SHA1RNDS4 runs four rounds per invocation (its immediate
+// selects the round function/constant for each 20-round quarter);
+// SHA1NEXTE folds the rotated `a` from four rounds ago into the next
+// four-round message block; SHA1MSG1/SHA1MSG2 compute the message
+// schedule four words at a time over a rotating window of four XMM
+// registers.
+#include "crypto/sha1.h"
+
+#ifdef CCNVM_NATIVE_CRYPTO
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace ccnvm::crypto::detail {
+namespace {
+
+// sha1rnds4 needs a compile-time immediate; pick it by quarter.
+inline __m128i rnds4(__m128i abcd, __m128i e_wk, int quarter) {
+  switch (quarter) {
+    case 0: return _mm_sha1rnds4_epu32(abcd, e_wk, 0);
+    case 1: return _mm_sha1rnds4_epu32(abcd, e_wk, 1);
+    case 2: return _mm_sha1rnds4_epu32(abcd, e_wk, 2);
+    default: return _mm_sha1rnds4_epu32(abcd, e_wk, 3);
+  }
+}
+
+}  // namespace
+
+void sha1_compress_native(std::uint32_t state[5], const std::uint8_t* data,
+                          std::size_t blocks) {
+  // Byte shuffle turning four little-endian loaded words into big-endian
+  // words with w0 in the highest element, the layout SHA1RNDS4 expects.
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0001020304050607LL, 0x08090a0b0c0d0e0fLL);
+
+  __m128i abcd = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);  // a in the highest element
+  __m128i e_vec = _mm_set_epi32(static_cast<int>(state[4]), 0, 0, 0);
+
+  for (std::size_t blk = 0; blk < blocks; ++blk, data += 64) {
+    const __m128i abcd_save = abcd;
+    const __m128i e_save = e_vec;
+
+    __m128i m[4];
+    for (int i = 0; i < 4; ++i) {
+      m[i] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * i));
+      m[i] = _mm_shuffle_epi8(m[i], kShuffle);
+    }
+
+    // 20 groups of 4 rounds. `e_carry` holds the pre-round abcd of the
+    // previous group, whose rotated `a` SHA1NEXTE folds into this group's
+    // message block.
+    __m128i e_carry = _mm_setzero_si128();
+    for (int g = 0; g < 20; ++g) {
+      const __m128i e_wk =
+          g == 0 ? _mm_add_epi32(e_vec, m[0])
+                 : _mm_sha1nexte_epu32(e_carry, m[g & 3]);
+      const __m128i abcd_prev = abcd;
+      abcd = rnds4(abcd, e_wk, g / 5);
+      e_carry = abcd_prev;
+      if (g < 16) {
+        // m[g&3] currently holds X_g; overwrite it with X_{g+4} =
+        // sha1msg2(sha1msg1(X_g, X_{g+1}) ^ X_{g+2}, X_{g+3}).
+        m[g & 3] = _mm_sha1msg2_epu32(
+            _mm_xor_si128(_mm_sha1msg1_epu32(m[g & 3], m[(g + 1) & 3]),
+                          m[(g + 2) & 3]),
+            m[(g + 3) & 3]);
+      }
+    }
+
+    e_vec = _mm_sha1nexte_epu32(e_carry, e_save);
+    abcd = _mm_add_epi32(abcd, abcd_save);
+  }
+
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), abcd);
+  state[4] = static_cast<std::uint32_t>(_mm_extract_epi32(e_vec, 3));
+}
+
+}  // namespace ccnvm::crypto::detail
+
+#endif  // x86
+#endif  // CCNVM_NATIVE_CRYPTO

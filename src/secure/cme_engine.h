@@ -23,7 +23,8 @@ class CmeEngine {
   /// Both keys live in the TCB; the seed stands in for key provisioning.
   explicit CmeEngine(std::uint64_t key_seed)
       : cipher_(crypto::Aes128::key_from_seed(key_seed)),
-        mac_key_(crypto::HmacKey::from_seed(key_seed ^ 0xA5A5A5A5A5A5A5A5ULL)) {}
+        mac_key_(crypto::HmacKey::from_seed(key_seed ^ 0xA5A5A5A5A5A5A5A5ULL)),
+        mac_(mac_key_) {}
 
   /// Encrypts (or decrypts — same XOR) `line` at `addr` under `counter`.
   Line crypt(const Line& line, Addr addr,
@@ -34,7 +35,7 @@ class CmeEngine {
   /// Computes the data HMAC over the *encrypted* block.
   Tag128 data_hmac(const Line& ciphertext, Addr addr,
                    const crypto::PadCounter& counter) const {
-    crypto::HmacSha1 mac(mac_key_);
+    crypto::HmacSha1 mac = mac_.begin();
     mac.update(ciphertext);
     mac.update_u64(addr);
     mac.update_u64(counter.major);
@@ -47,6 +48,9 @@ class CmeEngine {
  private:
   crypto::Aes128 cipher_;
   crypto::HmacKey mac_key_;
+  // Midstate-cached context for mac_key_; data_hmac clones it instead of
+  // re-absorbing ipad/opad on every tag.
+  crypto::HmacEngine mac_;
 };
 
 /// Reads the 16-byte tag at offset `off` of a data-HMAC line.

@@ -1,14 +1,13 @@
 #include "secure/merkle.h"
 
 #include <cstring>
-#include <map>
+
+#include "common/thread_pool.h"
 
 namespace ccnvm::secure {
 
 Tag128 MerkleEngine::node_tag(const Line& contents) const {
-  crypto::HmacSha1 mac(key_);
-  mac.update(contents);
-  return mac.finalize_tag();
+  return mac_.tag(contents);
 }
 
 Line MerkleEngine::compute_node(const NodeId& id,
@@ -26,26 +25,33 @@ Line MerkleEngine::compute_node(const NodeId& id,
 }
 
 Line MerkleEngine::build_full_tree(const NodeReader& read,
-                                   const NodeWriter& write) const {
-  // Cache computed nodes so each is derived exactly once.
-  std::map<NodeId, Line> computed;
-  const NodeReader reader = [&](const NodeId& id) -> Line {
-    if (id.level == 0) return read(id);
-    const auto it = computed.find(id);
-    CCNVM_CHECK_MSG(it != computed.end(), "bottom-up order violated");
-    return it->second;
-  };
-
+                                   const NodeWriter& write,
+                                   std::size_t jobs) const {
+  // One flat vector per level: node {level, i} lives at prev[i] while the
+  // next level up is computed, so each node is derived exactly once and
+  // the nodes of a level — which only read the level below — can be
+  // computed concurrently. `write` stays on the calling thread, issued in
+  // index order after the level completes, so the writer sees the same
+  // sequence for every `jobs` value.
+  std::vector<Line> prev;
   for (std::uint32_t level = 1; level <= layout_->root_level(); ++level) {
     const std::uint64_t count = layout_->nodes_at_level(level);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const NodeId id{level, i};
-      const Line node = compute_node(id, reader);
-      computed[id] = node;
-      if (level < layout_->root_level()) write(id, node);
+    const NodeReader reader = [&](const NodeId& id) -> Line {
+      if (id.level == 0) return read(id);
+      CCNVM_CHECK_MSG(id.level == level - 1, "bottom-up order violated");
+      return prev[id.index];
+    };
+    std::vector<Line> cur =
+        parallel_map<Line>(count, jobs, [&](std::size_t i) {
+          return compute_node(NodeId{level, static_cast<std::uint64_t>(i)},
+                              reader);
+        });
+    if (level < layout_->root_level()) {
+      for (std::uint64_t i = 0; i < count; ++i) write(NodeId{level, i}, cur[i]);
     }
+    prev = std::move(cur);
   }
-  return computed[root_id()];
+  return prev.front();
 }
 
 std::vector<NodeId> MerkleEngine::find_inconsistencies(const NodeReader& read,

@@ -97,4 +97,26 @@ bool write_kv_csv(const std::string& path, const std::vector<KvCsvRow>& rows) {
   return true;
 }
 
+bool write_bench_json(const std::string& path, const BenchJson& doc) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(),
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"crypto\": {\"aes\": \"%s\", \"sha1\": \"%s\"},\n"
+               "  \"wall_seconds\": %.3f,\n"
+               "  \"metrics\": [",
+               doc.bench.c_str(), doc.crypto_aes.c_str(),
+               doc.crypto_sha1.c_str(), doc.wall_seconds);
+  for (std::size_t i = 0; i < doc.metrics.size(); ++i) {
+    const BenchJsonMetric& m = doc.metrics[i];
+    std::fprintf(f.get(),
+                 "%s\n    {\"name\": \"%s\", \"value\": %.6f, "
+                 "\"unit\": \"%s\"}",
+                 i == 0 ? "" : ",", m.name.c_str(), m.value, m.unit.c_str());
+  }
+  std::fprintf(f.get(), "\n  ]\n}\n");
+  return true;
+}
+
 }  // namespace ccnvm::sim

@@ -40,4 +40,28 @@ struct KvCsvRow {
 
 bool write_kv_csv(const std::string& path, const std::vector<KvCsvRow>& rows);
 
+/// One scalar result of a bench run, for the tracked-baseline JSON
+/// (BENCH_headline.json; schema documented in docs/PERF.md).
+struct BenchJsonMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// A bench binary's machine-readable summary: what ran, under which
+/// dispatch-selected crypto tiers, how long it took end to end, and the
+/// headline scalars. Written by `headline --json` / `ycsb --json`.
+struct BenchJson {
+  std::string bench;
+  std::string crypto_aes;   // active AES tier name (crypto/dispatch.h)
+  std::string crypto_sha1;  // active SHA-1 tier name
+  double wall_seconds = 0.0;
+  std::vector<BenchJsonMetric> metrics;
+};
+
+/// Serializes `doc` as a single JSON object. Returns false on I/O
+/// failure. Names/units must not contain characters needing JSON
+/// escaping (they are fixed identifiers, not user input).
+bool write_bench_json(const std::string& path, const BenchJson& doc);
+
 }  // namespace ccnvm::sim

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "crypto/aes128.h"
@@ -62,6 +63,58 @@ TEST(Sha1Test, IncrementalMatchesOneShot) {
   EXPECT_EQ(h.finalize(), expect);
 }
 
+TEST(Sha1Test, Rfc3174Test4) {
+  // RFC 3174 §7.3 TEST4: 64 characters of "01234567" x8, repeated 10 times.
+  Sha1 h;
+  const std::string_view block =
+      "0123456701234567012345670123456701234567012345670123456701234567";
+  for (int i = 0; i < 10; ++i) h.update(bytes_of(block));
+  EXPECT_EQ(hex(h.finalize()), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+}
+
+TEST(Sha1Test, SaveRestoreResumesHashing) {
+  Rng rng(13);
+  std::vector<std::uint8_t> msg(256);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  const auto expect = Sha1::hash(msg);
+
+  // Absorb the first two blocks, snapshot, and resume in a fresh object.
+  Sha1 first;
+  first.update({msg.data(), 128});
+  const Sha1::State mid = first.save();
+  Sha1 second;
+  second.restore(mid);
+  second.update({msg.data() + 128, msg.size() - 128});
+  EXPECT_EQ(second.finalize(), expect);
+}
+
+TEST(Sha1Test, SaveRestoreIsRepeatable) {
+  // One midstate can seed any number of divergent continuations — the
+  // property HMAC midstate caching rests on.
+  Sha1 h;
+  std::vector<std::uint8_t> prefix(Sha1::kBlockSize, 0x5c);
+  h.update(prefix);
+  const Sha1::State mid = h.save();
+
+  std::vector<std::uint8_t> all(prefix);
+  for (std::uint8_t tail : {0x00, 0x7f, 0xff}) {
+    Sha1 cont;
+    cont.restore(mid);
+    cont.update({&tail, 1});
+    all.push_back(tail);
+    EXPECT_EQ(cont.finalize(), Sha1::hash(all));
+    all.pop_back();
+  }
+}
+
+TEST(Sha1Test, SaveRequiresBlockBoundary) {
+  CheckThrowScope guard;
+  Sha1 h;
+  std::uint8_t b = 1;
+  h.update({&b, 1});
+  EXPECT_THROW((void)h.save(), CheckFailure);
+}
+
 TEST(Sha1Test, ResetAllowsReuse) {
   Sha1 h;
   h.update(bytes_of("garbage"));
@@ -94,6 +147,62 @@ TEST(HmacSha1Test, Rfc2202Case3) {
   std::vector<std::uint8_t> data(50, 0xdd);
   EXPECT_EQ(hex(hmac_sha1(key, data)),
             "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1Test, Rfc2202Case5) {
+  // Case 5 uses a 20-byte key, matching the HmacKey container exactly.
+  HmacKey key;
+  key.bytes.fill(0x0c);
+  EXPECT_EQ(hex(hmac_sha1(key, bytes_of("Test With Truncation"))),
+            "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04");
+}
+
+TEST(HmacSha1Test, ResetRewindsToMidstate) {
+  const HmacKey key = HmacKey::from_seed(3);
+  HmacSha1 mac(key);
+  mac.update(bytes_of("first message"));
+  (void)mac.finalize_tag();
+  mac.reset();
+  mac.update(bytes_of("second"));
+  EXPECT_EQ(mac.finalize_tag(), hmac_tag(key, bytes_of("second")));
+}
+
+TEST(HmacEngineTest, TagMatchesFreeFunction) {
+  const HmacKey key = HmacKey::from_seed(17);
+  const HmacEngine engine(key);
+  Rng rng(17);
+  for (std::size_t len : {0u, 1u, 63u, 64u, 65u, 200u}) {
+    std::vector<std::uint8_t> msg(len);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(engine.tag(msg), hmac_tag(key, msg)) << "len=" << len;
+    EXPECT_EQ(hex(engine.digest(msg)), hex(hmac_sha1(key, msg)));
+  }
+}
+
+TEST(HmacEngineTest, BeginIsIncremental) {
+  const HmacKey key = HmacKey::from_seed(23);
+  const HmacEngine engine(key);
+  HmacSha1 mac = engine.begin();
+  mac.update(bytes_of("head"));
+  mac.update_u64(0xdeadbeefULL);
+  HmacSha1 direct(key);
+  direct.update(bytes_of("head"));
+  direct.update_u64(0xdeadbeefULL);
+  EXPECT_EQ(mac.finalize_tag(), direct.finalize_tag());
+}
+
+TEST(HmacEngineTest, ReusableWithoutCrossTalk) {
+  // Tags drawn from one engine are independent: interleaved begin()
+  // contexts never contaminate each other or the prototype.
+  const HmacKey key = HmacKey::from_seed(29);
+  const HmacEngine engine(key);
+  HmacSha1 a = engine.begin();
+  HmacSha1 b = engine.begin();
+  a.update(bytes_of("aaa"));
+  b.update(bytes_of("bbb"));
+  EXPECT_EQ(a.finalize_tag(), hmac_tag(key, bytes_of("aaa")));
+  EXPECT_EQ(b.finalize_tag(), hmac_tag(key, bytes_of("bbb")));
+  EXPECT_EQ(engine.tag(bytes_of("ccc")), hmac_tag(key, bytes_of("ccc")));
 }
 
 TEST(HmacSha1Test, TagIsTruncatedDigest) {
@@ -144,6 +253,28 @@ TEST(Aes128Test, NistEcbVector) {
                       0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a};
   const Aes128 cipher(key);
   EXPECT_EQ(hex(cipher.encrypt(pt)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128Test, NistEcbBlocks2Through4) {
+  // NIST SP 800-38A F.1.1 ECB-AES128 blocks #2-#4 (same key as block #1).
+  Aes128::Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                     0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const Aes128 cipher(key);
+  const struct {
+    Aes128::Block pt;
+    const char* ct;
+  } vectors[] = {
+      {{0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f,
+        0xac, 0x45, 0xaf, 0x8e, 0x51},
+       "f5d3d58503b9699de785895a96fdbaaf"},
+      {{0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1,
+        0x19, 0x1a, 0x0a, 0x52, 0xef},
+       "43b1cd7f598ece23881b00e3ed030688"},
+      {{0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17, 0xad, 0x2b, 0x41,
+        0x7b, 0xe6, 0x6c, 0x37, 0x10},
+       "7b0c785e27e8ad3f8223207104725dd4"},
+  };
+  for (const auto& v : vectors) EXPECT_EQ(hex(cipher.encrypt(v.pt)), v.ct);
 }
 
 TEST(Aes128Test, Deterministic) {

@@ -136,5 +136,49 @@ INSTANTIATE_TEST_SUITE_P(Capacities, MerklePropertyTest,
                                            16 * kPageSize, 1ull << 20,
                                            4ull << 20));
 
+// build_full_tree is bit-identical for every worker count: the per-level
+// fan-out only changes which thread computes a node, never its value, and
+// writes are always issued sequentially in index order.
+class MerkleParallelBuildTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleParallelBuildTest, MatchesSequentialBuild) {
+  const NvmLayout layout(1ull << 20);
+  const MerkleEngine engine(crypto::HmacKey::from_seed(9), layout);
+  Rng rng(9);
+  std::vector<Line> leaves(layout.num_pages());
+  for (Line& l : leaves) {
+    for (auto& b : l) b = static_cast<std::uint8_t>(rng.next());
+  }
+  const auto reader = [&](const NodeId& id) -> Line {
+    return leaves[id.index];
+  };
+
+  std::map<NodeId, Line> seq_nodes;
+  std::vector<NodeId> seq_order;
+  const Line seq_root = engine.build_full_tree(
+      reader, [&](const NodeId& id, const Line& v) {
+        seq_nodes[id] = v;
+        seq_order.push_back(id);
+      });
+
+  std::map<NodeId, Line> par_nodes;
+  std::vector<NodeId> par_order;
+  const Line par_root = engine.build_full_tree(
+      reader,
+      [&](const NodeId& id, const Line& v) {
+        par_nodes[id] = v;
+        par_order.push_back(id);
+      },
+      GetParam());
+
+  EXPECT_EQ(par_root, seq_root);
+  EXPECT_EQ(par_nodes, seq_nodes);
+  EXPECT_EQ(par_order, seq_order) << "write order must not depend on jobs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, MerkleParallelBuildTest,
+                         ::testing::Values(0, 1, 2, 7));
+
 }  // namespace
 }  // namespace ccnvm::secure
