@@ -14,10 +14,36 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "crypto/dispatch.h"
+#include "crypto/hmac_sha1.h"
+#include "crypto/otp.h"
+#include "crypto/sha1.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
+
+namespace {
+
+/// Ops/s of `fn` over a fixed wall budget. Batches of 64 keep the clock
+/// off the hot path; ~40ms is enough for a stable geomean while keeping
+/// the whole micro suite under half a second.
+template <typename Fn>
+double measure_ops_per_sec(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  constexpr auto kBudget = std::chrono::milliseconds(40);
+  const auto start = clock::now();
+  const auto deadline = start + kBudget;
+  std::uint64_t ops = 0;
+  while (clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) fn();
+    ops += 64;
+  }
+  const double secs = std::chrono::duration<double>(clock::now() - start).count();
+  return static_cast<double>(ops) / secs;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ccnvm;
@@ -89,6 +115,60 @@ int main(int argc, char** argv) {
     for (const Claim& c : claims) {
       doc.metrics.push_back({std::string("claim/") + c.text, c.measured, ""});
     }
+
+    // Crypto micro-throughputs: the hot primitives of every simulated
+    // access, measured directly so the CI perf gate (tools/bench_gate)
+    // catches regressions the normalized claim ratios can't see — IPC
+    // norms divide out a uniformly slower crypto layer.
+    const crypto::HmacKey hmac_key = crypto::HmacKey::from_seed(2019);
+    const crypto::HmacEngine hmac(hmac_key);
+    const crypto::Aes128 aes(crypto::Aes128::key_from_seed(2019));
+    Line line{};
+    for (std::size_t i = 0; i < kLineSize; ++i) {
+      line[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    }
+    std::uint64_t sink = 0;
+    doc.metrics.push_back(
+        {"throughput/hmac_line_tag", measure_ops_per_sec([&] {
+           const Tag128 t = hmac.tag({line.data(), line.size()});
+           sink += t.bytes[0];
+         }),
+         "ops/s"});
+    doc.metrics.push_back(
+        {"throughput/otp_pad", measure_ops_per_sec([&] {
+           const Line pad =
+               crypto::generate_otp(aes, (sink % 64) * kLineSize, {3, 5});
+           sink += pad[0];
+         }),
+         "ops/s"});
+    crypto::Aes128::Block block{};
+    doc.metrics.push_back({"throughput/aes_block", measure_ops_per_sec([&] {
+                             block = aes.encrypt(block);
+                             sink += block[0];
+                           }),
+                           "ops/s"});
+    std::vector<std::uint8_t> big(64 * 1024);
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<std::uint8_t>(i);
+    }
+    doc.metrics.push_back(
+        {"throughput/sha1_64k", measure_ops_per_sec([&] {
+           sink += crypto::Sha1::hash({big.data(), big.size()})[0];
+         }),
+         "ops/s"});
+    // Pure ALU spin: crypto-free machine-speed probe. bench_gate divides
+    // the throughput ratios by this ratio so a slower/throttled CI host
+    // doesn't read as a code regression.
+    doc.metrics.push_back({"calibration/spin", measure_ops_per_sec([&] {
+                             std::uint64_t x = sink | 1;
+                             for (int i = 0; i < 256; ++i) {
+                               x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+                             }
+                             sink += x;
+                           }),
+                           "ops/s"});
+    if (sink == 0) std::printf("");  // keep the measured work observable
+
     if (!sim::write_bench_json(json_path, doc)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

@@ -164,7 +164,10 @@ std::uint64_t CcNvmDesign::drain(DrainCrashPoint point,
   armed_crash_ = DrainCrashPoint::kNone;
   const auto power_lost = [&](std::uint64_t busy) -> std::uint64_t {
     draining_ = false;
-    if (injected) throw InjectedPowerLoss{};
+    if (injected) {
+      if (power_loss_hook_) power_loss_hook_();
+      throw InjectedPowerLoss{};
+    }
     return busy;  // caller (drain_and_crash / a test) loses power next
   };
   ++stats_.drains;
@@ -173,6 +176,7 @@ std::uint64_t CcNvmDesign::drain(DrainCrashPoint point,
   std::uint64_t busy = 0;
 
   busy += spread_deferred_updates();
+  persist_tcb();  // deferred spreading just recomputed ROOT_new
 
   // Atomic draining protocol (§4.2, steps Õ-œ): start signal, stream the
   // tracked lines into the WPQ, end signal, then commit the registers.
@@ -200,6 +204,7 @@ std::uint64_t CcNvmDesign::drain(DrainCrashPoint point,
     tcb_.root_old = tcb_.root_new;
     if (mutation_ != ProtocolMutation::kSkipNwbReset) tcb_.n_wb = 0;
     tcb_.overflow_pending = false;
+    persist_tcb();
     for (Addr a : lines) meta_cache_.clean(a);
     daq_.clear();
     ++commit_epoch_;

@@ -81,6 +81,15 @@ class CcNvmDesign : public SecureNvmBase {
   /// auditor's mutation self-tests can prove the checks have teeth.
   void inject_protocol_mutation(ProtocolMutation m) { mutation_ = m; }
 
+  /// Called at the instant an armed drain crash fires, *before*
+  /// InjectedPowerLoss unwinds. The out-of-process kill-9 harness
+  /// (src/crashd) raises SIGKILL from here: at that point the durable
+  /// backend holds exactly the §4.2 crash-window state the arm asked
+  /// for, and the process never observes its own death.
+  void set_power_loss_hook(std::function<void()> hook) {
+    power_loss_hook_ = std::move(hook);
+  }
+
   void quiesce() override { (void)drain(DrainCrashPoint::kNone); }
 
   const DirtyAddressQueue& daq() const { return daq_; }
@@ -127,6 +136,7 @@ class CcNvmDesign : public SecureNvmBase {
   bool draining_ = false;
   DrainCrashPoint armed_crash_ = DrainCrashPoint::kNone;
   ProtocolMutation mutation_ = ProtocolMutation::kNone;
+  std::function<void()> power_loss_hook_;
   /// DAQ reservation time of the in-flight write-back; overlaps with the
   /// encryption/tree phase and is folded in via max() at the hook.
   std::uint64_t pending_daq_cycles_ = 0;

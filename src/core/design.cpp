@@ -32,9 +32,20 @@ std::string_view design_name(DesignKind kind) {
   return "?";
 }
 
+namespace {
+
+nvm::NvmImage make_image(const DesignConfig& config,
+                         const nvm::NvmLayout& layout) {
+  if (!config.backend_factory) return nvm::NvmImage();
+  return nvm::NvmImage(config.backend_factory(layout.total_bytes()));
+}
+
+}  // namespace
+
 SecureNvmBase::SecureNvmBase(const DesignConfig& config)
     : config_(config),
       layout_(config.data_capacity),
+      image_(make_image(config, layout_)),
       controller_(image_, config.wpq_entries),
       cme_(config.key_seed),
       tree_key_(crypto::HmacKey::from_seed(config.key_seed ^
@@ -62,6 +73,13 @@ SecureNvmBase::SecureNvmBase(const DesignConfig& config)
   } else {
     image_.set_record_contents(false);
   }
+  persist_tcb();
+}
+
+void SecureNvmBase::persist_tcb() {
+  if (!functional()) return;
+  const TcbBlob blob = encode_tcb(tcb_);
+  image_.store_registers(blob.data(), blob.size());
 }
 
 AuditView SecureNvmBase::audit_view() const {
@@ -313,6 +331,11 @@ std::uint64_t SecureNvmBase::write_back(Addr addr, const Line& plaintext) {
   on_metadata_dirtied(cline);
 
   ++tcb_.n_wb;
+  // Mirror immediately: an update-limit drain can fire *inside* this
+  // write-back (on_write_back_metadata), and a kill in that drain must
+  // see the N_wb that counts this very write-back, or recovery's strict
+  // N_wb == N_retry replay check (§4.3) trips falsely.
+  persist_tcb();
 
   const std::uint64_t leaf = addr / kPageSize;
   const std::size_t block = block_in_page(addr);
@@ -355,6 +378,7 @@ std::uint64_t SecureNvmBase::write_back(Addr addr, const Line& plaintext) {
   }
 
   busy += on_write_back_metadata(addr, counter_was_cached, crypt_cycles);
+  persist_tcb();  // ROOT_new may have moved during the tree walk
   stats_.engine_busy_cycles += busy;
   if (observer_ != nullptr) {
     observer_->on_write_back_complete(audit_view(), addr);
@@ -421,6 +445,7 @@ void SecureNvmBase::restore_from_power_down(nvm::NvmImage image,
   CCNVM_CHECK_MSG(functional(), "power cycling needs the functional engine");
   image_ = std::move(image);
   tcb_ = tcb;
+  persist_tcb();
   controller_.crash();  // no batch can span a power cycle
   meta_cache_.invalidate_all();
   updates_since_persist_.clear();
@@ -473,6 +498,7 @@ RecoveryReport SecureNvmBase::recover() {
     tcb_.root_new = tcb_.root_old = report.recovered_root;
     tcb_.n_wb = 0;
     tcb_.overflow_pending = false;
+    persist_tcb();
     crashed_ = false;
     post_recovery_reset();
   }

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -78,6 +79,13 @@ struct DesignConfig {
   /// Workers for the recovery step-4 full-tree rebuild (1 = inline,
   /// 0 = hardware concurrency). Bit-identical for any value.
   std::size_t recovery_jobs = 1;
+  /// Optional NVM media backend factory (nvm/backend.h), called once at
+  /// construction with the layout's total footprint in bytes. Null keeps
+  /// the default volatile in-memory map. A file-backed factory should
+  /// hand over a *freshly created* (empty) backend — the constructor
+  /// formats the DIMM from scratch; reopening an existing image goes
+  /// through restore_from_power_down() instead.
+  std::function<std::unique_ptr<nvm::Backend>(std::uint64_t)> backend_factory;
   nvm::TimingParams timing{};
 };
 
@@ -299,6 +307,14 @@ class SecureNvmBase : public SecureNvmDesign {
                                const secure::CounterBlock& old_counters);
 
   void note_alert(Addr addr);
+
+  /// Mirrors the battery-backed TCB registers into the NVM backend's
+  /// register slot (no-op in timing-only mode). Called wherever the
+  /// registers change durably — after N_wb bumps, root recomputes,
+  /// drain commits, and recovery resets — so a durable backend always
+  /// carries a register snapshot consistent with some legal §4.2 crash
+  /// point of the lines around it.
+  void persist_tcb();
 
   /// Metadata line addresses a write-back of `data_addr` touches: the
   /// counter line plus all internal tree nodes on its path.

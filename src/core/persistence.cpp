@@ -20,54 +20,25 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 std::string tcb_path(const std::string& path) { return path + ".tcb"; }
 
+// File format: 8-byte magic + the canonical TCB blob (core/tcb.h) — the
+// same encoding durable media backends mirror into their register slot.
 bool save_tcb(const std::string& path, const TcbRegisters& tcb) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return false;
-  std::uint8_t buf[8 + kLineSize * 2 + 8 + 1 + 8];
-  std::size_t off = 0;
-  std::memcpy(buf + off, kMagic, 8);
-  off += 8;
-  std::memcpy(buf + off, tcb.root_new.data(), kLineSize);
-  off += kLineSize;
-  std::memcpy(buf + off, tcb.root_old.data(), kLineSize);
-  off += kLineSize;
-  for (int i = 0; i < 8; ++i) {
-    buf[off + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(tcb.n_wb >> (8 * i));
-  }
-  off += 8;
-  buf[off++] = tcb.overflow_pending ? 1 : 0;
-  for (int i = 0; i < 8; ++i) {
-    buf[off + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(tcb.overflow_leaf >> (8 * i));
-  }
-  off += 8;
-  return std::fwrite(buf, off, 1, f.get()) == 1;
+  const TcbBlob blob = encode_tcb(tcb);
+  if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1) return false;
+  return std::fwrite(blob.data(), blob.size(), 1, f.get()) == 1;
 }
 
 bool load_tcb(const std::string& path, TcbRegisters& tcb) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return false;
-  std::uint8_t buf[8 + kLineSize * 2 + 8 + 1 + 8];
-  if (std::fread(buf, sizeof(buf), 1, f.get()) != 1) return false;
-  if (std::memcmp(buf, kMagic, 8) != 0) return false;
-  std::size_t off = 8;
-  std::memcpy(tcb.root_new.data(), buf + off, kLineSize);
-  off += kLineSize;
-  std::memcpy(tcb.root_old.data(), buf + off, kLineSize);
-  off += kLineSize;
-  tcb.n_wb = 0;
-  for (int i = 7; i >= 0; --i) {
-    tcb.n_wb = (tcb.n_wb << 8) | buf[off + static_cast<std::size_t>(i)];
-  }
-  off += 8;
-  tcb.overflow_pending = buf[off++] != 0;
-  tcb.overflow_leaf = 0;
-  for (int i = 7; i >= 0; --i) {
-    tcb.overflow_leaf =
-        (tcb.overflow_leaf << 8) | buf[off + static_cast<std::size_t>(i)];
-  }
-  return true;
+  std::uint8_t magic[8];
+  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1) return false;
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  TcbBlob blob;
+  if (std::fread(blob.data(), blob.size(), 1, f.get()) != 1) return false;
+  return decode_tcb(blob.data(), blob.size(), tcb);
 }
 
 }  // namespace

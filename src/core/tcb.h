@@ -21,6 +21,8 @@
 // conservatively skipped for that page.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.h"
@@ -37,5 +39,52 @@ struct TcbRegisters {
   bool overflow_pending = false;
   std::uint64_t overflow_leaf = 0;
 };
+
+// --- Fixed binary encoding ------------------------------------------------
+// One canonical little-endian blob shared by the host power-down files
+// (core/persistence.cpp) and the durable media backends, which mirror the
+// battery-backed registers next to the lines (nvm::Backend register slot)
+// so an image file carries the complete crash state.
+
+inline constexpr std::size_t kTcbBlobBytes = 2 * kLineSize + 8 + 1 + 8;
+using TcbBlob = std::array<std::uint8_t, kTcbBlobBytes>;
+
+inline TcbBlob encode_tcb(const TcbRegisters& tcb) {
+  TcbBlob blob{};
+  std::size_t at = 0;
+  for (std::uint8_t b : tcb.root_new) blob[at++] = b;
+  for (std::uint8_t b : tcb.root_old) blob[at++] = b;
+  for (int i = 0; i < 8; ++i) {
+    blob[at++] = static_cast<std::uint8_t>(tcb.n_wb >> (8 * i));
+  }
+  blob[at++] = tcb.overflow_pending ? 1 : 0;
+  for (int i = 0; i < 8; ++i) {
+    blob[at++] = static_cast<std::uint8_t>(tcb.overflow_leaf >> (8 * i));
+  }
+  return blob;
+}
+
+/// Returns false (leaving `out` untouched) on a short or malformed blob.
+inline bool decode_tcb(const std::uint8_t* data, std::size_t len,
+                       TcbRegisters& out) {
+  if (data == nullptr || len != kTcbBlobBytes) return false;
+  const std::uint8_t flag = data[2 * kLineSize + 8];
+  if (flag > 1) return false;
+  TcbRegisters tcb;
+  std::size_t at = 0;
+  for (std::uint8_t& b : tcb.root_new) b = data[at++];
+  for (std::uint8_t& b : tcb.root_old) b = data[at++];
+  tcb.n_wb = 0;
+  for (int i = 0; i < 8; ++i) {
+    tcb.n_wb |= static_cast<std::uint64_t>(data[at++]) << (8 * i);
+  }
+  tcb.overflow_pending = data[at++] == 1;
+  tcb.overflow_leaf = 0;
+  for (int i = 0; i < 8; ++i) {
+    tcb.overflow_leaf |= static_cast<std::uint64_t>(data[at++]) << (8 * i);
+  }
+  out = tcb;
+  return true;
+}
 
 }  // namespace ccnvm::core

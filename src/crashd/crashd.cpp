@@ -1,0 +1,515 @@
+#include "crashd/crashd.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "audit/invariant_auditor.h"
+#include "audit/sweep_shape.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/cc_nvm.h"
+#include "core/tcb.h"
+#include "nvm/file_backend.h"
+
+namespace ccnvm::crashd {
+namespace {
+
+constexpr std::size_t kKeys = 16;
+constexpr std::size_t kCrashdDaqEntries = 6;
+constexpr std::size_t kCheckpointEvery = 8;
+
+/// The paper's crash model has no notion of a process observing its own
+/// death; raise(SIGKILL) matches that — no handlers, no unwinding, no
+/// atexit, nothing after this line runs.
+[[noreturn]] void die_now() {
+  std::raise(SIGKILL);
+  std::abort();  // unreachable: SIGKILL cannot be blocked
+}
+
+enum class OpKind { kPut, kErase, kGet };
+
+struct KvOp {
+  OpKind kind = OpKind::kGet;
+  std::string key;
+  std::string value;  // kPut only
+};
+
+/// One deterministic operation draw. Worker and verifier both call this
+/// with an identically seeded Rng, so the streams match byte for byte.
+/// The mix mirrors the in-process crash fuzz engine: mostly puts (out-
+/// of-place updates stress the heap/commit path), a hammered key when
+/// the update-limit trigger is under test.
+KvOp generate_op(Rng& rng, core::DrainTrigger trigger,
+                 std::uint64_t& put_tag) {
+  KvOp op;
+  const std::size_t key_index =
+      (trigger == core::DrainTrigger::kUpdateLimit && !rng.chance(0.25))
+          ? 0
+          : static_cast<std::size_t>(rng.below(kKeys));
+  op.key = "cd-" + std::to_string(key_index);
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 55) {
+    op.kind = OpKind::kPut;
+    const std::uint64_t vtag = ++put_tag;
+    op.value.assign(rng.below(140), '\0');
+    for (std::size_t j = 0; j < op.value.size(); ++j) {
+      op.value[j] = static_cast<char>(static_cast<std::uint8_t>(vtag * 167 + j));
+    }
+  } else if (roll < 80) {
+    op.kind = OpKind::kErase;
+  } else {
+    op.kind = OpKind::kGet;
+  }
+  return op;
+}
+
+std::string ack_path(const std::string& image_path) {
+  return image_path + ".ack";
+}
+
+const char* trigger_name(core::DrainTrigger t) {
+  switch (t) {
+    case core::DrainTrigger::kDaqPressure: return "daq-pressure";
+    case core::DrainTrigger::kDirtyEviction: return "dirty-eviction";
+    case core::DrainTrigger::kUpdateLimit: return "update-limit";
+    case core::DrainTrigger::kExplicit: return "explicit";
+  }
+  return "?";
+}
+
+const char* phase_name(core::DrainCrashPoint p) {
+  switch (p) {
+    case core::DrainCrashPoint::kNone: return "none";
+    case core::DrainCrashPoint::kMidBatch: return "mid-batch";
+    case core::DrainCrashPoint::kAfterBatchBeforeEnd: return "after-batch";
+    case core::DrainCrashPoint::kAfterEndBeforeCommit: return "before-commit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+store::StoreConfig crashd_store_config() {
+  store::StoreConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.heap_lines_per_shard = 192;
+  return cfg;
+}
+
+Scenario derive_scenario(std::uint64_t sweep_seed, std::uint64_t index) {
+  Scenario sc;
+  Rng rng(derive_seed(sweep_seed, index, 0xc4a5d));
+  // Only the designs whose full crash state is mirrored into the backend
+  // (TCB registers); cc-NVM+'s per-block update registers are in-process
+  // sweep territory.
+  sc.kind = rng.chance(0.5) ? core::DesignKind::kCcNvm
+                            : core::DesignKind::kCcNvmNoDs;
+  sc.trigger = audit::kSweepTriggers[rng.below(audit::kSweepTriggers.size())];
+  sc.ops = 24 + static_cast<std::size_t>(rng.below(33));
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 10) {
+    sc.kill = KillMode::kNone;
+  } else if (roll < 30) {
+    sc.kill = KillMode::kOpBoundary;
+    sc.kill_op = static_cast<std::size_t>(rng.below(sc.ops));
+  } else if (roll < 45) {
+    sc.kill = KillMode::kBeforeAck;
+    sc.kill_op = static_cast<std::size_t>(rng.below(sc.ops));
+  } else if (roll < 90) {
+    sc.kill = KillMode::kDrainPhase;
+    constexpr core::DrainCrashPoint kPhases[3] = {
+        core::DrainCrashPoint::kMidBatch,
+        core::DrainCrashPoint::kAfterBatchBeforeEnd,
+        core::DrainCrashPoint::kAfterEndBeforeCommit};
+    sc.phase = kPhases[rng.below(3)];
+    sc.target_drain = rng.below(6);
+  } else {
+    sc.kill = KillMode::kAttack;
+  }
+  sc.workload_seed = derive_seed(sweep_seed, index, 0x30b5);
+  return sc;
+}
+
+std::string describe(const Scenario& sc) {
+  std::string s = std::string(core::design_name(sc.kind)) + " trigger=" +
+                  trigger_name(sc.trigger) + " ops=" + std::to_string(sc.ops);
+  switch (sc.kill) {
+    case KillMode::kNone:
+      s += " kill=none";
+      break;
+    case KillMode::kOpBoundary:
+      s += " kill=op-boundary@" + std::to_string(sc.kill_op);
+      break;
+    case KillMode::kBeforeAck:
+      s += " kill=before-ack@" + std::to_string(sc.kill_op);
+      break;
+    case KillMode::kDrainPhase:
+      s += std::string(" kill=drain:") + phase_name(sc.phase) + "#" +
+           std::to_string(sc.target_drain);
+      break;
+    case KillMode::kAttack:
+      s += " kill=none+attack";
+      break;
+  }
+  return s;
+}
+
+int run_worker(const std::string& image_path, std::uint64_t sweep_seed,
+               std::uint64_t index) {
+  const Scenario sc = derive_scenario(sweep_seed, index);
+
+  core::DesignConfig cfg =
+      audit::shaped_design_config(sc.trigger, kCrashdDaqEntries);
+  cfg.backend_factory = [&image_path](std::uint64_t capacity_bytes) {
+    // kNone: SIGKILL keeps the page cache, which is all this harness
+    // needs (see file comment in nvm/file_backend.h); kSync would model
+    // machine power cuts and msync on every batch.
+    return nvm::FileBackend::create(image_path, capacity_bytes,
+                                    nvm::FileBackend::SyncMode::kNone);
+  };
+  auto design = core::make_design(sc.kind, cfg);
+  auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
+  auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
+  CCNVM_CHECK_MSG(base != nullptr && cc != nullptr,
+                  "crashd worker needs a CcNvmDesign");
+
+  // Unbuffered ack log: one write(2) per acknowledged operation. A
+  // buffered stream would lose acks sitting in user-space buffers at the
+  // kill and make the verifier under-count what the worker promised.
+  const int ack_fd =
+      ::open(ack_path(image_path).c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  CCNVM_CHECK_MSG(ack_fd >= 0, "crashd worker: cannot create ack log");
+  const auto ack = [&](char c) {
+    CCNVM_CHECK(::write(ack_fd, &c, 1) == 1);
+  };
+
+  if (sc.kill == KillMode::kDrainPhase) {
+    cc->set_power_loss_hook([] { die_now(); });
+  }
+
+  store::SecureKvStore kv(*base, crashd_store_config());
+  Rng rng(sc.workload_seed);
+  std::uint64_t put_tag = 0;
+  bool armed = false;
+  for (std::size_t i = 0; i < sc.ops; ++i) {
+    if (sc.kill == KillMode::kDrainPhase && !armed &&
+        base->stats().drains >= sc.target_drain) {
+      cc->arm_drain_crash(sc.phase);
+      armed = true;
+    }
+    const KvOp op = generate_op(rng, sc.trigger, put_tag);
+    switch (op.kind) {
+      case OpKind::kPut:
+        CCNVM_CHECK_MSG(kv.put(op.key, op.value), "crashd worker: store full");
+        break;
+      case OpKind::kErase:
+        (void)kv.erase(op.key);
+        break;
+      case OpKind::kGet:
+        (void)kv.get(op.key);
+        break;
+    }
+    if (sc.kill == KillMode::kBeforeAck && i == sc.kill_op) die_now();
+    ack('A');
+    if (sc.kill == KillMode::kOpBoundary && i == sc.kill_op) die_now();
+    if (sc.trigger == core::DrainTrigger::kExplicit &&
+        (i + 1) % kCheckpointEvery == 0) {
+      kv.checkpoint();
+    }
+  }
+  // Clean shutdown (reached when no kill was drawn or an armed drain
+  // crash never fired): quiesce, then promise the full trace.
+  kv.checkpoint();
+  ack('C');
+  ::close(ack_fd);
+  return 0;
+}
+
+VerifyResult verify_scenario(const std::string& image_path,
+                             std::uint64_t sweep_seed, std::uint64_t index) {
+  VerifyResult res;
+  const Scenario sc = derive_scenario(sweep_seed, index);
+  try {
+    // --- The ack log: what the worker promised before dying. ---
+    std::string acks;
+    {
+      std::FILE* f = std::fopen(ack_path(image_path).c_str(), "rb");
+      CCNVM_CHECK_MSG(f != nullptr, "crashd verify: missing ack log");
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        acks.append(buf, n);
+      }
+      std::fclose(f);
+    }
+    const bool clean = !acks.empty() && acks.back() == 'C';
+    const std::size_t n_acks = acks.size() - (clean ? 1 : 0);
+    CCNVM_CHECK_MSG(
+        acks.find_first_not_of('A') == (clean ? acks.size() - 1
+                                              : std::string::npos),
+        "crashd verify: malformed ack log");
+    CCNVM_CHECK_MSG(n_acks <= sc.ops, "crashd verify: more acks than ops");
+    if (clean) {
+      CCNVM_CHECK_MSG(n_acks == sc.ops,
+                      "crashd verify: clean exit with missing acks");
+    }
+    if (sc.kill == KillMode::kNone || sc.kill == KillMode::kAttack) {
+      CCNVM_CHECK_MSG(clean, "crashd verify: worker died in a no-kill run");
+    }
+    res.worker_was_killed = !clean;
+    res.acked_ops = n_acks;
+
+    // --- Replay the deterministic op stream into a model map. ---
+    std::map<std::string, std::string> model;
+    std::optional<std::string> in_flight_key;
+    std::optional<std::string> in_flight_before;
+    std::optional<std::string> in_flight_after;
+    {
+      Rng rng(sc.workload_seed);
+      std::uint64_t put_tag = 0;
+      for (std::size_t i = 0; i <= n_acks && i < sc.ops; ++i) {
+        const KvOp op = generate_op(rng, sc.trigger, put_tag);
+        if (i == n_acks) {
+          if (clean) break;
+          // The one operation the kill may have caught mid-application:
+          // old state or new state are both legal, a third is not.
+          const auto it = model.find(op.key);
+          in_flight_key = op.key;
+          in_flight_before = it == model.end()
+                                 ? std::nullopt
+                                 : std::optional<std::string>(it->second);
+          switch (op.kind) {
+            case OpKind::kPut:
+              in_flight_after = op.value;
+              break;
+            case OpKind::kErase:
+              in_flight_after = std::nullopt;
+              break;
+            case OpKind::kGet:
+              in_flight_after = in_flight_before;
+              break;
+          }
+          break;
+        }
+        switch (op.kind) {
+          case OpKind::kPut:
+            model[op.key] = op.value;
+            break;
+          case OpKind::kErase:
+            model.erase(op.key);
+            break;
+          case OpKind::kGet:
+            break;
+        }
+      }
+    }
+
+    // --- Reopen the image a dead process left behind. ---
+    auto backend = nvm::FileBackend::open(image_path);
+    CCNVM_CHECK_MSG(backend != nullptr,
+                    "crashd verify: image file missing or unreadable");
+    std::uint8_t regs[nvm::Backend::kRegisterCapacity];
+    const std::size_t reg_len = backend->load_registers(regs, sizeof(regs));
+    core::TcbRegisters tcb;
+    CCNVM_CHECK_MSG(core::decode_tcb(regs, reg_len, tcb),
+                    "crashd verify: image carries no valid TCB register blob");
+    nvm::NvmImage image(std::move(backend));
+
+    auto design = core::make_design(
+        sc.kind, audit::shaped_design_config(sc.trigger, kCrashdDaqEntries));
+    auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
+    CCNVM_CHECK(base != nullptr);
+    audit::InvariantAuditor auditor(
+        audit::InvariantAuditor::Options{.verify_image = true});
+    auditor.attach(*base);
+
+    if (sc.kill == KillMode::kAttack) {
+      // §4.4 attack location: flip one bit in a populated data line of
+      // the (cleanly quiesced) image; recovery must both detect and
+      // pinpoint it.
+      std::vector<Addr> candidates;
+      image.for_each_line([&](Addr addr, const Line&) {
+        if (addr < base->layout().data_capacity()) candidates.push_back(addr);
+      });
+      std::sort(candidates.begin(), candidates.end());
+      CCNVM_CHECK_MSG(!candidates.empty(),
+                      "crashd verify: attack scenario found no data lines");
+      Rng attack_rng(derive_seed(sweep_seed, index, 0xa77acc));
+      const Addr victim = candidates[attack_rng.below(candidates.size())];
+      Line line = image.read_line(victim);
+      line[attack_rng.below(kLineSize)] ^=
+          static_cast<std::uint8_t>(1u << attack_rng.below(8));
+      image.restore_line(victim, line);
+
+      base->restore_from_power_down(std::move(image), tcb);
+      const core::RecoveryReport report = design->recover();
+      CCNVM_CHECK_MSG(report.attack_detected,
+                      "crashd verify: corrupted data line not detected");
+      CCNVM_CHECK_MSG(report.attack_located,
+                      "crashd verify: corrupted data line not located");
+      CCNVM_CHECK_MSG(std::find(report.tampered_blocks.begin(),
+                                report.tampered_blocks.end(),
+                                victim) != report.tampered_blocks.end(),
+                      "crashd verify: located the wrong line");
+      res.attack_checked = true;
+      res.auditor_checks = auditor.checks_performed();
+      res.ok = true;
+      return res;
+    }
+
+    // --- Crash-consistency contract on the reopened image. ---
+    base->restore_from_power_down(std::move(image), tcb);
+    const core::RecoveryReport report = design->recover();
+    CCNVM_CHECK_MSG(report.clean && report.metadata_recovered,
+                    "crashd verify: recovery of the killed image not clean");
+
+    store::SecureKvStore kv =
+        store::SecureKvStore::open(*base, crashd_store_config());
+    std::uint64_t live = 0;
+    for (std::size_t i = 0; i < kKeys; ++i) {
+      const std::string key = "cd-" + std::to_string(i);
+      const std::optional<std::string> got = kv.get(key);
+      if (in_flight_key && *in_flight_key == key) {
+        CCNVM_CHECK_MSG(got == in_flight_before || got == in_flight_after,
+                        "crashd verify: in-flight op left a third state");
+      } else if (const auto it = model.find(key); it != model.end()) {
+        CCNVM_CHECK_MSG(got.has_value() && *got == it->second,
+                        "crashd verify: acknowledged operation lost");
+      } else {
+        CCNVM_CHECK_MSG(!got.has_value(),
+                        "crashd verify: erased/unwritten key reappeared");
+      }
+      if (got.has_value()) ++live;
+      ++res.keys_checked;
+    }
+    CCNVM_CHECK_MSG(kv.size() == live,
+                    "crashd verify: store holds spurious entries");
+    res.auditor_checks = auditor.checks_performed();
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.message = e.what();
+  }
+  return res;
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  std::string worker_exe =
+      config.worker_exe.empty() ? "/proc/self/exe" : config.worker_exe;
+  std::string dir = config.work_dir;
+  bool made_dir = false;
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string tmpl = std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+                       "/ccnvm-crashd-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    CCNVM_CHECK_MSG(::mkdtemp(buf.data()) != nullptr,
+                    "crashd sweep: mkdtemp failed");
+    dir = buf.data();
+    made_dir = true;
+  }
+
+  struct PerScenario {
+    bool killed = false;
+    bool clean = false;
+    VerifyResult verify;
+    std::string spawn_error;
+  };
+
+  // One throw-scope for the whole sweep: auditor/contract violations in
+  // verify_scenario surface as CheckFailure, are caught there, and fold
+  // into per-index failure strings — deterministic for any job count.
+  CheckThrowScope throw_scope;
+  const std::vector<PerScenario> results = parallel_map<PerScenario>(
+      static_cast<std::size_t>(config.scenarios), config.jobs,
+      [&](std::size_t i) {
+        PerScenario out;
+        const std::string image = dir + "/img-" + std::to_string(i);
+        std::vector<std::string> args = {
+            worker_exe,
+            "crashd",
+            "worker",
+            "--image=" + image,
+            "--seed=" + std::to_string(config.seed),
+            "--index=" + std::to_string(i),
+        };
+        std::vector<char*> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string& a : args) argv.push_back(a.data());
+        argv.push_back(nullptr);
+
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+          // Child: only async-signal-safe calls until exec (the parent
+          // runs a thread pool).
+          ::execv(worker_exe.c_str(), argv.data());
+          ::_exit(127);
+        }
+        if (pid < 0) {
+          out.spawn_error = "fork failed";
+          return out;
+        }
+        int status = 0;
+        if (::waitpid(pid, &status, 0) != pid) {
+          out.spawn_error = "waitpid failed";
+          return out;
+        }
+        if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+          out.killed = true;
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+          out.clean = true;
+        } else {
+          out.spawn_error =
+              "worker died unexpectedly (wait status " +
+              std::to_string(status) + ")";
+          return out;
+        }
+        out.verify = verify_scenario(image, config.seed, i);
+        if (out.verify.ok && out.verify.worker_was_killed != out.killed) {
+          out.verify.ok = false;
+          out.verify.message = "ack log disagrees with the wait status";
+        }
+        if (!config.keep_files) {
+          std::remove(image.c_str());
+          std::remove(ack_path(image).c_str());
+        }
+        return out;
+      });
+
+  SweepResult sweep;
+  sweep.scenarios = config.scenarios;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PerScenario& r = results[i];
+    const Scenario sc = derive_scenario(config.seed, i);
+    if (sc.kill == KillMode::kAttack) ++sweep.attack_scenarios;
+    if (r.killed) ++sweep.killed;
+    if (r.clean) ++sweep.clean_exits;
+    sweep.acked_ops += r.verify.acked_ops;
+    sweep.auditor_checks += r.verify.auditor_checks;
+    if (!r.spawn_error.empty() || !r.verify.ok) {
+      const std::string& why =
+          !r.spawn_error.empty() ? r.spawn_error : r.verify.message;
+      sweep.failures.push_back("scenario " + std::to_string(i) + " [" +
+                               describe(sc) + "]: " + why);
+    }
+  }
+  if (made_dir && !config.keep_files) ::rmdir(dir.c_str());
+  return sweep;
+}
+
+}  // namespace ccnvm::crashd

@@ -1,0 +1,132 @@
+// Out-of-process kill-9 crash harness ("crashd").
+//
+// Everything the in-process sweeps test is simulated: DrainCrashPoint
+// unwinds the stack, the NvmImage stays in the same heap, and nothing
+// ever actually dies. crashd closes that gap. A *worker process* runs KV
+// traffic on a design whose NvmImage lives in an mmap'ed file
+// (nvm::FileBackend) and SIGKILLs itself at a scenario-chosen moment —
+// at an operation boundary, after applying-but-before-acknowledging an
+// operation, or inside a drain at one of the §4.2 crash windows (via
+// CcNvmDesign's power-loss hook, which fires at the exact armed point).
+// A *verifier* (fresh process or at least a fresh design) then reopens
+// the image file, restores the mirrored TCB registers, runs recovery
+// with the PR-1 invariant auditor attached, and checks:
+//
+//   * recovery is clean and every *acknowledged* operation (one byte in
+//     an unbuffered side-channel ack log, written only after the KV op
+//     returned) reads back exactly;
+//   * the single unacknowledged in-flight operation surfaces as its old
+//     or new state, never a third one;
+//   * zero auditor violations (I1-I8 on the crash state and the
+//     recovered state, including full image-vs-roots verification);
+//   * on attack scenarios, a deliberately corrupted data line in the
+//     image is detected AND located per §4.4.
+//
+// Why SIGKILL is honest here: stores into a MAP_SHARED mapping live in
+// the kernel page cache the moment they retire; SIGKILL cannot undo
+// them, and nothing after the kill runs. The reopened file therefore
+// holds exactly the prefix of NVM line writes (in program order) that
+// the victim completed — the paper's power-cut ordering model, §4.2's
+// "ADR drains the WPQ" included, because the model performs those
+// writes before the kill point fires.
+//
+// Determinism: a scenario is fully derived from (sweep_seed, index), so
+// worker and verifier — different processes — reconstruct the identical
+// operation stream, and any failure replays standalone via
+// `ccnvm crashd worker/verify --seed=S --index=I`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/design.h"
+#include "core/protocol_observer.h"
+#include "store/kv_store.h"
+
+namespace ccnvm::crashd {
+
+/// When (if at all) the worker raises SIGKILL on itself.
+enum class KillMode {
+  kNone,        // run to a clean quiesced shutdown
+  kOpBoundary,  // after acknowledging operation `kill_op`
+  kBeforeAck,   // after *applying* operation `kill_op`, before its ack
+  kDrainPhase,  // inside drain #target_drain at `phase` (§4.2 window)
+  kAttack,      // clean run; the verifier then corrupts the image
+};
+
+struct Scenario {
+  core::DesignKind kind = core::DesignKind::kCcNvm;
+  core::DrainTrigger trigger = core::DrainTrigger::kExplicit;
+  KillMode kill = KillMode::kNone;
+  core::DrainCrashPoint phase = core::DrainCrashPoint::kNone;
+  /// kDrainPhase: arm once `target_drain` drains have already committed,
+  /// so the kill lands in the (target_drain+1)-th drain of the run.
+  std::uint64_t target_drain = 0;
+  std::size_t kill_op = 0;  // kOpBoundary / kBeforeAck
+  std::size_t ops = 0;
+  std::uint64_t workload_seed = 0;
+};
+
+/// The deterministic scenario for (sweep_seed, index) — the single
+/// source both processes derive from.
+Scenario derive_scenario(std::uint64_t sweep_seed, std::uint64_t index);
+
+std::string describe(const Scenario& scenario);
+
+/// KV geometry of every crashd scenario (matches the crash fuzz engine).
+store::StoreConfig crashd_store_config();
+
+/// Runs the worker side against `image_path` (plus `image_path + ".ack"`
+/// for the ack log). Kill scenarios do not return — the process dies by
+/// SIGKILL at the scenario's point. Clean scenarios return 0.
+int run_worker(const std::string& image_path, std::uint64_t sweep_seed,
+               std::uint64_t index);
+
+struct VerifyResult {
+  bool ok = false;
+  std::string message;       // on failure
+  bool worker_was_killed = false;
+  std::uint64_t acked_ops = 0;
+  std::uint64_t keys_checked = 0;
+  std::uint64_t auditor_checks = 0;
+  bool attack_checked = false;
+};
+
+/// Verifies the image a (possibly killed) worker left behind. Requires a
+/// common::CheckThrowScope in the caller (auditor violations and lost
+/// ops surface as CheckFailure and are converted into a failed result).
+VerifyResult verify_scenario(const std::string& image_path,
+                             std::uint64_t sweep_seed, std::uint64_t index);
+
+struct SweepConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t scenarios = 200;
+  std::size_t jobs = 1;  // deterministic executor width (0 = hw)
+  /// Directory for image/ack files; empty = a fresh mkdtemp under
+  /// $TMPDIR. Files are deleted per scenario unless keep_files.
+  std::string work_dir;
+  bool keep_files = false;
+  /// Executable to fork+exec as `<exe> crashd worker ...`; empty =
+  /// /proc/self/exe (the running binary).
+  std::string worker_exe;
+};
+
+struct SweepResult {
+  std::uint64_t scenarios = 0;
+  std::uint64_t killed = 0;       // workers that died by SIGKILL
+  std::uint64_t clean_exits = 0;  // workers that exited 0
+  std::uint64_t attack_scenarios = 0;
+  std::uint64_t acked_ops = 0;
+  std::uint64_t auditor_checks = 0;
+  std::vector<std::string> failures;  // index order, deterministic
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Fork+exec one worker per scenario (in parallel over the deterministic
+/// executor), reap it, and verify every image in-process. Installs its
+/// own CheckThrowScope — must not run inside another one.
+SweepResult run_sweep(const SweepConfig& config);
+
+}  // namespace ccnvm::crashd

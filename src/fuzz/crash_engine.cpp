@@ -8,6 +8,9 @@
 // The InvariantAuditor rides along, so a broken drain-protocol invariant
 // fails the case even when end-to-end recovery happens to look fine.
 
+#include <unistd.h>
+
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <optional>
@@ -23,6 +26,7 @@
 #include "core/cc_nvm.h"
 #include "core/design.h"
 #include "fuzz/fuzz.h"
+#include "nvm/file_backend.h"
 #include "store/kv_store.h"
 
 namespace ccnvm::fuzz::detail {
@@ -41,6 +45,26 @@ store::StoreConfig crash_store_config() {
   cfg.buckets_per_shard = 64;
   cfg.heap_lines_per_shard = 192;
   return cfg;
+}
+
+/// Backs a case's NvmImage with a real mmap'ed file. The file is
+/// mkstemp'ed and immediately unlinked (FileBackend keeps the mapping
+/// alive through the fd), so even an aborted campaign leaves nothing
+/// behind; SyncMode::kNone because these cases simulate power loss
+/// in-process — durability across a host kill is crashd's job.
+std::unique_ptr<nvm::Backend> make_file_backend(std::uint64_t capacity_bytes) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl =
+      std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
+      "/ccnvm-fuzz-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const int fd = ::mkstemp(buf.data());
+  CCNVM_CHECK_MSG(fd >= 0, "crash fuzz: mkstemp failed");
+  ::close(fd);  // FileBackend::create reopens and truncates the path
+  return nvm::FileBackend::create(buf.data(), capacity_bytes,
+                                  nvm::FileBackend::SyncMode::kNone,
+                                  /*unlink_after_create=*/true);
 }
 
 /// Random address whose distribution still fires `trigger`: spread-out
@@ -196,7 +220,8 @@ void run_kv_case(core::SecureNvmBase& base, core::CcNvmDesign& cc,
 }  // namespace
 
 CaseOutcome run_crash_case(std::uint64_t case_seed, std::size_t max_ops,
-                           core::CcNvmDesign::ProtocolMutation planted_bug) {
+                           core::CcNvmDesign::ProtocolMutation planted_bug,
+                           bool file_backend) {
   CaseOutcome out;
   Rng rng(case_seed);
   const core::DesignKind kind = kCcSweepKinds[rng.below(kCcSweepKinds.size())];
@@ -206,8 +231,9 @@ CaseOutcome run_crash_case(std::uint64_t case_seed, std::size_t max_ops,
       kSweepCrashPoints[rng.below(kSweepCrashPoints.size())];
   const bool kv_mode = rng.chance(0.5);
 
-  auto design = core::make_design(
-      kind, shaped_design_config(trigger, kv_mode ? 6 : 12));
+  core::DesignConfig config = shaped_design_config(trigger, kv_mode ? 6 : 12);
+  if (file_backend) config.backend_factory = make_file_backend;
+  auto design = core::make_design(kind, config);
   auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
   auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
   CCNVM_CHECK_MSG(base != nullptr && cc != nullptr,

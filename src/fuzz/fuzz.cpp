@@ -28,21 +28,24 @@ std::optional<Engine> parse_engine(std::string_view name) {
   return std::nullopt;
 }
 
-std::string FuzzFailure::repro(Engine engine) const {
+std::string FuzzFailure::repro(Engine engine, bool file_backend) const {
   return "ccnvm fuzz --engine=" + std::string(engine_name(engine)) +
+         std::string(file_backend ? " --backend=file" : "") +
          " --replay=" + std::to_string(case_seed) +
          " --ops=" + std::to_string(ops);
 }
 
 CaseOutcome run_fuzz_case(Engine engine, std::uint64_t case_seed,
                           std::size_t max_ops,
-                          core::CcNvmDesign::ProtocolMutation planted_bug) {
+                          core::CcNvmDesign::ProtocolMutation planted_bug,
+                          bool file_backend) {
   try {
     switch (engine) {
       case Engine::kDifferential:
         return detail::run_differential_case(case_seed, max_ops);
       case Engine::kCrash:
-        return detail::run_crash_case(case_seed, max_ops, planted_bug);
+        return detail::run_crash_case(case_seed, max_ops, planted_bug,
+                                      file_backend);
       case Engine::kAttack:
         return detail::run_attack_case(case_seed, max_ops);
     }
@@ -65,9 +68,11 @@ CaseOutcome run_fuzz_case(Engine engine, std::uint64_t case_seed,
 
 std::size_t minimize_failure(Engine engine, std::uint64_t case_seed,
                              std::size_t ops,
-                             core::CcNvmDesign::ProtocolMutation planted_bug) {
+                             core::CcNvmDesign::ProtocolMutation planted_bug,
+                             bool file_backend) {
   const auto fails = [&](std::size_t budget) {
-    return !run_fuzz_case(engine, case_seed, budget, planted_bug).ok;
+    return !run_fuzz_case(engine, case_seed, budget, planted_bug, file_backend)
+                .ok;
   };
   std::size_t best = ops;
   std::size_t attempts = 0;
@@ -124,6 +129,7 @@ void fold_batch(const std::vector<CaseOutcome>& outcomes,
 FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config) {
   FuzzCampaignResult result;
   result.engine = config.engine;
+  result.file_backend = config.file_backend;
   result.seed = config.seed;
 
   // One scope for the whole campaign (case workers and minimization):
@@ -135,7 +141,8 @@ FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config) {
 
   const auto run_case = [&](std::uint64_t iteration) {
     return run_fuzz_case(config.engine, derive_seed(config.seed, iteration),
-                         config.max_ops, config.planted_bug);
+                         config.max_ops, config.planted_bug,
+                         config.file_backend);
   };
 
   if (config.seconds > 0) {
@@ -168,8 +175,9 @@ FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config) {
     FuzzFailure& failure = result.failures[i];
     failure.ops = config.max_ops;
     if (config.minimize && i < kMinimized) {
-      failure.ops = minimize_failure(config.engine, failure.case_seed,
-                                     config.max_ops, config.planted_bug);
+      failure.ops =
+          minimize_failure(config.engine, failure.case_seed, config.max_ops,
+                           config.planted_bug, config.file_backend);
     }
   }
   return result;

@@ -79,6 +79,10 @@ struct FuzzConfig {
   /// only) to prove the campaign catches it.
   core::CcNvmDesign::ProtocolMutation planted_bug =
       core::CcNvmDesign::ProtocolMutation::kNone;
+  /// Crash engine only: back each case's NvmImage with an (unlinked,
+  /// mkstemp'ed) nvm::FileBackend instead of the in-memory map, so the
+  /// campaign also exercises the durable media path.
+  bool file_backend = false;
   /// Shrink each failure's op budget before reporting it.
   bool minimize = true;
 };
@@ -92,11 +96,12 @@ struct FuzzFailure {
   std::string message;
 
   /// One-line reproduction command.
-  std::string repro(Engine engine) const;
+  std::string repro(Engine engine, bool file_backend = false) const;
 };
 
 struct FuzzCampaignResult {
   Engine engine = Engine::kDifferential;
+  bool file_backend = false;
   std::uint64_t seed = 0;
   std::uint64_t iterations = 0;  // cases actually run
   std::uint64_t ops = 0;
@@ -119,7 +124,8 @@ struct FuzzCampaignResult {
 CaseOutcome run_fuzz_case(Engine engine, std::uint64_t case_seed,
                           std::size_t max_ops,
                           core::CcNvmDesign::ProtocolMutation planted_bug =
-                              core::CcNvmDesign::ProtocolMutation::kNone);
+                              core::CcNvmDesign::ProtocolMutation::kNone,
+                          bool file_backend = false);
 
 /// Runs a campaign on the parallel job executor (see the determinism
 /// contract above). Installs its own CheckThrowScope.
@@ -131,14 +137,16 @@ FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config);
 std::size_t minimize_failure(Engine engine, std::uint64_t case_seed,
                              std::size_t ops,
                              core::CcNvmDesign::ProtocolMutation planted_bug =
-                                 core::CcNvmDesign::ProtocolMutation::kNone);
+                                 core::CcNvmDesign::ProtocolMutation::kNone,
+                             bool file_backend = false);
 
 namespace detail {
 // Per-engine case bodies (throw CheckFailure on violated expectations).
 CaseOutcome run_differential_case(std::uint64_t case_seed,
                                   std::size_t max_ops);
 CaseOutcome run_crash_case(std::uint64_t case_seed, std::size_t max_ops,
-                           core::CcNvmDesign::ProtocolMutation planted_bug);
+                           core::CcNvmDesign::ProtocolMutation planted_bug,
+                           bool file_backend = false);
 CaseOutcome run_attack_case(std::uint64_t case_seed, std::size_t max_ops);
 }  // namespace detail
 

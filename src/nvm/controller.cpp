@@ -64,6 +64,9 @@ void MemoryController::end_atomic_batch() {
     image_->write_line(w.addr, w.value);
     account_write(w.kind);
   }
+  // The ADR flush boundary: a durable backend orders the batch onto
+  // stable media here (msync in SyncMode::kSync; see nvm/backend.h).
+  image_->persist_barrier();
   batch_.clear();
   batch_open_ = false;
 }

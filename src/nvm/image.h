@@ -6,31 +6,76 @@
 // says about off-chip memory: bytes an adversary can read and overwrite
 // at will. Attack injection (src/attacks) mutates an NvmImage directly;
 // replay attacks restore lines from an earlier snapshot of it.
+//
+// Where the bytes actually live is pluggable (nvm/backend.h): the
+// default is the original heap-resident map; a file-backed image
+// (nvm/file_backend.h) survives SIGKILL of the whole process and feeds
+// the out-of-process crash harness. NvmImage keeps the simulation-side
+// bookkeeping (write counts, wear, the write observer, the
+// record-contents switch) above the backend so every backend sees the
+// same accounting.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "common/types.h"
+#include "nvm/backend.h"
 
 namespace ccnvm::nvm {
 
 class NvmImage {
  public:
+  /// Default: volatile in-memory map, the original behaviour.
+  NvmImage() : backend_(std::make_unique<MapBackend>()) {}
+
+  /// Adopts a specific media backend (file-backed, fault-injecting, ...).
+  explicit NvmImage(std::unique_ptr<Backend> backend)
+      : backend_(std::move(backend)) {
+    CCNVM_CHECK(backend_ != nullptr);
+  }
+
+  /// Copying snapshots the contents into a fresh volatile map backend —
+  /// a snapshot of a file-backed image never aliases (or becomes) the
+  /// durable file.
+  NvmImage(const NvmImage& other)
+      : backend_(other.backend_->clone()),
+        wear_(other.wear_),
+        write_observer_(other.write_observer_),
+        write_count_(other.write_count_),
+        record_contents_(other.record_contents_) {}
+
+  NvmImage& operator=(const NvmImage& other) {
+    if (this != &other) {
+      backend_ = other.backend_->clone();
+      wear_ = other.wear_;
+      write_observer_ = other.write_observer_;
+      write_count_ = other.write_count_;
+      record_contents_ = other.record_contents_;
+    }
+    return *this;
+  }
+
+  NvmImage(NvmImage&&) = default;
+  NvmImage& operator=(NvmImage&&) = default;
+
   /// Reads the line at `addr` (must be line-aligned). Never-written lines
   /// read as zero, like a fresh DIMM.
   Line read_line(Addr addr) const {
     CCNVM_CHECK(is_line_aligned(addr));
-    const auto it = lines_.find(addr);
-    return it == lines_.end() ? zero_line() : it->second;
+    Line out;
+    if (!backend_->read_line(addr, out)) return zero_line();
+    return out;
   }
 
   void write_line(Addr addr, const Line& value) {
     CCNVM_CHECK(is_line_aligned(addr));
-    if (record_contents_) lines_[addr] = value;
+    if (record_contents_) backend_->write_line(addr, value);
     ++write_count_;
     ++wear_[addr];
     if (write_observer_) write_observer_(addr);
@@ -57,7 +102,7 @@ class NvmImage {
   void reset_wear() { wear_.clear(); }
 
   /// Timing-only simulations disable content recording: writes are still
-  /// counted but the map stays empty, keeping multi-gigabyte-footprint
+  /// counted but the backend stays empty, keeping multi-gigabyte-footprint
   /// sweeps cheap.
   void set_record_contents(bool record) { record_contents_ = record; }
 
@@ -68,15 +113,16 @@ class NvmImage {
 
   void write_ecc(Addr addr, const std::array<std::uint8_t, 8>& ecc) {
     CCNVM_CHECK(is_line_aligned(addr));
-    if (record_contents_) ecc_[addr] = ecc;
+    if (record_contents_) backend_->write_ecc(addr, ecc);
   }
 
   std::array<std::uint8_t, 8> read_ecc(Addr addr) const {
-    const auto it = ecc_.find(line_base(addr));
-    return it == ecc_.end() ? std::array<std::uint8_t, 8>{} : it->second;
+    EccBytes out;
+    if (!backend_->read_ecc(line_base(addr), out)) return EccBytes{};
+    return out;
   }
 
-  bool has_ecc(Addr addr) const { return ecc_.contains(line_base(addr)); }
+  bool has_ecc(Addr addr) const { return backend_->has_ecc(line_base(addr)); }
 
   // --- Deserialization entry points (see nvm/image_io.h) ------------------
   // Unlike write_line, these restore state without counting writes or
@@ -84,11 +130,11 @@ class NvmImage {
 
   void restore_line(Addr addr, const Line& value) {
     CCNVM_CHECK(is_line_aligned(addr));
-    lines_[addr] = value;
+    backend_->write_line(addr, value);
   }
   void restore_ecc(Addr addr, const std::array<std::uint8_t, 8>& ecc) {
     CCNVM_CHECK(is_line_aligned(addr));
-    ecc_[addr] = ecc;
+    backend_->write_ecc(addr, ecc);
   }
   void restore_wear(Addr addr, std::uint64_t count) {
     CCNVM_CHECK(is_line_aligned(addr));
@@ -98,31 +144,53 @@ class NvmImage {
   /// Visits every ECC side-band entry (for serialization).
   template <typename Fn>
   void for_each_ecc(Fn&& fn) const {
-    for (const auto& [addr, ecc] : ecc_) fn(addr, ecc);
+    backend_->for_each_ecc(
+        [&](Addr addr, const EccBytes& ecc) { fn(addr, ecc); });
   }
 
   bool has_line(Addr addr) const {
-    return lines_.contains(line_base(addr));
+    return backend_->has_line(line_base(addr));
   }
 
   /// Deep copy, used for replay-attack snapshots and crash modelling.
+  /// Always lands in a volatile map backend (Backend::clone contract).
   NvmImage snapshot() const { return *this; }
 
-  /// Visits every populated line (order unspecified).
+  /// Visits every populated line (order unspecified; backend-dependent).
   template <typename Fn>
   void for_each_line(Fn&& fn) const {
-    for (const auto& [addr, value] : lines_) fn(addr, value);
+    backend_->for_each_line(
+        [&](Addr addr, const Line& value) { fn(addr, value); });
   }
 
   /// Total line writes ever applied (functional count; the timing-visible
   /// traffic accounting lives in the memory-controller stats).
   std::uint64_t write_count() const { return write_count_; }
 
-  std::size_t populated_lines() const { return lines_.size(); }
+  std::size_t populated_lines() const { return backend_->populated_lines(); }
+
+  // --- Durability hooks (no-ops on the volatile map backend) --------------
+
+  /// ADR flush boundary: orders everything written so far onto stable
+  /// media. The memory controller invokes this when a WPQ atomic batch
+  /// closes (§4.2).
+  void persist_barrier() { backend_->persist_barrier(); }
+
+  /// Mirrors the battery-backed TCB registers next to the lines so a
+  /// durable backend carries the full crash state (see core/tcb.h for
+  /// the blob encoding).
+  void store_registers(const std::uint8_t* data, std::size_t len) {
+    backend_->store_registers(data, len);
+  }
+  std::size_t load_registers(std::uint8_t* out, std::size_t cap) const {
+    return backend_->load_registers(out, cap);
+  }
+
+  const Backend& backend() const { return *backend_; }
+  Backend& backend() { return *backend_; }
 
  private:
-  std::unordered_map<Addr, Line> lines_;
-  std::unordered_map<Addr, std::array<std::uint8_t, 8>> ecc_;
+  std::unique_ptr<Backend> backend_;
   std::unordered_map<Addr, std::uint64_t> wear_;
   std::function<void(Addr)> write_observer_;
   std::uint64_t write_count_ = 0;

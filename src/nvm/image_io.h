@@ -6,7 +6,8 @@
 // counters. Volatile state is naturally absent — a loaded image is
 // exactly the post-crash world RecoveryManager expects.
 //
-// Format (little-endian):
+// Format (little-endian; records sorted by address, so equal contents
+// serialize to identical bytes regardless of the backing store):
 //   [8B magic "CCNVMIMG"][4B version]
 //   [8B line count]    count x { 8B addr, 64B data }
 //   [8B ecc count]     count x { 8B addr, 8B ecc }
@@ -19,10 +20,15 @@
 
 namespace ccnvm::nvm {
 
+/// Serializes `image` crash-safely: the bytes are written to a temp
+/// file, fsync'ed, and atomically renamed over `path` — an interrupted
+/// save never clobbers a previously complete image.
 bool save_image(const std::string& path, const NvmImage& image);
 
-/// Loads an image saved by save_image. Returns false (leaving `image`
-/// unspecified) on I/O or format errors.
+/// Loads an image saved by save_image, with the strong guarantee: the
+/// whole file is parsed and validated first and `image` is mutated only
+/// on success. Returns false (leaving `image` untouched) on I/O errors,
+/// bad magic/version, short or misaligned records, or trailing garbage.
 bool load_image(const std::string& path, NvmImage& image);
 
 }  // namespace ccnvm::nvm

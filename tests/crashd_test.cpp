@@ -1,0 +1,122 @@
+// crashd harness internals that don't need a real SIGKILL: scenario
+// derivation determinism and coverage, and the worker/verifier pair run
+// in-process for the scenarios that exit cleanly (kNone and kAttack —
+// any other kill mode would take the test runner down with it).
+// The fork+kill path itself is exercised by the `cli_crashd_sweep` ctest
+// and the CI kill9-crash-sweep job.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/check.h"
+#include "crashd/crashd.h"
+
+namespace ccnvm::crashd {
+namespace {
+
+/// Per-test-unique path: gtest_discover_tests runs every TEST as its own
+/// ctest entry, and `ctest -j` runs them concurrently in one TempDir —
+/// shared filenames would race.
+std::string temp_path(const char* name) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return std::string(::testing::TempDir()) + "/" + info->test_suite_name() +
+         "-" + info->name() + "-" + name;
+}
+
+void cleanup(const std::string& image) {
+  std::remove(image.c_str());
+  std::remove((image + ".ack").c_str());
+}
+
+std::optional<std::uint64_t> find_index(std::uint64_t seed, KillMode kill,
+                                        std::uint64_t limit = 2000) {
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    if (derive_scenario(seed, i).kill == kill) return i;
+  }
+  return std::nullopt;
+}
+
+TEST(CrashdScenarioTest, DerivationIsDeterministic) {
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const Scenario a = derive_scenario(1, i);
+    const Scenario b = derive_scenario(1, i);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.trigger, b.trigger);
+    EXPECT_EQ(a.kill, b.kill);
+    EXPECT_EQ(a.phase, b.phase);
+    EXPECT_EQ(a.kill_op, b.kill_op);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.workload_seed, b.workload_seed);
+    EXPECT_FALSE(describe(a).empty());
+  }
+  // Different seeds must explore different scenarios.
+  EXPECT_NE(derive_scenario(1, 0).workload_seed,
+            derive_scenario(2, 0).workload_seed);
+}
+
+TEST(CrashdScenarioTest, SweepCoversEveryKillMode) {
+  EXPECT_TRUE(find_index(1, KillMode::kNone).has_value());
+  EXPECT_TRUE(find_index(1, KillMode::kOpBoundary).has_value());
+  EXPECT_TRUE(find_index(1, KillMode::kBeforeAck).has_value());
+  EXPECT_TRUE(find_index(1, KillMode::kDrainPhase).has_value());
+  EXPECT_TRUE(find_index(1, KillMode::kAttack).has_value());
+}
+
+TEST(CrashdWorkerTest, CleanScenarioRoundTripsThroughTheImageFile) {
+  const auto index = find_index(1, KillMode::kNone);
+  ASSERT_TRUE(index.has_value());
+  const std::string image = temp_path("crashd-clean.dimm");
+  ASSERT_EQ(run_worker(image, 1, *index), 0);
+
+  CheckThrowScope throw_scope;
+  const VerifyResult r = verify_scenario(image, 1, *index);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_FALSE(r.worker_was_killed);
+  EXPECT_EQ(r.acked_ops, derive_scenario(1, *index).ops);
+  EXPECT_GT(r.keys_checked, 0u);
+  EXPECT_GT(r.auditor_checks, 0u);
+  cleanup(image);
+}
+
+TEST(CrashdWorkerTest, AttackScenarioIsDetectedAndLocated) {
+  const auto index = find_index(1, KillMode::kAttack);
+  ASSERT_TRUE(index.has_value());
+  const std::string image = temp_path("crashd-attack.dimm");
+  ASSERT_EQ(run_worker(image, 1, *index), 0);
+
+  CheckThrowScope throw_scope;
+  const VerifyResult r = verify_scenario(image, 1, *index);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.attack_checked);
+  cleanup(image);
+}
+
+TEST(CrashdVerifyTest, TamperedAckLogFailsVerification) {
+  // Forge an extra ack the worker never wrote: the verifier must refuse
+  // rather than quietly trusting a too-long promise list.
+  const auto index = find_index(1, KillMode::kNone);
+  ASSERT_TRUE(index.has_value());
+  const std::string image = temp_path("crashd-forged.dimm");
+  ASSERT_EQ(run_worker(image, 1, *index), 0);
+  {
+    std::FILE* f = std::fopen((image + ".ack").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc('A', f);
+    std::fclose(f);
+  }
+  CheckThrowScope throw_scope;
+  const VerifyResult r = verify_scenario(image, 1, *index);
+  EXPECT_FALSE(r.ok);
+  cleanup(image);
+}
+
+TEST(CrashdVerifyTest, MissingImageFails) {
+  CheckThrowScope throw_scope;
+  const VerifyResult r = verify_scenario(temp_path("crashd-nope.dimm"), 1, 0);
+  EXPECT_FALSE(r.ok);
+}
+
+}  // namespace
+}  // namespace ccnvm::crashd

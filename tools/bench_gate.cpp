@@ -1,0 +1,200 @@
+// bench_gate — the CI perf-regression gate.
+//
+//   bench_gate <baseline.json> <candidate.json> [--threshold=0.85]
+//   bench_gate --self-test <baseline.json>
+//
+// Both inputs are BENCH_headline.json files (sim/report.h schema). The
+// gate compares only the `throughput/*` metrics — absolute ops/s of the
+// crypto primitives every simulated access goes through — because the
+// claim/geomean metrics are normalized ratios that divide out a
+// uniformly slower build.
+//
+// Host-speed calibration: each file also carries `calibration/spin`, a
+// crypto-free ALU spin measured by the same binary in the same run. Per
+// metric the gate scores
+//
+//     (candidate / candidate_spin) / (baseline / baseline_spin)
+//
+// so a throttled or slower CI machine cancels out and only *relative*
+// slowdowns of the measured code remain. The verdict is the geometric
+// mean of those scores: below the threshold (default 0.85, i.e. a >15%
+// geomean regression) the gate exits 1.
+//
+// --self-test proves the gate can actually trip: it replays the baseline
+// against itself (must pass) and against a synthetic candidate with all
+// throughput/* values halved — a planted 2x slowdown — which must fail.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr double kDefaultThreshold = 0.85;
+constexpr char kSpinMetric[] = "calibration/spin";
+constexpr char kThroughputPrefix[] = "throughput/";
+
+/// Scanning parser for the fixed write_bench_json schema: every metric is
+/// a `{"name": "...", "value": N, ...}` object with `name` preceding
+/// `value`. Not a general JSON parser — it doesn't need to be, both
+/// inputs are produced by this repo's own bench binaries.
+std::optional<std::map<std::string, double>> parse_metrics(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_gate: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::map<std::string, double> metrics;
+  const std::string name_key = "\"name\":";
+  const std::string value_key = "\"value\":";
+  std::size_t pos = 0;
+  while ((pos = text.find(name_key, pos)) != std::string::npos) {
+    pos += name_key.size();
+    const std::size_t open = text.find('"', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    const std::string name = text.substr(open + 1, close - open - 1);
+    std::size_t vpos = text.find(value_key, close);
+    if (vpos == std::string::npos) break;
+    vpos += value_key.size();
+    while (vpos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[vpos])) != 0) {
+      ++vpos;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + vpos, &end);
+    if (end == text.c_str() + vpos) break;  // malformed number
+    metrics[name] = value;
+    pos = static_cast<std::size_t>(end - text.c_str());
+  }
+  if (metrics.empty()) {
+    std::fprintf(stderr, "bench_gate: no metrics found in %s\n", path.c_str());
+    return std::nullopt;
+  }
+  return metrics;
+}
+
+struct GateResult {
+  bool pass = false;
+  double geomean = 0.0;
+  std::size_t compared = 0;
+};
+
+/// Scores candidate vs baseline and prints the per-metric table.
+GateResult run_gate(const std::map<std::string, double>& baseline,
+                    const std::map<std::string, double>& candidate,
+                    double threshold) {
+  GateResult r;
+  double calibration = 1.0;
+  const auto base_spin = baseline.find(kSpinMetric);
+  const auto cand_spin = candidate.find(kSpinMetric);
+  if (base_spin != baseline.end() && cand_spin != candidate.end() &&
+      base_spin->second > 0 && cand_spin->second > 0) {
+    calibration = cand_spin->second / base_spin->second;
+    std::printf("host calibration (%s): %.3fx\n", kSpinMetric, calibration);
+  } else {
+    std::printf("host calibration unavailable; comparing raw ratios\n");
+  }
+
+  std::printf("%-32s %14s %14s %8s\n", "metric", "baseline", "candidate",
+              "score");
+  double log_sum = 0.0;
+  for (const auto& [name, base_value] : baseline) {
+    if (name.rfind(kThroughputPrefix, 0) != 0) continue;
+    const auto it = candidate.find(name);
+    if (it == candidate.end() || base_value <= 0 || it->second <= 0) continue;
+    const double score = (it->second / base_value) / calibration;
+    std::printf("%-32s %14.0f %14.0f %7.3fx\n", name.c_str(), base_value,
+                it->second, score);
+    log_sum += std::log(score);
+    ++r.compared;
+  }
+  if (r.compared == 0) {
+    std::fprintf(stderr,
+                 "bench_gate: no common throughput/* metrics to compare\n");
+    return r;
+  }
+  r.geomean = std::exp(log_sum / static_cast<double>(r.compared));
+  r.pass = r.geomean >= threshold;
+  std::printf("geomean %.3fx over %zu metrics (threshold %.2fx): %s\n",
+              r.geomean, r.compared, threshold, r.pass ? "PASS" : "FAIL");
+  return r;
+}
+
+int self_test(const std::string& baseline_path) {
+  const auto baseline = parse_metrics(baseline_path);
+  if (!baseline) return 2;
+
+  std::printf("--- self-test 1/2: baseline vs itself must pass ---\n");
+  const GateResult same = run_gate(*baseline, *baseline, kDefaultThreshold);
+  if (!same.pass || same.compared == 0) {
+    std::fprintf(stderr, "bench_gate self-test: identity comparison FAILED\n");
+    return 1;
+  }
+
+  std::printf("--- self-test 2/2: planted 2x slowdown must fail ---\n");
+  std::map<std::string, double> slowed = *baseline;
+  for (auto& [name, value] : slowed) {
+    if (name.rfind(kThroughputPrefix, 0) == 0) value /= 2.0;
+  }
+  const GateResult slow = run_gate(*baseline, slowed, kDefaultThreshold);
+  if (slow.pass) {
+    std::fprintf(stderr,
+                 "bench_gate self-test: gate did NOT trip on a 2x slowdown\n");
+    return 1;
+  }
+  std::printf("self-test ok: gate passes identical runs and trips on 2x\n");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate <baseline.json> <candidate.json> "
+               "[--threshold=0.85]\n"
+               "       bench_gate --self-test <baseline.json>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--self-test") == 0) {
+    return self_test(argv[2]);
+  }
+  if (argc < 3) return usage();
+
+  double threshold = kDefaultThreshold;
+  for (int i = 3; i < argc; ++i) {
+    const char* prefix = "--threshold=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      char* end = nullptr;
+      threshold = std::strtod(argv[i] + std::strlen(prefix), &end);
+      if (end == argv[i] + std::strlen(prefix) || threshold <= 0 ||
+          threshold > 1.0) {
+        return usage();
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  const auto baseline = parse_metrics(argv[1]);
+  const auto candidate = parse_metrics(argv[2]);
+  if (!baseline || !candidate) return 2;
+  const GateResult r = run_gate(*baseline, *candidate, threshold);
+  if (r.compared == 0) return 2;
+  return r.pass ? 0 : 1;
+}

@@ -12,6 +12,10 @@
 //   ccnvm fuzz --engine=<diff|crash|attack> [--seed=S] [--budget=N|Ns]
 //              [--jobs=J] [--ops=K] [--replay=CASE_SEED] [--out=FILE]
 //                                       randomized campaigns (CCNVM_AUDIT)
+//   ccnvm crashd sweep [--scenarios=N] [--seed=S] [--jobs=J]
+//                      [--dir=D] [--keep]   out-of-process kill-9 sweep
+//   ccnvm crashd worker --image=F --seed=S --index=I   (sweep-internal)
+//   ccnvm crashd verify --image=F --seed=S --index=I   re-verify one image
 //
 // Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus
 #include <cctype>
@@ -25,6 +29,7 @@
 #include "audit/crash_sweep.h"
 #include "audit/kv_crash_sweep.h"
 #include "common/check.h"
+#include "crashd/crashd.h"
 #include "fuzz/fuzz.h"
 #endif
 #include "attacks/injector.h"
@@ -315,12 +320,14 @@ void print_failures(const fuzz::FuzzCampaignResult& result,
                 static_cast<unsigned long long>(f.iteration),
                 static_cast<unsigned long long>(f.case_seed),
                 static_cast<unsigned long long>(f.ops), first_line.c_str());
-    std::printf("  repro: %s\n", f.repro(result.engine).c_str());
+    std::printf("  repro: %s\n",
+                f.repro(result.engine, result.file_backend).c_str());
   }
   if (!out_path.empty()) {
     if (std::FILE* out = std::fopen(out_path.c_str(), "w")) {
       for (const fuzz::FuzzFailure& f : result.failures) {
-        std::fprintf(out, "%s\n", f.repro(result.engine).c_str());
+        std::fprintf(out, "%s\n",
+                     f.repro(result.engine, result.file_backend).c_str());
       }
       std::fclose(out);
       std::printf("failing seeds written to %s\n", out_path.c_str());
@@ -387,6 +394,13 @@ int cmd_fuzz(int argc, char** argv) {
       if (!replay) return usage();
     } else if (const auto v = value_of("--out=")) {
       out_path = *v;
+    } else if (const auto v = value_of("--backend=")) {
+      if (*v == "file") {
+        cfg.file_backend = true;
+      } else if (*v != "mem") {
+        std::fprintf(stderr, "unknown backend '%s' (mem|file)\n", v->c_str());
+        return 2;
+      }
     } else if (const auto v = value_of("--planted-bug=")) {
       const auto bug = parse_planted_bug(*v);
       if (!bug) {
@@ -408,8 +422,8 @@ int cmd_fuzz(int argc, char** argv) {
   if (replay) {
     // Single-case replay of a reported failure seed.
     CheckThrowScope throw_scope;
-    const fuzz::CaseOutcome outcome =
-        fuzz::run_fuzz_case(cfg.engine, *replay, cfg.max_ops, cfg.planted_bug);
+    const fuzz::CaseOutcome outcome = fuzz::run_fuzz_case(
+        cfg.engine, *replay, cfg.max_ops, cfg.planted_bug, cfg.file_backend);
     if (outcome.ok) {
       std::printf("replay %llu on %s: ok (%llu ops, digest %016llx)\n",
                   static_cast<unsigned long long>(*replay),
@@ -453,6 +467,110 @@ int cmd_fuzz(int argc, char** argv) {
 #endif
 }
 
+int cmd_crashd(int argc, char** argv) {
+#ifdef CCNVM_HAVE_AUDIT
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+
+  std::string image;
+  std::uint64_t seed = 1;
+  std::uint64_t index = 0;
+  crashd::SweepConfig sweep_cfg;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of =
+        [&arg](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.size() >= n && arg.compare(0, n, prefix) == 0) {
+        return arg.substr(n);
+      }
+      return std::nullopt;
+    };
+    if (const auto v = value_of("--image=")) {
+      image = *v;
+    } else if (const auto v = value_of("--seed=")) {
+      const auto s = parse_u64(*v);
+      if (!s) return usage();
+      seed = sweep_cfg.seed = *s;
+    } else if (const auto v = value_of("--index=")) {
+      const auto idx = parse_u64(*v);
+      if (!idx) return usage();
+      index = *idx;
+    } else if (const auto v = value_of("--scenarios=")) {
+      const auto n = parse_u64(*v);
+      if (!n) return usage();
+      sweep_cfg.scenarios = *n;
+    } else if (const auto v = value_of("--jobs=")) {
+      const auto jobs = parse_u64(*v);
+      if (!jobs) return usage();
+      sweep_cfg.jobs = static_cast<std::size_t>(*jobs);
+    } else if (const auto v = value_of("--dir=")) {
+      sweep_cfg.work_dir = *v;
+    } else if (arg == "--keep") {
+      sweep_cfg.keep_files = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (sub == "worker") {
+    if (image.empty()) return usage();
+    // No CheckThrowScope: a broken invariant in the worker must abort,
+    // which the sweep reports as an unexpected wait status.
+    return crashd::run_worker(image, seed, index);
+  }
+  if (sub == "verify") {
+    if (image.empty()) return usage();
+    CheckThrowScope throw_scope;
+    const crashd::VerifyResult r = crashd::verify_scenario(image, seed, index);
+    const crashd::Scenario sc = crashd::derive_scenario(seed, index);
+    std::printf("scenario %llu [%s]: %s\n",
+                static_cast<unsigned long long>(index),
+                crashd::describe(sc).c_str(), r.ok ? "ok" : "FAIL");
+    if (!r.ok) {
+      std::printf("  %s\n", r.message.c_str());
+      return 1;
+    }
+    std::printf("  killed=%d acked=%llu keys=%llu checks=%llu attack=%d\n",
+                r.worker_was_killed ? 1 : 0,
+                static_cast<unsigned long long>(r.acked_ops),
+                static_cast<unsigned long long>(r.keys_checked),
+                static_cast<unsigned long long>(r.auditor_checks),
+                r.attack_checked ? 1 : 0);
+    return 0;
+  }
+  if (sub == "sweep") {
+    const crashd::SweepResult r = crashd::run_sweep(sweep_cfg);
+    std::printf("crashd kill-9 sweep: %s\n",
+                r.ok() ? "zero lost acked ops, zero auditor violations"
+                       : "FAILURES");
+    std::printf("  scenarios           %llu (killed %llu, clean %llu, "
+                "attack %llu)\n",
+                static_cast<unsigned long long>(r.scenarios),
+                static_cast<unsigned long long>(r.killed),
+                static_cast<unsigned long long>(r.clean_exits),
+                static_cast<unsigned long long>(r.attack_scenarios));
+    std::printf("  acked ops verified  %llu\n",
+                static_cast<unsigned long long>(r.acked_ops));
+    std::printf("  auditor checks      %llu\n",
+                static_cast<unsigned long long>(r.auditor_checks));
+    for (const std::string& f : r.failures) {
+      std::printf("FAIL %s\n", f.c_str());
+      std::printf("  repro: ccnvm crashd verify --image=<kept> --seed=%llu "
+                  "--index=<i> (rerun sweep with --keep --dir=D)\n",
+                  static_cast<unsigned long long>(sweep_cfg.seed));
+    }
+    return r.ok() ? 0 : 1;
+  }
+  return usage();
+#else
+  (void)argc;
+  (void)argv;
+  std::fprintf(stderr, "this ccnvm was built with CCNVM_AUDIT=OFF\n");
+  return 2;
+#endif
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: ccnvm list\n"
@@ -466,8 +584,13 @@ int usage() {
                "       ccnvm kv sweep [seed=1] [jobs=1]\n"
                "       ccnvm fuzz --engine=<diff|crash|attack> [--seed=1]\n"
                "             [--budget=256|30s] [--jobs=1] [--ops=48]\n"
-               "             [--replay=CASE_SEED] [--out=FILE]\n"
+               "             [--backend=mem|file] [--replay=CASE_SEED] "
+               "[--out=FILE]\n"
                "             [--planted-bug=NAME] [--no-minimize]\n"
+               "       ccnvm crashd sweep [--scenarios=200] [--seed=1]\n"
+               "             [--jobs=1] [--dir=DIR] [--keep]\n"
+               "       ccnvm crashd <worker|verify> --image=FILE --seed=S "
+               "--index=I\n"
                "designs: wocc sc osiris ccnvm-nods ccnvm ccnvm-plus\n");
   return 2;
 }
@@ -505,6 +628,7 @@ int main(int argc, char** argv) {
     return seed && jobs ? cmd_audit(*seed, *jobs) : usage();
   }
   if (cmd == "fuzz") return cmd_fuzz(argc, argv);
+  if (cmd == "crashd") return cmd_crashd(argc, argv);
   if (cmd == "kv" && argc >= 3) {
     const std::string sub = argv[2];
     if (sub == "run" && argc >= 5) {
