@@ -1,0 +1,75 @@
+// Source-level persistence and concurrency annotations.
+//
+// The crash-consistency argument (§4.2-§4.3, invariants I1-I8) is an
+// *ordering* contract: counter/tree/data writes must persist in a fixed
+// order relative to the epoch commit point. The dynamic checkers (the
+// PR-1 auditor, the fuzz engines, crashd) catch violations only when a
+// randomized sweep happens to kill the process inside the window; the
+// annotations below make the contract machine-checkable at lint time.
+//
+// `tools/nvlint` (see docs/LINT.md) consumes these annotations with a
+// token-level analyzer, so they work under ANY compiler — under clang
+// they additionally expand to `annotate` attributes so AST tooling can
+// see them; under GCC they compile away entirely.
+//
+// Persistence vocabulary (checks N1-N4, docs/LINT.md has the catalog):
+//
+//   CCNVM_PERSISTENT       on a declaration: this state is NVM-resident
+//                          (or battery-backed) — it survives power loss,
+//                          so stores to it are ordering-relevant events.
+//   CCNVM_COMMIT_POINT     on a function: it commits an operation with a
+//                          single header flip, which must be its LAST
+//                          persistent write (check N2).
+//   CCNVM_REQUIRES_BARRIER on a function: every persistent write it
+//                          issues must reach a persist_barrier (or
+//                          msync/fsync) before it returns (check N1).
+//   CCNVM_ACK              on a callable: invoking it acknowledges an
+//                          operation to the outside world — no persistent
+//                          write may still be unbarriered at that point
+//                          (check N1).
+//
+// Placement: write the macro FIRST on the declaration it annotates —
+//   CCNVM_PERSISTENT nvm::NvmImage image_;
+//   CCNVM_COMMIT_POINT bool put(std::string_view key, std::string_view v);
+// nvlint binds the annotation to the last identifier before the first
+// `(`, `=`, `;` or `{` that follows it.
+#pragma once
+
+#if defined(__clang__)
+#define CCNVM_ANNOTATE(text) __attribute__((annotate(text)))
+#else
+#define CCNVM_ANNOTATE(text)
+#endif
+
+#define CCNVM_PERSISTENT CCNVM_ANNOTATE("ccnvm::persistent")
+#define CCNVM_COMMIT_POINT CCNVM_ANNOTATE("ccnvm::commit_point")
+#define CCNVM_REQUIRES_BARRIER CCNVM_ANNOTATE("ccnvm::requires_barrier")
+#define CCNVM_ACK CCNVM_ANNOTATE("ccnvm::ack")
+
+// --- clang -Wthread-safety capability annotations ---------------------------
+// The deterministic executor and the sharded store are single-writer by
+// protocol today; the roadmap's multi-queue refactor will hand shards to
+// concurrent client threads. Annotating the per-shard state now means
+// clang's thread-safety analysis (enabled with -Wthread-safety; the CI
+// lint target passes it) checks the locking discipline the moment real
+// locks arrive. CCNVM_THREAD_SAFETY is 1 when the attributes are live
+// (clang) and 0 when they compile away (GCC).
+
+#if defined(__clang__)
+#define CCNVM_THREAD_SAFETY 1
+#define CCNVM_TS_ATTR(x) __attribute__((x))
+#else
+#define CCNVM_THREAD_SAFETY 0
+#define CCNVM_TS_ATTR(x)
+#endif
+
+#define CCNVM_CAPABILITY(name) CCNVM_TS_ATTR(capability(name))
+#define CCNVM_SCOPED_CAPABILITY CCNVM_TS_ATTR(scoped_lockable)
+#define CCNVM_GUARDED_BY(cap) CCNVM_TS_ATTR(guarded_by(cap))
+#define CCNVM_PT_GUARDED_BY(cap) CCNVM_TS_ATTR(pt_guarded_by(cap))
+#define CCNVM_REQUIRES(...) CCNVM_TS_ATTR(requires_capability(__VA_ARGS__))
+#define CCNVM_ACQUIRE(...) CCNVM_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define CCNVM_RELEASE(...) CCNVM_TS_ATTR(release_capability(__VA_ARGS__))
+#define CCNVM_EXCLUDES(...) CCNVM_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define CCNVM_NO_THREAD_SAFETY_ANALYSIS \
+  CCNVM_TS_ATTR(no_thread_safety_analysis)

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace ccnvm {
 
 /// Number of workers to use for `jobs == 0` ("auto"): the hardware
@@ -36,8 +38,17 @@ inline std::size_t default_parallelism() {
 /// fn must not touch state shared with other indices except through its
 /// own result slot; the call returns after every index ran. The first
 /// exception by index order is rethrown.
+///
+/// Thread-safety analysis is disabled for the body: the safety argument
+/// is slot ownership by index (each job writes only errors[i] / out[i]
+/// for the unique i it claimed from the atomic counter), a discipline
+/// clang's capability analysis cannot express — there is no lock, the
+/// fetch_add *is* the handoff. Callers passing closures that capture
+/// CCNVM_GUARDED_BY state still get checked at the capture site.
 template <typename Fn>
-void parallel_for(std::size_t count, std::size_t workers, Fn&& fn) {
+CCNVM_NO_THREAD_SAFETY_ANALYSIS void parallel_for(std::size_t count,
+                                                  std::size_t workers,
+                                                  Fn&& fn) {
   if (count == 0) return;
   if (workers == 0) workers = default_parallelism();
   if (workers > count) workers = count;
@@ -75,7 +86,9 @@ void parallel_for(std::size_t count, std::size_t workers, Fn&& fn) {
 /// vector is ordered by index, so reductions over it are independent of
 /// the worker count and of scheduling.
 template <typename T, typename Fn>
-std::vector<T> parallel_map(std::size_t count, std::size_t workers, Fn&& fn) {
+CCNVM_NO_THREAD_SAFETY_ANALYSIS std::vector<T> parallel_map(std::size_t count,
+                                                            std::size_t workers,
+                                                            Fn&& fn) {
   std::vector<T> out(count);
   parallel_for(count, workers, [&](std::size_t i) { out[i] = fn(i); });
   return out;

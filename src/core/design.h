@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cache/set_assoc_cache.h"
+#include "common/annotations.h"
 #include "common/types.h"
 #include "core/meta_cache_group.h"
 #include "core/protocol_observer.h"
@@ -322,14 +323,14 @@ class SecureNvmBase : public SecureNvmDesign {
 
   DesignConfig config_;
   nvm::NvmLayout layout_;
-  nvm::NvmImage image_;
+  CCNVM_PERSISTENT nvm::NvmImage image_;
   nvm::MemoryController controller_;
   secure::CmeEngine cme_;
   crypto::HmacKey tree_key_;
   secure::MerkleEngine merkle_;
   std::unique_ptr<secure::MetadataStore> meta_;  // null in timing-only mode
   MetaCacheGroup meta_cache_;
-  TcbRegisters tcb_;
+  CCNVM_PERSISTENT TcbRegisters tcb_;  // battery-backed §4.2 registers
   DesignStats stats_;
   const nvm::TimingParams& timing_;
 

@@ -25,19 +25,20 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/annotations.h"
 #include "common/types.h"
 
 namespace ccnvm::core {
 
 struct TcbRegisters {
-  Line root_new{};
-  Line root_old{};
-  std::uint64_t n_wb = 0;
+  CCNVM_PERSISTENT Line root_new{};
+  CCNVM_PERSISTENT Line root_old{};
+  CCNVM_PERSISTENT std::uint64_t n_wb = 0;
 
   /// Extension: set before a page re-encryption begins, cleared when the
   /// drain that persists its counter line commits.
-  bool overflow_pending = false;
-  std::uint64_t overflow_leaf = 0;
+  CCNVM_PERSISTENT bool overflow_pending = false;
+  CCNVM_PERSISTENT std::uint64_t overflow_leaf = 0;
 };
 
 // --- Fixed binary encoding ------------------------------------------------

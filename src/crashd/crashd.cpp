@@ -17,6 +17,7 @@
 
 #include "audit/invariant_auditor.h"
 #include "audit/sweep_shape.h"
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -193,7 +194,10 @@ int run_worker(const std::string& image_path, std::uint64_t sweep_seed,
   const int ack_fd =
       ::open(ack_path(image_path).c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   CCNVM_CHECK_MSG(ack_fd >= 0, "crashd worker: cannot create ack log");
-  const auto ack = [&](char c) {
+  // The ack IS the durability promise the verifier holds the image to:
+  // anything acknowledged must survive the kill. CCNVM_ACK lets nvlint
+  // prove no unbarriered persistent write can precede an ack (check N1).
+  CCNVM_ACK const auto ack = [&](char c) {
     CCNVM_CHECK(::write(ack_fd, &c, 1) == 1);
   };
 
@@ -413,6 +417,8 @@ SweepResult run_sweep(const SweepConfig& config) {
   std::string dir = config.work_dir;
   bool made_dir = false;
   if (dir.empty()) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at sweep startup,
+    // before any worker threads exist; nothing mutates the environment
     const char* tmp = std::getenv("TMPDIR");
     std::string tmpl = std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +
                        "/ccnvm-crashd-XXXXXX";

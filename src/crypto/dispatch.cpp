@@ -40,6 +40,8 @@ bool cpu_supports_sha_ni() {
 /// CCNVM_CRYPTO=reference|table|native caps the startup selection (a tier
 /// the host cannot run is ignored, falling back to the best available).
 int env_tier_cap() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): runs during static
+  // initialization, before main(); nothing mutates the environment
   const char* env = std::getenv("CCNVM_CRYPTO");
   if (env == nullptr) return 2;
   if (std::strcmp(env, "reference") == 0) return 0;

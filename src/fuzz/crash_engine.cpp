@@ -53,6 +53,8 @@ store::StoreConfig crash_store_config() {
 /// behind; SyncMode::kNone because these cases simulate power loss
 /// in-process — durability across a host kill is crashd's job.
 std::unique_ptr<nvm::Backend> make_file_backend(std::uint64_t capacity_bytes) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): getenv only reads, and the
+  // fuzz workers never call setenv; a stale read would only move TMPDIR
   const char* tmp = std::getenv("TMPDIR");
   std::string tmpl =
       std::string(tmp != nullptr && *tmp != '\0' ? tmp : "/tmp") +

@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -149,9 +150,11 @@ class MapBackend final : public Backend {
   }
 
  private:
-  std::unordered_map<Addr, Line> lines_;
-  std::unordered_map<Addr, EccBytes> ecc_;
-  std::vector<std::uint8_t> registers_;
+  // "Persistent" in the model's sense: these maps ARE the simulated
+  // media contents, so nvlint tracks stores to them as NVM writes.
+  CCNVM_PERSISTENT std::unordered_map<Addr, Line> lines_;
+  CCNVM_PERSISTENT std::unordered_map<Addr, EccBytes> ecc_;
+  CCNVM_PERSISTENT std::vector<std::uint8_t> registers_;
 };
 
 /// Media-fault model: decorates any backend with torn lines (the first

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/types.h"
 #include "nvm/image.h"
@@ -69,7 +70,9 @@ class MemoryController {
 
   /// Drainer's `end` signal: the batch is committed; ADR guarantees it
   /// reaches media even across a power failure, so we persist it now.
-  void end_atomic_batch();
+  /// Every buffered line must be flushed AND barriered before this
+  /// returns — nvlint check N1 enforces it.
+  CCNVM_REQUIRES_BARRIER void end_atomic_batch();
 
   bool batch_open() const { return batch_open_; }
   std::size_t batch_size() const { return batch_.size(); }

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/types.h"
 #include "nvm/backend.h"
@@ -190,7 +191,7 @@ class NvmImage {
   Backend& backend() { return *backend_; }
 
  private:
-  std::unique_ptr<Backend> backend_;
+  CCNVM_PERSISTENT std::unique_ptr<Backend> backend_;
   std::unordered_map<Addr, std::uint64_t> wear_;
   std::function<void(Addr)> write_observer_;
   std::uint64_t write_count_ = 0;

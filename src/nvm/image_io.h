@@ -16,14 +16,18 @@
 
 #include <string>
 
+#include "common/annotations.h"
 #include "nvm/image.h"
 
 namespace ccnvm::nvm {
 
 /// Serializes `image` crash-safely: the bytes are written to a temp
 /// file, fsync'ed, and atomically renamed over `path` — an interrupted
-/// save never clobbers a previously complete image.
-bool save_image(const std::string& path, const NvmImage& image);
+/// save never clobbers a previously complete image. The fsync-before-
+/// return contract is what CCNVM_REQUIRES_BARRIER asserts (nvlint N1;
+/// fsync counts as the barrier).
+CCNVM_REQUIRES_BARRIER bool save_image(const std::string& path,
+                                       const NvmImage& image);
 
 /// Loads an image saved by save_image, with the strong guarantee: the
 /// whole file is parsed and validated first and `image` is mutated only

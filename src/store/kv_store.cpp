@@ -66,6 +66,7 @@ SecureKvStore::SecureKvStore(TagCtor, core::SecureNvmBase& nvm,
 SecureKvStore SecureKvStore::open(core::SecureNvmBase& nvm,
                                   const StoreConfig& config) {
   SecureKvStore s(TagCtor{}, nvm, config);
+  const ShardStateLock lock(s.shard_serial_);
   for (std::size_t sh = 0; sh < config.shards; ++sh) {
     Shard& shard = s.shards_[sh];
     std::vector<bool> used(config.heap_lines_per_shard, false);
@@ -250,6 +251,7 @@ std::string SecureKvStore::read_value(std::size_t shard, const Entry& e) {
 }
 
 bool SecureKvStore::put(std::string_view key, std::string_view value) {
+  const ShardStateLock lock(shard_serial_);
   ++stats_.puts;
   if (key.empty() || key.size() > kMaxKeyBytes ||
       value.size() > kMaxValueBytes) {
@@ -317,6 +319,7 @@ std::optional<std::string> SecureKvStore::get(std::string_view key) {
 }
 
 bool SecureKvStore::erase(std::string_view key) {
+  const ShardStateLock lock(shard_serial_);
   ++stats_.erases;
   if (key.empty() || key.size() > kMaxKeyBytes) return false;
   const std::uint64_t h = hash_key(key);
@@ -351,12 +354,14 @@ void SecureKvStore::for_each(
 }
 
 std::uint64_t SecureKvStore::size() const {
+  const ShardStateLock lock(shard_serial_);
   std::uint64_t total = 0;
   for (const Shard& s : shards_) total += s.live;
   return total;
 }
 
 std::uint64_t SecureKvStore::free_heap_lines(std::size_t shard) const {
+  const ShardStateLock lock(shard_serial_);
   const Shard& s = shards_[shard];
   std::uint64_t free = config_.heap_lines_per_shard - s.bump;
   for (const Extent& e : s.free_list) free += e.num_lines;

@@ -38,6 +38,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 #include "core/design.h"
 
@@ -113,12 +114,15 @@ class SecureKvStore {
   /// 1..kMaxKeyBytes, so the empty key is not representable). May propagate core::InjectedPowerLoss from an armed
   /// drain crash, in which case the operation is unacknowledged (the old
   /// or the new state survives, never a mix).
-  bool put(std::string_view key, std::string_view value);
+  /// CCNVM_COMMIT_POINT: the header flip is the one-line commit; nvlint
+  /// check N2 proves no persistent write follows it.
+  CCNVM_COMMIT_POINT bool put(std::string_view key, std::string_view value);
 
   std::optional<std::string> get(std::string_view key);
 
-  /// Removes the key. Returns false if it was not present.
-  bool erase(std::string_view key);
+  /// Removes the key. Returns false if it was not present. Commits via a
+  /// single tombstone-header flip, like put.
+  CCNVM_COMMIT_POINT bool erase(std::string_view key);
 
   /// Commits the open epoch (cc designs: a drain; others: persist dirty
   /// metadata) — the application-visible checkpoint.
@@ -172,6 +176,27 @@ class SecureKvStore {
   struct TagCtor {};  // open() path: skip the fresh-format assumptions
   SecureKvStore(TagCtor, core::SecureNvmBase& nvm, const StoreConfig& config);
 
+  // --- Shard-state capability (clang -Wthread-safety) -------------------
+  // The store is single-writer by protocol today (the deterministic
+  // executor shards *scenarios*, not store state), but the roadmap's
+  // multi-queue design hands shards to concurrent clients. ShardSerial
+  // is a zero-cost capability standing for "exclusive access to the
+  // DRAM-side shard bookkeeping"; ShardStateLock asserts it. When real
+  // per-shard locks arrive they replace the empty acquire/release
+  // bodies, and every GUARDED_BY/REQUIRES below starts doing real work
+  // under clang's analysis (GCC compiles it all away).
+  struct CCNVM_CAPABILITY("shard-state") ShardSerial {};
+
+  class CCNVM_SCOPED_CAPABILITY ShardStateLock {
+   public:
+    explicit ShardStateLock(ShardSerial& serial) CCNVM_ACQUIRE(serial) {
+      (void)serial;
+    }
+    ~ShardStateLock() CCNVM_RELEASE() {}
+    ShardStateLock(const ShardStateLock&) = delete;
+    ShardStateLock& operator=(const ShardStateLock&) = delete;
+  };
+
   static std::uint64_t hash_key(std::string_view key);
   std::size_t shard_of(std::uint64_t h) const;
   std::uint64_t home_bucket(std::uint64_t h) const;
@@ -188,8 +213,10 @@ class SecureKvStore {
   Probe probe(std::size_t shard, std::string_view key);
 
   std::optional<std::uint64_t> alloc(std::size_t shard,
-                                     std::uint64_t num_lines);
-  void free_extent(std::size_t shard, const Extent& extent);
+                                     std::uint64_t num_lines)
+      CCNVM_REQUIRES(shard_serial_);
+  void free_extent(std::size_t shard, const Extent& extent)
+      CCNVM_REQUIRES(shard_serial_);
 
   std::string read_value(std::size_t shard, const Entry& e);
 
@@ -199,9 +226,10 @@ class SecureKvStore {
 
   core::SecureNvmBase* nvm_;
   StoreConfig config_;
-  std::vector<Shard> shards_;
+  mutable ShardSerial shard_serial_;  // mutable: size() is const + "locks"
+  std::vector<Shard> shards_ CCNVM_GUARDED_BY(shard_serial_);
   StoreStats stats_;
-  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_seq_ CCNVM_GUARDED_BY(shard_serial_) = 1;
 };
 
 }  // namespace ccnvm::store

@@ -1,0 +1,16 @@
+// nvlint corpus — N1: a durability ACK fired while a persistent write
+// is still unbarriered. The client would treat the operation as durable
+// before the media (or the ADR domain) actually holds it.
+#define CCNVM_ACK
+
+struct Backend {
+  void write_line(unsigned long addr, int v);
+  void persist_barrier();
+};
+
+CCNVM_ACK void send_ack(int code);
+
+void worker(Backend& b) {
+  b.write_line(0, 1);
+  send_ack(65);  // nvlint-expect(N1)
+}

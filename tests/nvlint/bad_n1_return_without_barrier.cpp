@@ -1,0 +1,17 @@
+// nvlint corpus — N1: a CCNVM_REQUIRES_BARRIER function has an early
+// return that skips the barrier, leaving one persistent write
+// unbarriered on that path. The slow path below is fine.
+#define CCNVM_REQUIRES_BARRIER
+
+struct Backend {
+  void write_line(unsigned long addr, int v);
+  void persist_barrier();
+};
+
+CCNVM_REQUIRES_BARRIER void flush_epoch(Backend& b, bool fast_path) {
+  b.write_line(0, 1);
+  if (fast_path) {
+    return;  // nvlint-expect(N1)
+  }
+  b.persist_barrier();
+}

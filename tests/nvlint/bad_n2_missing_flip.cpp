@@ -1,0 +1,15 @@
+// nvlint corpus — N2: a CCNVM_COMMIT_POINT function that never performs
+// a header-flip write. Whatever it persists, nothing atomically commits
+// the operation, so a crash can expose a half-done state.
+#define CCNVM_COMMIT_POINT
+
+struct Nvm {
+  void write_back(unsigned long addr, unsigned long line);
+};
+
+unsigned long value_addr(int slot);
+
+CCNVM_COMMIT_POINT bool put(Nvm& nvm, int slot) {  // nvlint-expect(N2)
+  nvm.write_back(value_addr(slot), 2);
+  return true;
+}

@@ -1,0 +1,18 @@
+// nvlint corpus — N2: a persistent write AFTER the commit point's
+// header flip. A crash between the two leaves the header committed but
+// the trailing write torn away — the "one-line flip commits everything"
+// invariant is broken.
+#define CCNVM_COMMIT_POINT
+
+struct Nvm {
+  void write_back(unsigned long addr, unsigned long line);
+};
+
+unsigned long header_addr(int slot);
+unsigned long value_addr(int slot);
+
+CCNVM_COMMIT_POINT bool put(Nvm& nvm, int slot) {
+  nvm.write_back(header_addr(slot), 1);
+  nvm.write_back(value_addr(slot), 2);  // nvlint-expect(N2)
+  return true;
+}

@@ -1,0 +1,13 @@
+// nvlint corpus — N3: a raw memcpy into the mapped persistent region.
+// Byte stores bypass the line-granular Backend API, so they dodge the
+// crash model (no presence bit, no line atomicity) and the security
+// pipeline (no re-encryption, no HMAC/BMT update).
+#include <cstring>
+
+#define CCNVM_PERSISTENT
+
+CCNVM_PERSISTENT unsigned char* map_;
+
+void bump_count(const unsigned char* count_word) {
+  std::memcpy(map_ + 24, count_word, 8);  // nvlint-expect(N3)
+}

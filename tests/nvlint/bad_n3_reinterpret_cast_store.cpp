@@ -1,0 +1,11 @@
+// nvlint corpus — N3: a pointer-cast store into persistent state. The
+// in-place read-modify-write through reinterpret_cast is exactly the
+// two-store header-count bug nvlint exists to catch: it is neither
+// line-atomic nor ordered against the presence bitmap.
+#define CCNVM_PERSISTENT
+
+CCNVM_PERSISTENT unsigned char* map_;
+
+void bump_count() {
+  *reinterpret_cast<unsigned long*>(map_ + 24) += 1;  // nvlint-expect(N3)
+}

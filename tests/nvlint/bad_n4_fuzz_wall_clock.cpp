@@ -1,0 +1,14 @@
+// nvlint corpus — N4: nondeterminism sources inside the fuzz cone (the
+// file name makes this an N4 root). A case seeded from the wall clock
+// or libc entropy is not a pure function of (campaign seed, index), so
+// campaign results stop being reproducible bit-for-bit.
+#include <cstdlib>
+#include <ctime>
+
+unsigned long case_seed(unsigned long base) {
+  return base ^ static_cast<unsigned long>(time(0));  // nvlint-expect(N4)
+}
+
+double jitter() {
+  return drand48();  // nvlint-expect(N4)
+}

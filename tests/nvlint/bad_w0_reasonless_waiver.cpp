@@ -1,0 +1,13 @@
+// nvlint corpus — W0: a waiver with no justification. The N3 finding is
+// suppressed (nvlint honors the waiver), but the waiver itself becomes
+// an unwaivable W0 violation: every waiver must argue its case.
+#include <cstring>
+
+#define CCNVM_PERSISTENT
+
+CCNVM_PERSISTENT unsigned char* map_;
+
+void format_image(const unsigned char* image) {
+  // nvlint-waive-next(N3)
+  std::memcpy(map_, image, 4096);  // nvlint-expect(W0)
+}

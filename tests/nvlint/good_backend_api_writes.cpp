@@ -1,0 +1,20 @@
+// nvlint corpus — clean: persistent data reaches the media only through
+// the line-granular Backend API.
+//
+// Byte-wise staging in DRAM is fine (N3 cares about the destination,
+// not the tool); the landing store goes through write_line.
+#include <cstring>
+
+#define CCNVM_PERSISTENT
+
+struct Backend {
+  void write_line(unsigned long addr, const unsigned char* line);
+};
+
+CCNVM_PERSISTENT unsigned char* map_;
+
+void stage_and_write(Backend& b, const unsigned char* src) {
+  unsigned char staging[64];
+  std::memcpy(staging, src, 64);
+  b.write_line(0, staging);
+}

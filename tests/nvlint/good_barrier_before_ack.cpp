@@ -1,0 +1,25 @@
+// nvlint corpus — clean: barrier-then-ack discipline.
+//
+// A CCNVM_REQUIRES_BARRIER function drains its persistent writes with a
+// persist_barrier() before every exit, and the worker only fires its
+// CCNVM_ACK after the barriered helper returns. N1 accepts both.
+#define CCNVM_REQUIRES_BARRIER
+#define CCNVM_ACK
+
+struct Backend {
+  void write_line(unsigned long addr, int v);
+  void persist_barrier();
+};
+
+CCNVM_ACK void send_ack(int code);
+
+CCNVM_REQUIRES_BARRIER void flush_epoch(Backend& b) {
+  b.write_line(0, 1);
+  b.write_line(64, 2);
+  b.persist_barrier();
+}
+
+void worker(Backend& b) {
+  flush_epoch(b);
+  send_ack(65);
+}

@@ -1,0 +1,16 @@
+// nvlint corpus — clean: deterministic seed derivation in the fuzz cone.
+//
+// The file name places this in an N4 root ("fuzz"), where every case
+// must be a pure function of (campaign seed, job index). Seeded integer
+// mixing is exactly what the deterministic executor wants; there is no
+// clock, no entropy source, nothing scheduling-dependent.
+unsigned long splitmix(unsigned long x) {
+  x += 0x9e3779b97f4a7c15ul;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ul;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebul;
+  return x ^ (x >> 31);
+}
+
+unsigned long case_seed(unsigned long campaign_seed, unsigned long index) {
+  return splitmix(campaign_seed ^ splitmix(index));
+}

@@ -1,0 +1,27 @@
+// nvlint corpus — clean: the canonical commit-point shape.
+//
+// Mirrors store/kv_store.cpp put(): value lines land first (non-flip
+// persistent writes), then ONE header write-back commits the operation,
+// and everything after the flip is DRAM-only bookkeeping. N2 accepts
+// this ordering.
+#define CCNVM_PERSISTENT
+#define CCNVM_COMMIT_POINT
+
+struct Nvm {
+  void write_back(unsigned long addr, unsigned long line);
+};
+
+unsigned long value_addr(int slot, int i);
+unsigned long header_addr(int slot);
+unsigned long encode_header(int slot);
+
+int live_entries = 0;
+
+CCNVM_COMMIT_POINT bool put(Nvm& nvm, int slot, int lines) {
+  for (int i = 0; i < lines; ++i) {
+    nvm.write_back(value_addr(slot, i), 0);
+  }
+  nvm.write_back(header_addr(slot), encode_header(slot));
+  live_entries = live_entries + 1;
+  return true;
+}

@@ -1,0 +1,17 @@
+// nvlint corpus — clean: a justified waiver suppresses its diagnostic.
+//
+// The memcpy below writes straight into the mapped region, which N3
+// flags; the waive-next directive with a reason retires the finding
+// (and, unlike a reasonless waiver, raises no W0).
+#include <cstring>
+
+#define CCNVM_PERSISTENT
+
+CCNVM_PERSISTENT unsigned char* map_;
+
+void format_image(const unsigned char* image, unsigned long bytes) {
+  // Format time: the file was just created and truncated, so there is
+  // no prior durable state a torn copy could corrupt.
+  // nvlint-waive-next(N3): format-time init, nothing durable to tear
+  std::memcpy(map_, image, bytes);
+}

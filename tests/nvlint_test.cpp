@@ -1,0 +1,222 @@
+// Unit tests for the nvlint analyzer: feed analyze() small in-memory
+// sources and assert on the exact (line, id) diagnostics. The on-disk
+// corpus under tests/nvlint/ covers the end-to-end runner; these tests
+// pin the analyzer semantics that the corpus relies on — annotation
+// binding, cross-file annotation visibility, waiver line anchoring, and
+// the N4 include cone.
+#include "nvlint/nvlint.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ccnvm::nvlint {
+namespace {
+
+std::vector<std::pair<int, std::string>> unwaived(const Report& r) {
+  std::vector<std::pair<int, std::string>> out;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (!d.waived) out.emplace_back(d.line, d.id);
+  }
+  return out;
+}
+
+using Lines = std::vector<std::pair<int, std::string>>;
+
+TEST(NvlintN1, AckAfterUnbarrieredWriteFlagged) {
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_ACK\n"                        // 1
+                     "struct B { void write_line(int, int); };\n" // 2
+                     "CCNVM_ACK void ack(int c);\n"               // 3
+                     "void worker(B& b) {\n"                      // 4
+                     "  b.write_line(0, 1);\n"                    // 5
+                     "  ack(65);\n"                               // 6
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{6, "N1"}}));
+}
+
+TEST(NvlintN1, BarrierClearsPendingWrites) {
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_REQUIRES_BARRIER\n"
+                     "struct B { void write_line(int, int); void persist_barrier(); };\n"
+                     "CCNVM_REQUIRES_BARRIER void flush(B& b) {\n"
+                     "  b.write_line(0, 1);\n"
+                     "  b.persist_barrier();\n"
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_TRUE(unwaived(r).empty());
+}
+
+TEST(NvlintN1, RequiresBarrierEndOfBodyFlagged) {
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_REQUIRES_BARRIER\n"          // 1
+                     "struct B { void write_line(int, int); };\n" // 2
+                     "CCNVM_REQUIRES_BARRIER void flush(B& b) {\n" // 3
+                     "  b.write_line(0, 1);\n"                   // 4
+                     "}\n"};                                     // 5
+  const Report r = analyze({f}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{5, "N1"}}));
+}
+
+TEST(NvlintN2, WriteAfterFlipFlagged) {
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_COMMIT_POINT\n"              // 1
+                     "struct N { void write_back(int, int); };\n" // 2
+                     "int header_addr(int s);\n"                 // 3
+                     "CCNVM_COMMIT_POINT bool put(N& n, int s) {\n" // 4
+                     "  n.write_back(header_addr(s), 1);\n"      // 5
+                     "  n.write_back(s, 2);\n"                   // 6
+                     "  return true;\n"                          // 7
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{6, "N2"}}));
+}
+
+TEST(NvlintN2, DramBookkeepingAfterFlipAllowed) {
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_COMMIT_POINT\n"
+                     "struct N { void write_back(int, int); };\n"
+                     "int header_addr(int s);\n"
+                     "int live;\n"
+                     "CCNVM_COMMIT_POINT bool put(N& n, int s) {\n"
+                     "  n.write_back(header_addr(s), 1);\n"
+                     "  live = live + 1;\n"
+                     "  return true;\n"
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_TRUE(unwaived(r).empty());
+}
+
+TEST(NvlintN3, MemcpyIntoPersistentFlagged) {
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_PERSISTENT\n"                 // 1
+                     "CCNVM_PERSISTENT unsigned char* map_;\n"    // 2
+                     "void f(const unsigned char* s) {\n"         // 3
+                     "  memcpy(map_ + 24, s, 8);\n"               // 4
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{4, "N3"}}));
+}
+
+TEST(NvlintN3, MemcpyFromPersistentAllowed) {
+  // N3 is about the destination: reading persistent bytes out is fine.
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_PERSISTENT\n"
+                     "CCNVM_PERSISTENT unsigned char* map_;\n"
+                     "void f(unsigned char* out) {\n"
+                     "  memcpy(out, map_ + 24, 8);\n"
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_TRUE(unwaived(r).empty());
+}
+
+TEST(NvlintN3, FileScopedByteWriterDirective) {
+  const SourceFile f{"a.cpp",
+                     "// nvlint-byte-writer(put_u64)\n"           // 1
+                     "#define CCNVM_PERSISTENT\n"                 // 2
+                     "CCNVM_PERSISTENT unsigned char* map_;\n"    // 3
+                     "void put_u64(unsigned char* p, unsigned long v);\n" // 4
+                     "void f() {\n"                               // 5
+                     "  put_u64(map_ + 40, 7);\n"                 // 6
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{6, "N3"}}));
+}
+
+TEST(NvlintWaivers, ReasonedWaiverSuppresses) {
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_PERSISTENT\n"
+                     "CCNVM_PERSISTENT unsigned char* map_;\n"
+                     "void f(const unsigned char* s) {\n"
+                     "  // nvlint-waive-next(N3): format-time init\n"
+                     "  memcpy(map_, s, 64);\n"
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_TRUE(unwaived(r).empty());
+  EXPECT_EQ(r.waived, 1u);
+}
+
+TEST(NvlintWaivers, ReasonlessWaiverRaisesW0) {
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_PERSISTENT\n"                 // 1
+                     "CCNVM_PERSISTENT unsigned char* map_;\n"    // 2
+                     "void f(const unsigned char* s) {\n"         // 3
+                     "  // nvlint-waive-next(N3)\n"               // 4
+                     "  memcpy(map_, s, 64);\n"                   // 5
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{5, "W0"}}));
+  EXPECT_EQ(r.waived, 1u);
+}
+
+TEST(NvlintWaivers, WaiverForOtherIdDoesNotSuppress) {
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_PERSISTENT\n"
+                     "CCNVM_PERSISTENT unsigned char* map_;\n"
+                     "void f(const unsigned char* s) {\n"
+                     "  // nvlint-waive-next(N1): wrong id on purpose\n"
+                     "  memcpy(map_, s, 64);\n"
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{5, "N3"}}));
+}
+
+TEST(NvlintN4, NondeterminismOnlyInsideTheCone) {
+  // Same content, two paths: only the file reachable from the fuzz cone
+  // (here: itself a root by name) is scanned.
+  const std::string body = "long f() { return time(0); }\n";
+  const Report in_cone = analyze({{"src/fuzz/gen.cpp", body}}, Config{});
+  const Report outside = analyze({{"src/sim/gen.cpp", body}}, Config{});
+  EXPECT_EQ(unwaived(in_cone), (Lines{{1, "N4"}}));
+  EXPECT_TRUE(unwaived(outside).empty());
+}
+
+TEST(NvlintN4, ConeFollowsQuotedIncludes) {
+  const SourceFile root{"src/fuzz/fuzz.cpp",
+                        "#include \"common/util.h\"\n"
+                        "void drive();\n"};
+  const SourceFile leaf{"src/common/util.h",
+                        "long seed() { return time(0); }\n"};  // line 1
+  const Report r = analyze({root, leaf}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{1, "N4"}}));
+}
+
+TEST(NvlintAnnotations, CrossFileVisibility) {
+  // The annotation lives in the header; the violation is in the .cpp.
+  const SourceFile hdr{"src/x.h",
+                       "#define CCNVM_COMMIT_POINT\n"
+                       "struct N { void write_back(int, int); };\n"
+                       "CCNVM_COMMIT_POINT bool put(N& n, int s);\n"};
+  const SourceFile cpp{"src/x.cpp",
+                       "#include \"x.h\"\n"                     // 1
+                       "int header_addr(int);\n"                // 2
+                       "bool put(N& n, int s) {\n"              // 3
+                       "  n.write_back(header_addr(s), 1);\n"   // 4
+                       "  n.write_back(s, 2);\n"                // 5
+                       "  return true;\n"                       // 6
+                       "}\n"};
+  const Report r = analyze({hdr, cpp}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{5, "N2"}}));
+}
+
+TEST(NvlintLexer, StringLiteralsAreNotFlips) {
+  // A log message mentioning "header" must not count as the commit
+  // flip, and quoted code must not register events.
+  const SourceFile f{"a.cpp",
+                     "#define CCNVM_COMMIT_POINT\n"              // 1
+                     "struct N { void write_back(int, int); };\n" // 2
+                     "void log(const char* m);\n"                // 3
+                     "CCNVM_COMMIT_POINT bool put(N& n, int s) {\n" // 4  N2: no flip
+                     "  log(\"writing header\");\n"              // 5
+                     "  n.write_back(s, 2);\n"                   // 6
+                     "  return true;\n"                          // 7
+                     "}\n"};
+  const Report r = analyze({f}, Config{});
+  EXPECT_EQ(unwaived(r), (Lines{{4, "N2"}}));
+}
+
+}  // namespace
+}  // namespace ccnvm::nvlint

@@ -16,6 +16,7 @@
 //                      [--dir=D] [--keep]   out-of-process kill-9 sweep
 //   ccnvm crashd worker --image=F --seed=S --index=I   (sweep-internal)
 //   ccnvm crashd verify --image=F --seed=S --index=I   re-verify one image
+//   ccnvm nvlint [path]...              persist-ordering static analyzer
 //
 // Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus
 #include <cctype>
@@ -24,6 +25,7 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <vector>
 
 #ifdef CCNVM_HAVE_AUDIT
 #include "audit/crash_sweep.h"
@@ -34,6 +36,7 @@
 #endif
 #include "attacks/injector.h"
 #include "common/rng.h"
+#include "nvlint/nvlint.h"
 #include "core/cc_nvm.h"
 #include "nvm/layout.h"
 #include "secure/tree_compare.h"
@@ -571,6 +574,16 @@ int cmd_crashd(int argc, char** argv) {
 #endif
 }
 
+/// `ccnvm nvlint [path]...` — run the persist-ordering static analyzer
+/// (tools/nvlint, docs/LINT.md) over the given trees; defaults to src/
+/// relative to the current directory.
+int cmd_nvlint(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) paths.emplace_back(argv[i]);
+  if (paths.empty()) paths.emplace_back("src");
+  return nvlint::run_lint(paths, nvlint::Config{}, stdout);
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: ccnvm list\n"
@@ -591,6 +604,7 @@ int usage() {
                "             [--jobs=1] [--dir=DIR] [--keep]\n"
                "       ccnvm crashd <worker|verify> --image=FILE --seed=S "
                "--index=I\n"
+               "       ccnvm nvlint [path=src]...\n"
                "designs: wocc sc osiris ccnvm-nods ccnvm ccnvm-plus\n");
   return 2;
 }
@@ -629,6 +643,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "fuzz") return cmd_fuzz(argc, argv);
   if (cmd == "crashd") return cmd_crashd(argc, argv);
+  if (cmd == "nvlint") return cmd_nvlint(argc, argv);
   if (cmd == "kv" && argc >= 3) {
     const std::string sub = argv[2];
     if (sub == "run" && argc >= 5) {

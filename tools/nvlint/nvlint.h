@@ -1,0 +1,99 @@
+// nvlint — a persist-ordering & crash-consistency static analyzer.
+//
+// Consumes the annotation vocabulary of src/common/annotations.h
+// (CCNVM_PERSISTENT / CCNVM_COMMIT_POINT / CCNVM_REQUIRES_BARRIER /
+// CCNVM_ACK) and enforces the cc-NVM ordering contract at lint time.
+//
+// This is the libclang-free "AST-lite" implementation: a hand-rolled
+// C++ lexer plus a two-pass token analyzer, compiled into the normal
+// build so CI never depends on an external clang install. The trade-off
+// is documented in docs/LINT.md: analysis is token-linear (no real CFG),
+// which is exactly enough for the straight-line persist/ack protocols
+// this repo writes, and deliberately conservative where it is not.
+//
+// Check catalog (stable IDs — tests and waivers reference them):
+//   N1  ack-before-barrier / return-without-barrier: a CCNVM_ACK call
+//       (or a return from a CCNVM_REQUIRES_BARRIER function) is reached
+//       while stores to CCNVM_PERSISTENT state are still unbarriered.
+//   N2  commit-point ordering: inside a CCNVM_COMMIT_POINT function the
+//       header flip must exist and be the LAST persistent write.
+//   N3  raw write into mapped NVM: memcpy/memset/byte-writer calls or
+//       pointer-cast stores that target CCNVM_PERSISTENT raw regions,
+//       bypassing the line-granular Backend API.
+//   N4  nondeterminism in the deterministic-executor cone: rand/time/
+//       random_device/steady_clock::now in any file reachable (via
+//       quoted includes) from the fuzz/crashd/sweep/audit roots.
+//   W0  waiver hygiene: an nvlint-waive directive without a reason.
+//
+// Directives (in comments, see docs/LINT.md):
+//   // nvlint-waive(ID): reason        — waive ID on this line
+//   // nvlint-waive-next(ID): reason   — waive ID on the next line
+//   // nvlint-expect(ID)               — corpus files: expect ID here
+//   // nvlint-byte-writer(name)        — file scope: `name(dst, ...)`
+//                                        writes raw bytes through arg 0
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ccnvm::nvlint {
+
+/// One source file handed to the analyzer. `path` is used for include
+/// resolution (suffix match) and N4 root detection, so keep it
+/// repo-relative or absolute — either works as long as it is consistent
+/// across the batch.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Config {
+  /// A file whose path contains one of these substrings is an N4 root
+  /// (deterministic-executor cone); reachability follows quoted includes.
+  std::vector<std::string> n4_roots = {"fuzz", "crashd", "sweep", "audit"};
+  /// A persistent write whose statement text contains one of these
+  /// (case-insensitive) is considered the commit-point header flip.
+  std::vector<std::string> flip_markers = {"header", "hdr", "flip",
+                                           "tombstone", "commit"};
+};
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string id;  // "N1".."N4", "W0"
+  std::string message;
+  bool waived = false;
+};
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;  // sorted by (file, line, id)
+  std::size_t files_analyzed = 0;
+  std::size_t violations = 0;  // unwaived diagnostics
+  std::size_t waived = 0;
+};
+
+/// Analyzes a batch of files as one program: annotations collected in
+/// pass 1 are visible to every file in pass 2 (so a member annotated in
+/// a header is tracked in the .cpp that writes it).
+Report analyze(const std::vector<SourceFile>& files, const Config& config);
+
+/// Loads every .h/.hpp/.cc/.cpp under each path (file or directory),
+/// sorted by path for deterministic reports. CHECK-style failure (stderr
+/// + nonzero) is left to callers; unreadable paths are reported via the
+/// return of run_lint instead.
+std::vector<SourceFile> load_tree(const std::vector<std::string>& paths);
+
+/// Lints `paths` as one program and prints diagnostics + a summary to
+/// `out`. Returns the process exit code: 0 clean (waivers allowed),
+/// 1 violations, 2 usage/IO errors.
+int run_lint(const std::vector<std::string>& paths, const Config& config,
+             std::FILE* out);
+
+/// Corpus self-test over a directory of good_*.cpp / bad_*.cpp files.
+/// Each file is analyzed in isolation. bad_ files must produce exactly
+/// their nvlint-expect(ID) diagnostics (ID and line both match, no
+/// extras); good_ files must be clean. Returns 0 on full pass.
+int run_corpus(const std::string& dir, const Config& config, std::FILE* out);
+
+}  // namespace ccnvm::nvlint

@@ -1,0 +1,57 @@
+// nvlint command-line driver.
+//
+//   nvlint [options] <path>...      lint files/trees (exit 1 on violations)
+//   nvlint --corpus <dir>           run the good_/bad_ corpus self-test
+//
+// Options:
+//   --root=SUB    add an N4 root substring (default: fuzz,crashd,sweep,audit)
+//   --flip=SUB    add a commit-point flip marker (default: header,hdr,flip,
+//                 tombstone,commit)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nvlint/nvlint.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nvlint [--root=SUB]... [--flip=SUB]... <path>...\n"
+               "       nvlint --corpus <dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccnvm::nvlint::Config config;
+  std::vector<std::string> paths;
+  std::string corpus_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--corpus") {
+      if (i + 1 >= argc) return usage();
+      corpus_dir = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      config.n4_roots.push_back(arg.substr(7));
+    } else if (arg.rfind("--flip=", 0) == 0) {
+      config.flip_markers.push_back(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (!corpus_dir.empty()) {
+    if (!paths.empty()) return usage();
+    return ccnvm::nvlint::run_corpus(corpus_dir, config, stdout);
+  }
+  if (paths.empty()) return usage();
+  return ccnvm::nvlint::run_lint(paths, config, stdout);
+}
