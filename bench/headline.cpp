@@ -20,6 +20,7 @@
 #include "crypto/hmac_sha1.h"
 #include "crypto/otp.h"
 #include "crypto/sha1.h"
+#include "service/service_bench.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 
@@ -168,6 +169,32 @@ int main(int argc, char** argv) {
                            }),
                            "ops/s"});
     if (sink == 0) std::printf("");  // keep the measured work observable
+
+    // Concurrent KV service throughput (docs/SERVICE.md): N blocking
+    // clients over group-commit drain workers, in-memory media so the
+    // numbers are CPU-bound and bench_gate's spin normalization applies.
+    // The amortization metric is structural (mutations per barrier at 8
+    // clients), so it rides along ungated as a sanity record.
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                      std::size_t{8}}) {
+      service::ServiceBenchOptions opts;
+      opts.threads = threads;
+      opts.records_per_thread = 128;
+      opts.ops_per_thread = 256;
+      const service::ServiceBenchResult r = service::run_service_ycsb(opts);
+      if (!r.verified) {
+        std::fprintf(stderr, "kv service bench failed verification: %s\n",
+                     r.failure.c_str());
+        return 1;
+      }
+      doc.metrics.push_back(
+          {"throughput/kv_service_threads_" + std::to_string(threads),
+           r.ops_per_sec, "ops/s"});
+      if (threads == 8) {
+        doc.metrics.push_back({"service/group_commit_amortization",
+                               r.stats.amortization(), "x"});
+      }
+    }
 
     if (!sim::write_bench_json(json_path, doc)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -1,0 +1,79 @@
+// Capability-annotated mutex primitives for -Wthread-safety.
+//
+// libstdc++'s std::mutex carries no capability attributes, so guarding a
+// member with CCNVM_GUARDED_BY(std::mutex) trips clang's
+// -Wthread-safety-attributes instead of enabling the analysis. These thin
+// wrappers re-export the standard primitives with the attributes attached:
+// `Mutex` is a capability, `MutexLock` is a scoped capability built on
+// std::unique_lock (so a CondVar can still wait on it), and `CondVar`
+// accepts only a held `MutexLock`. Under GCC the attributes compile away
+// and the wrappers are zero-cost aliases for the std types.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace ccnvm {
+
+class CCNVM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  CCNVM_ACQUIRE() void lock() { mu_.lock(); }
+  CCNVM_RELEASE() void unlock() { mu_.unlock(); }
+
+  /// Escape hatch for APIs that need the raw std::mutex (CondVar below).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over `Mutex`. Holds a std::unique_lock internally so
+/// CondVar::wait can atomically release/reacquire it.
+class CCNVM_SCOPED_CAPABILITY MutexLock {
+ public:
+  CCNVM_ACQUIRE(mu) explicit MutexLock(Mutex& mu)
+      : lock_(mu.native()) {}
+  CCNVM_RELEASE() ~MutexLock() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable that waits on a held MutexLock. The wait members
+/// release/reacquire the underlying mutex; the analysis cannot see that
+/// (std::condition_variable is unannotated), but the lock is held again by
+/// the time wait returns, so callers' REQUIRES contracts stay truthful.
+class CondVar {
+ public:
+  template <typename Pred>
+  void wait(MutexLock& lock, Pred pred) {
+    cv_.wait(lock.native(), std::move(pred));
+  }
+
+  template <typename Clock, typename Duration, typename Pred>
+  bool wait_until(MutexLock& lock,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Pred pred) {
+    return cv_.wait_until(lock.native(), deadline, std::move(pred));
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ccnvm

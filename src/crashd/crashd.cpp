@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "audit/invariant_auditor.h"
@@ -24,6 +26,7 @@
 #include "core/cc_nvm.h"
 #include "core/tcb.h"
 #include "nvm/file_backend.h"
+#include "service/kv_service.h"
 
 namespace ccnvm::crashd {
 namespace {
@@ -31,6 +34,12 @@ namespace {
 constexpr std::size_t kKeys = 16;
 constexpr std::size_t kCrashdDaqEntries = 6;
 constexpr std::size_t kCheckpointEvery = 8;
+
+// Service family bounds (derive_service_scenario stays inside these; the
+// sweep's file cleanup relies on the maxima).
+constexpr std::size_t kServiceKeysPerThread = 8;
+constexpr std::size_t kServiceMaxShards = 2;
+constexpr std::size_t kServiceMaxThreads = 4;
 
 /// The paper's crash model has no notion of a process observing its own
 /// death; raise(SIGKILL) matches that — no handlers, no unwinding, no
@@ -79,6 +88,62 @@ KvOp generate_op(Rng& rng, core::DrainTrigger trigger,
 
 std::string ack_path(const std::string& image_path) {
   return image_path + ".ack";
+}
+
+std::string service_image_path(const std::string& image_path,
+                               std::size_t shard) {
+  return image_path + ".s" + std::to_string(shard);
+}
+
+std::string service_ack_path(const std::string& image_path,
+                             std::size_t thread) {
+  return image_path + ".ack.t" + std::to_string(thread);
+}
+
+/// One deterministic operation draw for service client thread `thread`.
+/// Key namespaces are disjoint per thread ("sv<t>-<k>"), so each
+/// thread's model replays independently of scheduling; the value bytes
+/// are tagged by thread so a cross-thread mixup cannot masquerade as a
+/// correct read-back.
+KvOp generate_service_op(Rng& rng, std::size_t thread,
+                         core::DrainTrigger trigger, std::uint64_t& put_tag) {
+  KvOp op;
+  const std::size_t key_index =
+      (trigger == core::DrainTrigger::kUpdateLimit && !rng.chance(0.25))
+          ? 0
+          : static_cast<std::size_t>(rng.below(kServiceKeysPerThread));
+  op.key = "sv" + std::to_string(thread) + "-" + std::to_string(key_index);
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 55) {
+    op.kind = OpKind::kPut;
+    const std::uint64_t vtag = ++put_tag;
+    op.value.assign(rng.below(140), '\0');
+    for (std::size_t j = 0; j < op.value.size(); ++j) {
+      op.value[j] = static_cast<char>(
+          static_cast<std::uint8_t>(vtag * 167 + j + thread * 29));
+    }
+  } else if (roll < 80) {
+    op.kind = OpKind::kErase;
+  } else {
+    op.kind = OpKind::kGet;
+  }
+  return op;
+}
+
+/// The ServiceConfig both the worker and the verifier derive engines
+/// from (the worker adds the backend factory and kill hooks on top).
+/// KvService::engine_design_config over this is the single source of
+/// per-shard design geometry for reopening a dead service's images.
+service::ServiceConfig service_scenario_config(const ServiceScenario& sc) {
+  service::ServiceConfig cfg;
+  cfg.shards = sc.shards;
+  cfg.queue_capacity = 64;
+  cfg.commit.max_batch = sc.max_batch;
+  cfg.commit.max_delay_us = sc.max_delay_us;
+  cfg.kind = sc.kind;
+  cfg.design = audit::shaped_design_config(sc.trigger, kCrashdDaqEntries);
+  cfg.store = service_store_config();
+  return cfg;
 }
 
 const char* trigger_name(core::DrainTrigger t) {
@@ -411,6 +476,309 @@ VerifyResult verify_scenario(const std::string& image_path,
   return res;
 }
 
+store::StoreConfig service_store_config() {
+  // Single store-shard per engine: the service supplies the sharding.
+  // Geometry fits the worst case (kServiceMaxThreads * kServiceKeysPerThread
+  // keys of <=140 bytes all routing to one engine) with heap churn slack.
+  store::StoreConfig cfg;
+  cfg.shards = 1;
+  cfg.buckets_per_shard = 64;
+  cfg.heap_lines_per_shard = 192;
+  return cfg;
+}
+
+ServiceScenario derive_service_scenario(std::uint64_t sweep_seed,
+                                        std::uint64_t index) {
+  ServiceScenario sc;
+  Rng rng(derive_seed(sweep_seed, index, 0x5e41ce));
+  sc.kind = rng.chance(0.5) ? core::DesignKind::kCcNvm
+                            : core::DesignKind::kCcNvmNoDs;
+  sc.trigger = audit::kSweepTriggers[rng.below(audit::kSweepTriggers.size())];
+  sc.threads = 2 + static_cast<std::size_t>(
+                       rng.below(kServiceMaxThreads - 1));  // 2..4
+  sc.ops_per_thread = 12 + static_cast<std::size_t>(rng.below(21));  // 12..32
+  constexpr std::size_t kBatchSizes[5] = {1, 2, 4, 8, 16};
+  sc.max_batch = kBatchSizes[rng.below(5)];
+  constexpr std::uint32_t kGaps[4] = {0, 0, 100, 500};
+  sc.max_delay_us = kGaps[rng.below(4)];
+  const std::uint64_t total_ops = sc.threads * sc.ops_per_thread;
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 20) {
+    sc.kill = ServiceKill::kNone;
+    // Only clean runs fan out across shards: a kill fired from one drain
+    // worker's safe point could catch a second worker mid-line-write,
+    // which would break the kill discipline argued in the file comment.
+    sc.shards = 1 + static_cast<std::size_t>(rng.below(kServiceMaxShards));
+  } else if (roll < 60) {
+    sc.kill = ServiceKill::kMidBatch;
+    sc.kill_target = 1 + rng.below(total_ops);
+  } else {
+    sc.kill = ServiceKill::kAfterBarrier;
+    // Barrier counts depend on batching; aim low so most targets fire.
+    sc.kill_target = 1 + rng.below(total_ops / 2 + 1);
+  }
+  sc.workload_seed = derive_seed(sweep_seed, index, 0x5eed5);
+  return sc;
+}
+
+std::string describe(const ServiceScenario& sc) {
+  std::string s = "service " + std::string(core::design_name(sc.kind)) +
+                  " trigger=" + trigger_name(sc.trigger) +
+                  " shards=" + std::to_string(sc.shards) +
+                  " threads=" + std::to_string(sc.threads) +
+                  " ops/thread=" + std::to_string(sc.ops_per_thread) +
+                  " batch=" + std::to_string(sc.max_batch) +
+                  " gap=" + std::to_string(sc.max_delay_us) + "us";
+  switch (sc.kill) {
+    case ServiceKill::kNone:
+      s += " kill=none";
+      break;
+    case ServiceKill::kMidBatch:
+      s += " kill=mid-batch@" + std::to_string(sc.kill_target);
+      break;
+    case ServiceKill::kAfterBarrier:
+      s += " kill=after-barrier@" + std::to_string(sc.kill_target);
+      break;
+  }
+  return s;
+}
+
+int run_service_worker(const std::string& image_path,
+                       std::uint64_t sweep_seed, std::uint64_t index) {
+  const ServiceScenario sc = derive_service_scenario(sweep_seed, index);
+  // Kill scenarios run one drain worker so the SIGKILL (raised from that
+  // worker's own safe-point hook) can never catch another engine between
+  // retiring two halves of a line write.
+  CCNVM_CHECK_MSG(sc.kill == ServiceKill::kNone || sc.shards == 1,
+                  "crashd service: kill scenarios must be single-shard");
+
+  // Declared before the service so the hooks capturing them outlive the
+  // drain workers.
+  std::atomic<std::uint64_t> applied{0};
+  std::atomic<std::uint64_t> barriers{0};
+
+  service::ServiceConfig cfg = service_scenario_config(sc);
+  cfg.backend_factory = [&image_path](std::size_t shard,
+                                      std::uint64_t capacity_bytes) {
+    // kNone for the same reason as run_worker: SIGKILL keeps the page
+    // cache, which is the crash model this harness relies on.
+    return nvm::FileBackend::create(service_image_path(image_path, shard),
+                                    capacity_bytes,
+                                    nvm::FileBackend::SyncMode::kNone);
+  };
+  if (sc.kill == ServiceKill::kMidBatch) {
+    cfg.after_apply_hook = [&applied, target = sc.kill_target] {
+      if (applied.fetch_add(1) + 1 == target) die_now();
+    };
+  } else if (sc.kill == ServiceKill::kAfterBarrier) {
+    cfg.after_barrier_hook = [&barriers, target = sc.kill_target] {
+      if (barriers.fetch_add(1) + 1 == target) die_now();
+    };
+  }
+
+  // One unbuffered ack log per client thread, all created before any
+  // traffic so the verifier finds every log even after an instant kill.
+  std::vector<int> ack_fds(sc.threads, -1);
+  for (std::size_t t = 0; t < sc.threads; ++t) {
+    ack_fds[t] = ::open(service_ack_path(image_path, t).c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    CCNVM_CHECK_MSG(ack_fds[t] >= 0,
+                    "crashd service worker: cannot create ack log");
+  }
+
+  service::KvService service(cfg);
+
+  std::vector<std::thread> clients;
+  clients.reserve(sc.threads);
+  for (std::size_t t = 0; t < sc.threads; ++t) {
+    clients.emplace_back([&service, &sc, t, fd = ack_fds[t]] {
+      // The service's promise completion already happens after the
+      // barrier (KvService's ack-after-barrier contract); this side-
+      // channel byte re-promises it to the out-of-process verifier.
+      CCNVM_ACK const auto ack = [fd](char c) {
+        CCNVM_CHECK(::write(fd, &c, 1) == 1);
+      };
+      Rng rng(derive_seed(sc.workload_seed, t));
+      std::uint64_t put_tag = 0;
+      for (std::size_t i = 0; i < sc.ops_per_thread; ++i) {
+        const KvOp op = generate_service_op(rng, t, sc.trigger, put_tag);
+        switch (op.kind) {
+          case OpKind::kPut:
+            CCNVM_CHECK_MSG(service.put(op.key, op.value).ok,
+                            "crashd service worker: store full");
+            break;
+          case OpKind::kErase:
+            (void)service.erase(op.key);
+            break;
+          case OpKind::kGet:
+            (void)service.get(op.key);
+            break;
+        }
+        ack('A');
+      }
+      ack('C');
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  // Reached when no kill was drawn or the target never fired: quiesce.
+  service.shutdown();
+  for (const int fd : ack_fds) ::close(fd);
+  return 0;
+}
+
+VerifyResult verify_service_scenario(const std::string& image_path,
+                                     std::uint64_t sweep_seed,
+                                     std::uint64_t index) {
+  VerifyResult res;
+  const ServiceScenario sc = derive_service_scenario(sweep_seed, index);
+  try {
+    // --- Per-thread ack logs: what each client was promised. ---
+    std::vector<std::size_t> n_acks(sc.threads, 0);
+    std::vector<bool> clean(sc.threads, false);
+    bool all_clean = true;
+    for (std::size_t t = 0; t < sc.threads; ++t) {
+      std::string acks;
+      std::FILE* f =
+          std::fopen(service_ack_path(image_path, t).c_str(), "rb");
+      CCNVM_CHECK_MSG(f != nullptr, "crashd service verify: missing ack log");
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        acks.append(buf, n);
+      }
+      std::fclose(f);
+      clean[t] = !acks.empty() && acks.back() == 'C';
+      n_acks[t] = acks.size() - (clean[t] ? 1 : 0);
+      CCNVM_CHECK_MSG(acks.find_first_not_of('A') ==
+                          (clean[t] ? acks.size() - 1 : std::string::npos),
+                      "crashd service verify: malformed ack log");
+      CCNVM_CHECK_MSG(n_acks[t] <= sc.ops_per_thread,
+                      "crashd service verify: more acks than ops");
+      if (clean[t]) {
+        CCNVM_CHECK_MSG(n_acks[t] == sc.ops_per_thread,
+                        "crashd service verify: clean thread missing acks");
+      }
+      all_clean = all_clean && clean[t];
+      res.acked_ops += n_acks[t];
+    }
+    if (sc.kill == ServiceKill::kNone) {
+      CCNVM_CHECK_MSG(all_clean,
+                      "crashd service verify: worker died in a no-kill run");
+    }
+    res.worker_was_killed = !all_clean;
+
+    // --- Replay each thread's stream (disjoint key namespaces, and a
+    // client submits op i+1 only after op i's ack, so at most ONE
+    // operation per thread is in flight at the kill). ---
+    std::map<std::string, std::string> model;
+    struct InFlight {
+      std::optional<std::string> before;
+      std::optional<std::string> after;
+    };
+    std::map<std::string, InFlight> in_flight;
+    for (std::size_t t = 0; t < sc.threads; ++t) {
+      Rng rng(derive_seed(sc.workload_seed, t));
+      std::uint64_t put_tag = 0;
+      for (std::size_t i = 0; i <= n_acks[t] && i < sc.ops_per_thread; ++i) {
+        const KvOp op = generate_service_op(rng, t, sc.trigger, put_tag);
+        if (i == n_acks[t]) {
+          if (clean[t]) break;
+          InFlight fl;
+          const auto it = model.find(op.key);
+          fl.before = it == model.end()
+                          ? std::nullopt
+                          : std::optional<std::string>(it->second);
+          switch (op.kind) {
+            case OpKind::kPut:
+              fl.after = op.value;
+              break;
+            case OpKind::kErase:
+              fl.after = std::nullopt;
+              break;
+            case OpKind::kGet:
+              fl.after = fl.before;
+              break;
+          }
+          in_flight[op.key] = std::move(fl);
+          break;
+        }
+        switch (op.kind) {
+          case OpKind::kPut:
+            model[op.key] = op.value;
+            break;
+          case OpKind::kErase:
+            model.erase(op.key);
+            break;
+          case OpKind::kGet:
+            break;
+        }
+      }
+    }
+
+    // --- Reopen every shard engine and hold the union to the model. ---
+    const service::ServiceConfig scfg = service_scenario_config(sc);
+    for (std::size_t s = 0; s < sc.shards; ++s) {
+      auto backend = nvm::FileBackend::open(service_image_path(image_path, s));
+      CCNVM_CHECK_MSG(backend != nullptr,
+                      "crashd service verify: shard image missing");
+      std::uint8_t regs[nvm::Backend::kRegisterCapacity];
+      const std::size_t reg_len = backend->load_registers(regs, sizeof(regs));
+      core::TcbRegisters tcb;
+      CCNVM_CHECK_MSG(core::decode_tcb(regs, reg_len, tcb),
+                      "crashd service verify: shard has no valid TCB blob");
+      nvm::NvmImage image(std::move(backend));
+
+      auto design = core::make_design(
+          sc.kind, service::KvService::engine_design_config(scfg, s));
+      auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
+      CCNVM_CHECK(base != nullptr);
+      audit::InvariantAuditor auditor(
+          audit::InvariantAuditor::Options{.verify_image = true});
+      auditor.attach(*base);
+
+      base->restore_from_power_down(std::move(image), tcb);
+      const core::RecoveryReport report = design->recover();
+      CCNVM_CHECK_MSG(report.clean && report.metadata_recovered,
+                      "crashd service verify: shard recovery not clean");
+
+      store::SecureKvStore kv =
+          store::SecureKvStore::open(*base, scfg.store);
+      std::uint64_t live = 0;
+      for (std::size_t t = 0; t < sc.threads; ++t) {
+        for (std::size_t k = 0; k < kServiceKeysPerThread; ++k) {
+          const std::string key =
+              "sv" + std::to_string(t) + "-" + std::to_string(k);
+          if (service::KvService::shard_of(key, sc.shards) != s) continue;
+          const std::optional<std::string> got = kv.get(key);
+          if (const auto fl = in_flight.find(key); fl != in_flight.end()) {
+            CCNVM_CHECK_MSG(
+                got == fl->second.before || got == fl->second.after,
+                "crashd service verify: in-flight op left a third state");
+          } else if (const auto it = model.find(key); it != model.end()) {
+            CCNVM_CHECK_MSG(
+                got.has_value() && *got == it->second,
+                "crashd service verify: acknowledged operation lost");
+          } else {
+            CCNVM_CHECK_MSG(
+                !got.has_value(),
+                "crashd service verify: erased/unwritten key reappeared");
+          }
+          if (got.has_value()) ++live;
+          ++res.keys_checked;
+        }
+      }
+      CCNVM_CHECK_MSG(kv.size() == live,
+                      "crashd service verify: shard holds spurious entries");
+      res.auditor_checks += auditor.checks_performed();
+    }
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.message = e.what();
+  }
+  return res;
+}
+
 SweepResult run_sweep(const SweepConfig& config) {
   std::string worker_exe =
       config.worker_exe.empty() ? "/proc/self/exe" : config.worker_exe;
@@ -454,6 +822,7 @@ SweepResult run_sweep(const SweepConfig& config) {
             "--seed=" + std::to_string(config.seed),
             "--index=" + std::to_string(i),
         };
+        if (config.service) args.insert(args.begin() + 3, "--service");
         std::vector<char*> argv;
         argv.reserve(args.size() + 1);
         for (std::string& a : args) argv.push_back(a.data());
@@ -485,14 +854,25 @@ SweepResult run_sweep(const SweepConfig& config) {
               std::to_string(status) + ")";
           return out;
         }
-        out.verify = verify_scenario(image, config.seed, i);
+        out.verify = config.service
+                         ? verify_service_scenario(image, config.seed, i)
+                         : verify_scenario(image, config.seed, i);
         if (out.verify.ok && out.verify.worker_was_killed != out.killed) {
           out.verify.ok = false;
           out.verify.message = "ack log disagrees with the wait status";
         }
         if (!config.keep_files) {
-          std::remove(image.c_str());
-          std::remove(ack_path(image).c_str());
+          if (config.service) {
+            for (std::size_t s = 0; s < kServiceMaxShards; ++s) {
+              std::remove(service_image_path(image, s).c_str());
+            }
+            for (std::size_t t = 0; t < kServiceMaxThreads; ++t) {
+              std::remove(service_ack_path(image, t).c_str());
+            }
+          } else {
+            std::remove(image.c_str());
+            std::remove(ack_path(image).c_str());
+          }
         }
         return out;
       });
@@ -501,8 +881,14 @@ SweepResult run_sweep(const SweepConfig& config) {
   sweep.scenarios = config.scenarios;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const PerScenario& r = results[i];
-    const Scenario sc = derive_scenario(config.seed, i);
-    if (sc.kill == KillMode::kAttack) ++sweep.attack_scenarios;
+    std::string desc;
+    if (config.service) {
+      desc = describe(derive_service_scenario(config.seed, i));
+    } else {
+      const Scenario sc = derive_scenario(config.seed, i);
+      if (sc.kill == KillMode::kAttack) ++sweep.attack_scenarios;
+      desc = describe(sc);
+    }
     if (r.killed) ++sweep.killed;
     if (r.clean) ++sweep.clean_exits;
     sweep.acked_ops += r.verify.acked_ops;
@@ -511,7 +897,7 @@ SweepResult run_sweep(const SweepConfig& config) {
       const std::string& why =
           !r.spawn_error.empty() ? r.spawn_error : r.verify.message;
       sweep.failures.push_back("scenario " + std::to_string(i) + " [" +
-                               describe(sc) + "]: " + why);
+                               desc + "]: " + why);
     }
   }
   if (made_dir && !config.keep_files) ::rmdir(dir.c_str());

@@ -99,9 +99,74 @@ struct VerifyResult {
 VerifyResult verify_scenario(const std::string& image_path,
                              std::uint64_t sweep_seed, std::uint64_t index);
 
+// ---- Service scenario family -------------------------------------------
+//
+// The multithreaded sibling of the family above: the worker process runs
+// a service::KvService (per-shard MPSC queues, group-commit drain
+// workers) with several blocking client threads, and SIGKILL lands while
+// requests are in flight across all of them — queued, mid-batch, or
+// applied-and-barriered but not yet acknowledged. Kills fire from the
+// drain worker's safe-point hooks (between complete store operations),
+// preserving the line-write-boundary kill discipline the file comment
+// above argues for. Each client thread owns an unbuffered ack log
+// (`image + ".ack.t<t>"`), each shard engine its own image
+// (`image + ".s<s>"`); the verifier reopens every shard, recovers it
+// under the auditor, and holds the union to the service's
+// ack-after-barrier contract: every acknowledged operation reads back
+// exactly, at most one unacknowledged in-flight operation per thread
+// surfaces as old or new state, and no shard holds spurious entries.
+
+/// When (if at all) the service worker dies. All kills fire at drain-
+/// worker safe points, with the client threads at arbitrary progress.
+enum class ServiceKill {
+  kNone,          // clean quiesced shutdown (may use multiple shards)
+  kMidBatch,      // after the kill_target-th applied request, pre-barrier
+  kAfterBarrier,  // after the kill_target-th barrier, before its acks
+};
+
+struct ServiceScenario {
+  core::DesignKind kind = core::DesignKind::kCcNvm;
+  core::DrainTrigger trigger = core::DrainTrigger::kExplicit;
+  std::size_t shards = 1;  // kill scenarios always 1 (see run_service_worker)
+  std::size_t threads = 2;
+  std::size_t ops_per_thread = 16;
+  std::size_t max_batch = 8;
+  std::uint32_t max_delay_us = 0;  // group-commit straggler gap
+  ServiceKill kill = ServiceKill::kNone;
+  /// kMidBatch: global applied-request count; kAfterBarrier: global
+  /// barrier count. A target past the run's end degrades to a clean run.
+  std::uint64_t kill_target = 0;
+  std::uint64_t workload_seed = 0;
+};
+
+/// The deterministic service scenario for (sweep_seed, index).
+ServiceScenario derive_service_scenario(std::uint64_t sweep_seed,
+                                        std::uint64_t index);
+
+std::string describe(const ServiceScenario& scenario);
+
+/// Per-engine KV geometry of every service scenario (the service layers
+/// its own sharding on top, so the store itself stays single-shard).
+store::StoreConfig service_store_config();
+
+/// Runs the service worker side: shard images at `image_path + ".s<s>"`,
+/// per-thread ack logs at `image_path + ".ack.t<t>"`. Kill scenarios do
+/// not return. Clean scenarios return 0.
+int run_service_worker(const std::string& image_path,
+                       std::uint64_t sweep_seed, std::uint64_t index);
+
+/// Verifies every shard image a (possibly killed) service worker left
+/// behind. Same CheckThrowScope requirement as verify_scenario.
+VerifyResult verify_service_scenario(const std::string& image_path,
+                                     std::uint64_t sweep_seed,
+                                     std::uint64_t index);
+
 struct SweepConfig {
   std::uint64_t seed = 1;
   std::uint64_t scenarios = 200;
+  /// Run the service scenario family (multithreaded KvService workers)
+  /// instead of the single-threaded one.
+  bool service = false;
   std::size_t jobs = 1;  // deterministic executor width (0 = hw)
   /// Directory for image/ack files; empty = a fresh mkdtemp under
   /// $TMPDIR. Files are deleted per scenario unless keep_files.

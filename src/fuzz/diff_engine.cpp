@@ -21,6 +21,7 @@
 #include "common/types.h"
 #include "core/design.h"
 #include "fuzz/fuzz.h"
+#include "service/kv_service.h"
 #include "store/kv_store.h"
 
 namespace ccnvm::fuzz::detail {
@@ -210,6 +211,20 @@ void run_kv_mode(Rng& rng, std::size_t max_ops, Fleet& fleet,
   for (core::SecureNvmBase* base : fleet.bases) {
     stores.emplace_back(*base, diff_store_config());
   }
+  // Seventh participant: the concurrent service front-end over its own
+  // cc-NVM engine. Driven synchronously — one blocking client, so every
+  // group-commit batch is exactly one request and the run stays
+  // deterministic — the queue/drain/barrier path must be
+  // answer-equivalent to the direct store calls above.
+  service::ServiceConfig scfg;
+  scfg.shards = 1;
+  scfg.queue_capacity = 8;
+  scfg.commit.max_batch = 4;
+  scfg.commit.max_delay_us = 0;  // greedy: no clock reads in the drain
+  scfg.store = diff_store_config();
+  scfg.design.data_capacity = kDiffPages * kPageSize;
+  service::KvService service(scfg);
+
   std::map<std::string, std::string> shadow;
   for (std::size_t i = 0; i < max_ops; ++i) {
     ++out.ops;
@@ -220,6 +235,8 @@ void run_kv_mode(Rng& rng, std::size_t max_ops, Fleet& fleet,
       for (auto& kv : stores) {
         CCNVM_CHECK_MSG(kv.put(key, value), "diff fuzz: store full");
       }
+      CCNVM_CHECK_MSG(service.put(key, value).ok,
+                      "diff fuzz: service rejected a put the stores took");
       shadow[key] = value;
     } else if (roll < 75) {
       const std::optional<std::string> expected =
@@ -231,9 +248,14 @@ void run_kv_mode(Rng& rng, std::size_t max_ops, Fleet& fleet,
                         "diff fuzz: stores disagree on a lookup");
         ++out.reads_compared;
       }
+      CCNVM_CHECK_MSG(service.get(key).value == expected,
+                      "diff fuzz: service disagrees on a lookup");
+      ++out.reads_compared;
       fold_digest(out.digest, expected ? expected->size() + 1 : 0);
     } else if (roll < 90) {
       for (auto& kv : stores) kv.erase(key);
+      CCNVM_CHECK_MSG(service.erase(key).ok == (shadow.count(key) > 0),
+                      "diff fuzz: service disagrees on an erase hit");
       shadow.erase(key);
     } else {
       for (auto& kv : stores) kv.checkpoint();
@@ -244,6 +266,12 @@ void run_kv_mode(Rng& rng, std::size_t max_ops, Fleet& fleet,
                     "diff fuzz: stores disagree on live entry count");
     ++out.checks;
   }
+  service.shutdown();
+  CCNVM_CHECK_MSG(service.engine_store(0).size() == shadow.size(),
+                  "diff fuzz: service disagrees on live entry count");
+  CCNVM_CHECK_MSG(service.engine_base(0).audit_image().empty(),
+                  "diff fuzz: quiesced service engine does not audit clean");
+  out.checks += 2;
   fold_digest(out.digest, shadow.size());
 }
 

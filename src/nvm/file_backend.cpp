@@ -260,8 +260,14 @@ void FileBackend::for_each_ecc(
 }
 
 void FileBackend::persist_barrier() {
-  if (sync_ == SyncMode::kSync) {
+  if (sync_ == SyncMode::kSync || sync_ == SyncMode::kBarrier) {
     CCNVM_CHECK(::msync(map_, map_bytes_, MS_SYNC) == 0);
+  }
+  if (sync_ == SyncMode::kBarrier) {
+    // msync writes dirty pages back; fsync issues the device cache
+    // flush, so a kBarrier barrier is durable through the disk's
+    // volatile write cache — the full §4.2 ADR-drain analog.
+    CCNVM_CHECK(::fsync(fd_) == 0);
   }
 }
 
@@ -276,7 +282,10 @@ void FileBackend::store_registers(const std::uint8_t* data, std::size_t len) {
   if (sync_ == SyncMode::kSync) {
     // The registers are battery-backed in the paper's controller; in
     // sync mode the header page is flushed so they are never staler
-    // than the lines after a barrier.
+    // than the lines after a barrier. kBarrier deliberately skips this:
+    // the registers ride the whole-mapping msync at the next barrier,
+    // modeling a controller without battery-backed registers whose
+    // durability point IS the epoch drain.
     CCNVM_CHECK(::msync(map_, kHeaderBytes, MS_SYNC) == 0);
   }
 }

@@ -22,7 +22,11 @@
 // persist_barrier() (the §4.2 ADR/WPQ batch boundary) and after every
 // register store, so the on-disk file is as fresh as the last barrier
 // even across a real power cut. The kill-9 sweep uses kNone: correct,
-// and orders of magnitude cheaper.
+// and orders of magnitude cheaper. SyncMode::kBarrier is the group-commit
+// middle ground used by the service layer: one whole-mapping msync per
+// persist_barrier() and nothing on register stores, so the per-barrier
+// cost is constant and amortizes across every op retired in the batch —
+// the power-cut image is exactly the state at the last barrier.
 #pragma once
 
 #include <cstdint>
@@ -36,9 +40,11 @@ namespace ccnvm::nvm {
 class FileBackend final : public Backend {
  public:
   enum class SyncMode {
-    kNone,  // page-cache durability: survives SIGKILL, not power loss
-    kSync,  // msync at persist points: survives power loss up to the
-            // last ADR barrier
+    kNone,     // page-cache durability: survives SIGKILL, not power loss
+    kSync,     // msync at persist points: survives power loss up to the
+               // last ADR barrier
+    kBarrier,  // msync only at persist_barrier(): survives power loss up
+               // to the last epoch drain — one flush per group commit
   };
 
   /// Creates (truncating) a file sized for `capacity_bytes` of line

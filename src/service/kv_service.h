@@ -1,0 +1,174 @@
+// Multi-queue concurrent KV service with group-commit drains.
+//
+// Everything below src/service is logically single-threaded: a
+// SecureNvmBase is one memory controller's state machine, and a
+// SecureKvStore is a single-writer client of one controller. This layer
+// is what lets N client threads drive the store anyway — the shape
+// ccNVMe's per-core submission queues and TxFS's journaled batch commits
+// use, mapped onto the paper's persist-barrier/epoch-drain discipline:
+//
+//   client threads ──push──▶ per-shard MPSC queue ──▶ drain worker
+//                                                       │ apply batch
+//                                                       │ ONE checkpoint()
+//                                                       ▼ (epoch drain +
+//                                                          persist barrier)
+//                                                     complete every ack
+//
+// A *service shard* is a complete engine: its own design instance (own
+// NVM image), its own single-shard-facing SecureKvStore, its own queue
+// and drain worker. Requests route by key hash, so any key's operations
+// are totally ordered by its shard's queue — per-key reads always observe
+// the latest acknowledged write.
+//
+// The ack-after-barrier contract (docs/SERVICE.md): a request's promise
+// is fulfilled only after the batch it rode in has been applied AND the
+// shard engine has drained the epoch behind a persist barrier. An
+// acknowledged operation therefore survives a crash; crashd's service
+// scenario family kills the process mid-flight and holds reopened images
+// to exactly that promise. The completion call is CCNVM_ACK-annotated so
+// nvlint's N1 check polices the ordering statically.
+//
+// Group commit is the performance story: the barrier is the expensive
+// event (an epoch drain, plus an msync on FileBackend::SyncMode::kBarrier
+// media), and one barrier retires the whole batch. With B blocking
+// clients per shard the steady-state batch size is B — throughput scales
+// with client count until the queue or the apply path saturates, which
+// bench/ycsb --threads=N measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/design.h"
+#include "nvm/backend.h"
+#include "service/shard_queue.h"
+#include "store/kv_store.h"
+
+namespace ccnvm::service {
+
+/// When a drain worker closes a batch and pays the barrier.
+struct GroupCommitPolicy {
+  /// Hard batch-size cap: a batch never holds more requests than this.
+  std::size_t max_batch = 32;
+  /// Straggler gap (microseconds): a non-full batch stays open while new
+  /// requests keep arriving within this gap of each other, and closes
+  /// after one quiet gap (total wait bounded by max_batch * gap). 0 =
+  /// greedy: take what is queued and commit immediately — deterministic,
+  /// used by the unit tests and the fuzz mirror. A small positive gap is
+  /// what lets batches grow to the full client count on a busy box: the
+  /// drain worker tends to wake after the FIRST blocked client re-queues,
+  /// and the gap holds the batch open for the other clients the scheduler
+  /// has not run yet.
+  std::uint32_t max_delay_us = 0;
+};
+
+/// Aggregated counters across all shard engines (snapshot).
+struct ServiceStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t failed_puts = 0;  // store rejected (full / oversized)
+  std::uint64_t batches = 0;      // drain-worker batch dequeues
+  std::uint64_t batched_ops = 0;  // requests retired through batches
+  std::uint64_t max_batch = 0;    // largest batch ever drained
+  std::uint64_t mutations = 0;    // successful puts + erases
+  std::uint64_t barriers = 0;     // checkpoints issued (one per dirty batch)
+  std::uint64_t queue_high_water = 0;  // deepest queue ever observed
+  std::uint64_t queue_pushed = 0;      // total requests enqueued
+
+  /// Group-commit amortization: acknowledged mutations per persist
+  /// barrier. 1.0 means every mutation paid a private barrier; B means
+  /// one barrier retired B mutations.
+  double amortization() const {
+    return barriers == 0 ? 0.0
+                         : static_cast<double>(mutations) /
+                               static_cast<double>(barriers);
+  }
+};
+
+struct ServiceConfig {
+  /// Service shards = independent engines (each its own NVM image).
+  std::size_t shards = 2;
+  std::size_t queue_capacity = 256;
+  GroupCommitPolicy commit;
+  core::DesignKind kind = core::DesignKind::kCcNvm;
+  /// Per-engine design template. data_capacity must fit store.footprint;
+  /// key_seed is decorrelated per shard (see engine_design_config).
+  core::DesignConfig design;
+  /// Per-engine store geometry (this is the store's own sharding, layered
+  /// under the service's — keep store.shards small, the service fans out).
+  store::StoreConfig store;
+  /// Optional per-shard media factory (shard index, capacity bytes).
+  /// Null keeps design.backend_factory (default: volatile in-memory map).
+  std::function<std::unique_ptr<nvm::Backend>(std::size_t, std::uint64_t)>
+      backend_factory;
+  /// Crash-harness hooks (null in production), called by drain workers at
+  /// the harness's safe points — between complete store operations, never
+  /// inside one, matching the SIGKILL discipline in src/crashd:
+  /// after_apply_hook after each applied request, after_barrier_hook
+  /// after each group-commit barrier and before any of its acks.
+  std::function<void()> after_apply_hook;
+  std::function<void()> after_barrier_hook;
+};
+
+class KvService {
+ public:
+  /// Constructs every shard engine (formatting fresh stores) and starts
+  /// the drain workers. CHECK-fails on zero shards or a design that is
+  /// not a SecureNvmBase.
+  explicit KvService(const ServiceConfig& config);
+  ~KvService();
+
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  /// Routes by key shard and enqueues; blocks while the shard queue is
+  /// full. The returned future resolves only after the group-commit
+  /// barrier covering the request. Must not race with shutdown().
+  std::future<Result> submit(Request r);
+
+  /// Blocking conveniences: submit + wait.
+  Result put(std::string_view key, std::string_view value);
+  Result get(std::string_view key);
+  Result erase(std::string_view key);
+
+  /// Closes every queue, drains what is enqueued (every residual batch
+  /// still gets its barrier), joins the workers, and leaves every engine
+  /// quiesced.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// The service-level routing function: decorrelated from the store's
+  /// internal shard bits so both layers spread load independently.
+  static std::size_t shard_of(std::string_view key, std::size_t shards);
+
+  /// The design config the service builds shard `shard`'s engine from —
+  /// exported so out-of-process verifiers (crashd) can reconstruct the
+  /// identical engine when reopening a dead service's images.
+  static core::DesignConfig engine_design_config(const ServiceConfig& config,
+                                                 std::size_t shard);
+
+  std::size_t shards() const { return engines_.size(); }
+  ServiceStats stats() const;
+
+  /// Quiescent-only accessors (before any traffic or after shutdown):
+  /// the drain worker owns the engine while the service is live.
+  core::SecureNvmBase& engine_base(std::size_t shard);
+  store::SecureKvStore& engine_store(std::size_t shard);
+
+ private:
+  struct Engine;
+
+  void drain_loop(Engine& engine);
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  bool shut_down_ = false;
+};
+
+}  // namespace ccnvm::service

@@ -1,0 +1,67 @@
+// Multithreaded YCSB harness over the KvService.
+//
+// Drives N blocking client threads (each with its own deterministic YCSB
+// stream over a disjoint key range) against one KvService and measures
+// run-phase throughput. Because the key ranges are disjoint and every
+// client is synchronous, the final logical store content is a pure
+// function of (workload, threads, seed) — independent of scheduling — so
+// the harness verifies it exactly against a replayed model and reports a
+// digest that must be bit-identical across repeated runs and any
+// interleaving. Post-quiesce, every engine must also audit clean.
+//
+// Two media modes: in-memory (CPU-bound; what bench/headline gates) and
+// durable (FileBackend::SyncMode::kBarrier over unlinked temp files —
+// every group commit pays a real msync, which is what makes the
+// throughput-vs-threads curve in `bench/ycsb --threads=N` interesting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/design.h"
+#include "service/kv_service.h"
+
+namespace ccnvm::service {
+
+struct ServiceBenchOptions {
+  std::string workload = "ycsb-a";
+  std::size_t threads = 1;
+  /// 0 = one queue/engine per hardware core (the ccNVMe shape); the
+  /// throughput-vs-threads curve then varies only the client count.
+  std::size_t service_shards = 0;
+  /// Keyspace loaded per client thread before the timed phase.
+  std::uint64_t records_per_thread = 256;
+  /// Timed operations per client thread.
+  std::uint64_t ops_per_thread = 512;
+  /// The straggler gap defaults to roughly one barrier-time on this
+  /// class of media (msync+fsync ~200us): holding a batch open costs at
+  /// most ~1 barrier and can save up to max_batch-1 of them — the
+  /// classic group-commit tuning rule.
+  GroupCommitPolicy commit{.max_batch = 32, .max_delay_us = 200};
+  core::DesignKind kind = core::DesignKind::kCcNvm;
+  /// Durable media: kBarrier-mode FileBackend on unlinked temp files.
+  /// False = volatile in-memory map (CPU-bound).
+  bool durable = false;
+  /// Durable mode: directory for the (immediately unlinked) image files;
+  /// empty uses $TMPDIR (falling back to /tmp).
+  std::string work_dir;
+  std::uint64_t seed = 1;
+};
+
+struct ServiceBenchResult {
+  std::uint64_t ops = 0;  // timed-phase operations (threads * ops_per_thread)
+  double wall_seconds = 0.0;
+  double ops_per_sec = 0.0;
+  ServiceStats stats;  // whole run, load phase included
+  /// FNV-1a over the sorted final key->value content (the model's and the
+  /// store's agree whenever `verified`).
+  std::uint64_t digest = 0;
+  bool verified = false;
+  std::string failure;  // first mismatch, when !verified
+};
+
+/// Runs load + timed phases and verifies the final state. CHECK-fails on
+/// malformed options (unknown workload, zero threads).
+ServiceBenchResult run_service_ycsb(const ServiceBenchOptions& options);
+
+}  // namespace ccnvm::service

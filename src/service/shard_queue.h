@@ -1,0 +1,62 @@
+// Per-shard request queue: the MPSC primitive plus its routing identity.
+//
+// One ShardQueue fronts one shard engine (see kv_service.h). The wrapper
+// exists so the service's drain workers and stats code talk about shards,
+// not raw queues — the shard index travels with the queue, and the depth
+// counters surface through ServiceStats without exposing the primitive.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+
+namespace ccnvm::service {
+
+enum class OpType { kPut, kGet, kErase };
+
+/// Outcome of one service operation. `ok` mirrors the store's return
+/// (put/erase success, get hit); `value` is set on get hits only.
+struct Result {
+  bool ok = false;
+  std::optional<std::string> value;
+};
+
+/// One queued client operation. The promise is fulfilled by the shard's
+/// drain worker — only after the batch's persist barrier (group commit).
+struct Request {
+  OpType op = OpType::kGet;
+  std::string key;
+  std::string value;  // kPut only
+  std::promise<Result> done;
+};
+
+class ShardQueue {
+ public:
+  ShardQueue(std::size_t shard, std::size_t capacity)
+      : shard_(shard), queue_(capacity) {}
+
+  std::size_t shard() const { return shard_; }
+
+  bool push(Request r) { return queue_.push(std::move(r)); }
+
+  std::size_t pop_batch(std::vector<Request>& out, std::size_t max_items,
+                        const MpscQueue<Request>::FlushDeadline& deadline) {
+    return queue_.pop_batch(out, max_items, deadline);
+  }
+
+  void close() { queue_.close(); }
+
+  std::size_t depth() const { return queue_.depth(); }
+  std::size_t high_water() const { return queue_.high_water(); }
+  std::size_t pushed() const { return queue_.pushed(); }
+
+ private:
+  const std::size_t shard_;
+  MpscQueue<Request> queue_;
+};
+
+}  // namespace ccnvm::service

@@ -142,6 +142,11 @@ class SecureKvStore {
   const StoreStats& stats() const { return stats_; }
   core::SecureNvmBase& nvm() { return *nvm_; }
 
+  /// Stable 64-bit key hash — also drives internal shard/bucket placement.
+  /// Public so the service layer can route requests by key without
+  /// duplicating the hash function.
+  static std::uint64_t hash_key(std::string_view key);
+
  private:
   struct Extent {
     std::uint64_t first_line = 0;  // within the shard's heap
@@ -197,7 +202,6 @@ class SecureKvStore {
     ShardStateLock& operator=(const ShardStateLock&) = delete;
   };
 
-  static std::uint64_t hash_key(std::string_view key);
   std::size_t shard_of(std::uint64_t h) const;
   std::uint64_t home_bucket(std::uint64_t h) const;
   Addr bucket_addr(std::size_t shard, std::uint64_t bucket) const;

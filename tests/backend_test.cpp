@@ -89,6 +89,36 @@ TEST(FileBackendTest, CreateWriteReopenReadsBack) {
   std::remove(path.c_str());
 }
 
+TEST(FileBackendTest, BarrierSyncModeRoundTripsThroughTheBarrier) {
+  // kBarrier (the service layer's group-commit mode): the whole mapping
+  // is msync'ed at persist_barrier() and register stores don't flush on
+  // their own — everything written before the barrier must still read
+  // back from the reopened file.
+  const std::string path = temp_path("barrier.dimm");
+  {
+    auto b = FileBackend::create(path, 64 * kPageSize,
+                                 FileBackend::SyncMode::kBarrier);
+    ASSERT_NE(b, nullptr);
+    b->write_line(0, pattern_line(7));
+    b->write_line(9 * kLineSize, pattern_line(8));
+    const std::uint8_t regs[4] = {4, 3, 2, 1};
+    b->store_registers(regs, sizeof(regs));
+    b->persist_barrier();  // the one flush covering all of the above
+  }
+  auto r = FileBackend::open(path);
+  ASSERT_NE(r, nullptr);
+  Line out;
+  ASSERT_TRUE(r->read_line(0, out));
+  EXPECT_EQ(out, pattern_line(7));
+  ASSERT_TRUE(r->read_line(9 * kLineSize, out));
+  EXPECT_EQ(out, pattern_line(8));
+  std::uint8_t regs[Backend::kRegisterCapacity];
+  ASSERT_EQ(r->load_registers(regs, sizeof(regs)), 4u);
+  EXPECT_EQ(regs[0], 4);
+  EXPECT_EQ(regs[3], 1);
+  std::remove(path.c_str());
+}
+
 TEST(FileBackendTest, OpenRejectsGarbageAndMissingFiles) {
   EXPECT_EQ(FileBackend::open(temp_path("nope.dimm")), nullptr);
   const std::string path = temp_path("garbage.dimm");

@@ -30,6 +30,15 @@ void cleanup(const std::string& image) {
   std::remove((image + ".ack").c_str());
 }
 
+void cleanup_service(const std::string& image) {
+  for (int s = 0; s < 4; ++s) {
+    std::remove((image + ".s" + std::to_string(s)).c_str());
+  }
+  for (int t = 0; t < 8; ++t) {
+    std::remove((image + ".ack.t" + std::to_string(t)).c_str());
+  }
+}
+
 std::optional<std::uint64_t> find_index(std::uint64_t seed, KillMode kill,
                                         std::uint64_t limit = 2000) {
   for (std::uint64_t i = 0; i < limit; ++i) {
@@ -115,6 +124,111 @@ TEST(CrashdVerifyTest, TamperedAckLogFailsVerification) {
 TEST(CrashdVerifyTest, MissingImageFails) {
   CheckThrowScope throw_scope;
   const VerifyResult r = verify_scenario(temp_path("crashd-nope.dimm"), 1, 0);
+  EXPECT_FALSE(r.ok);
+}
+
+// ---- Service scenario family -------------------------------------------
+
+std::optional<std::uint64_t> find_service_index(std::uint64_t seed,
+                                                ServiceKill kill,
+                                                std::uint64_t limit = 2000) {
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    if (derive_service_scenario(seed, i).kill == kill) return i;
+  }
+  return std::nullopt;
+}
+
+TEST(CrashdServiceScenarioTest, DerivationIsDeterministicAndBounded) {
+  bool saw_multi_shard = false;
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    const ServiceScenario a = derive_service_scenario(1, i);
+    const ServiceScenario b = derive_service_scenario(1, i);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.trigger, b.trigger);
+    EXPECT_EQ(a.shards, b.shards);
+    EXPECT_EQ(a.threads, b.threads);
+    EXPECT_EQ(a.ops_per_thread, b.ops_per_thread);
+    EXPECT_EQ(a.max_batch, b.max_batch);
+    EXPECT_EQ(a.max_delay_us, b.max_delay_us);
+    EXPECT_EQ(a.kill, b.kill);
+    EXPECT_EQ(a.kill_target, b.kill_target);
+    EXPECT_EQ(a.workload_seed, b.workload_seed);
+    EXPECT_FALSE(describe(a).empty());
+
+    // Bounds the worker/verifier geometry depends on.
+    EXPECT_GE(a.threads, 2u);
+    EXPECT_LE(a.threads, 4u);
+    EXPECT_GE(a.ops_per_thread, 12u);
+    EXPECT_LE(a.ops_per_thread, 32u);
+    EXPECT_TRUE(a.max_batch == 1 || a.max_batch == 2 || a.max_batch == 4 ||
+                a.max_batch == 8 || a.max_batch == 16)
+        << a.max_batch;
+    EXPECT_TRUE(a.max_delay_us == 0 || a.max_delay_us == 100 ||
+                a.max_delay_us == 500)
+        << a.max_delay_us;
+    // The kill discipline: a SIGKILL from the drain worker is only safe
+    // when it is the sole thread touching NVM, so kill scenarios must be
+    // single-shard. Clean scenarios may fan out.
+    if (a.kill != ServiceKill::kNone) {
+      EXPECT_EQ(a.shards, 1u) << "kill scenario with " << a.shards
+                              << " shards at index " << i;
+      EXPECT_GE(a.kill_target, 1u);
+    } else {
+      EXPECT_GE(a.shards, 1u);
+      EXPECT_LE(a.shards, 2u);
+      if (a.shards > 1) saw_multi_shard = true;
+    }
+  }
+  EXPECT_TRUE(saw_multi_shard);  // clean scenarios do exercise 2 shards
+  EXPECT_NE(derive_service_scenario(1, 0).workload_seed,
+            derive_service_scenario(2, 0).workload_seed);
+}
+
+TEST(CrashdServiceScenarioTest, SweepCoversEveryServiceKill) {
+  EXPECT_TRUE(find_service_index(1, ServiceKill::kNone).has_value());
+  EXPECT_TRUE(find_service_index(1, ServiceKill::kMidBatch).has_value());
+  EXPECT_TRUE(find_service_index(1, ServiceKill::kAfterBarrier).has_value());
+}
+
+TEST(CrashdServiceWorkerTest, CleanScenarioRoundTripsThroughShardImages) {
+  const auto index = find_service_index(1, ServiceKill::kNone);
+  ASSERT_TRUE(index.has_value());
+  const ServiceScenario sc = derive_service_scenario(1, *index);
+  const std::string image = temp_path("crashd-svc-clean.dimm");
+  ASSERT_EQ(run_service_worker(image, 1, *index), 0);
+
+  CheckThrowScope throw_scope;
+  const VerifyResult r = verify_service_scenario(image, 1, *index);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_FALSE(r.worker_was_killed);
+  EXPECT_EQ(r.acked_ops, sc.threads * sc.ops_per_thread);
+  EXPECT_GT(r.auditor_checks, 0u);
+  cleanup_service(image);
+}
+
+TEST(CrashdServiceVerifyTest, TamperedThreadAckLogFailsVerification) {
+  const auto index = find_service_index(1, ServiceKill::kNone);
+  ASSERT_TRUE(index.has_value());
+  const std::string image = temp_path("crashd-svc-forged.dimm");
+  ASSERT_EQ(run_service_worker(image, 1, *index), 0);
+  {
+    // An ack after thread 0's clean-exit marker: the worker never wrote
+    // it, so the verifier must reject the log as malformed.
+    std::FILE* f = std::fopen((image + ".ack.t0").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc('A', f);
+    std::fclose(f);
+  }
+  CheckThrowScope throw_scope;
+  const VerifyResult r = verify_service_scenario(image, 1, *index);
+  EXPECT_FALSE(r.ok);
+  cleanup_service(image);
+}
+
+TEST(CrashdServiceVerifyTest, MissingShardImagesFail) {
+  CheckThrowScope throw_scope;
+  const VerifyResult r =
+      verify_service_scenario(temp_path("crashd-svc-nope.dimm"), 1, 0);
   EXPECT_FALSE(r.ok);
 }
 

@@ -1,0 +1,223 @@
+// Unit tests for the concurrent KV service (src/service/kv_service.h):
+// model equivalence through the queue/drain path, the ack-after-barrier
+// contract (observable through the stats counters), routing stability,
+// shutdown semantics, and the bench harness's determinism guarantees.
+#include "service/kv_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/service_bench.h"
+#include "store/ycsb_runner.h"
+
+namespace ccnvm::service {
+namespace {
+
+ServiceConfig small_config(std::size_t shards, std::size_t max_batch = 8,
+                           std::uint32_t max_delay_us = 0) {
+  ServiceConfig cfg;
+  cfg.shards = shards;
+  cfg.queue_capacity = 32;
+  cfg.commit.max_batch = max_batch;
+  cfg.commit.max_delay_us = max_delay_us;
+  cfg.store = store::StoreConfig::sized_for(64, 96, /*shards=*/1);
+  cfg.design.data_capacity = store::capacity_for(cfg.store);
+  return cfg;
+}
+
+TEST(KvServiceTest, PutGetEraseMatchModel) {
+  KvService service(small_config(2));
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "k" + std::to_string(i % 12);
+    const std::string value = "v" + std::to_string(i);
+    EXPECT_TRUE(service.put(key, value).ok);
+    model[key] = value;
+    if (i % 5 == 4) {
+      const std::string victim = "k" + std::to_string((i / 5) % 12);
+      const Result erased = service.erase(victim);
+      EXPECT_EQ(erased.ok, model.erase(victim) > 0);
+    }
+  }
+  for (int i = 0; i < 12; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const Result got = service.get(key);
+    const auto it = model.find(key);
+    EXPECT_EQ(got.ok, it != model.end()) << key;
+    if (it != model.end()) {
+      ASSERT_TRUE(got.value.has_value());
+      EXPECT_EQ(*got.value, it->second);
+    }
+  }
+  service.shutdown();
+}
+
+TEST(KvServiceTest, EveryMutationIsCoveredByABarrierBeforeItsAck) {
+  // after_barrier_hook fires after each group-commit barrier and before
+  // any of that batch's acks. Blocking clients: when put() returns, its
+  // ack has fired, so the covering barrier must already be visible.
+  std::atomic<std::uint64_t> barriers_seen{0};
+  ServiceConfig cfg = small_config(1);
+  cfg.after_barrier_hook = [&barriers_seen] {
+    barriers_seen.fetch_add(1, std::memory_order_relaxed);
+  };
+  KvService service(cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(service.put("key" + std::to_string(i), "value").ok);
+    EXPECT_GE(barriers_seen.load(std::memory_order_relaxed), i + 1)
+        << "ack fired before its barrier";
+  }
+  service.shutdown();
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.mutations, 10u);
+  EXPECT_EQ(s.barriers, 10u);  // one synchronous client: no amortization
+  EXPECT_DOUBLE_EQ(s.amortization(), 1.0);
+}
+
+TEST(KvServiceTest, ReadOnlyBatchesSkipTheBarrier) {
+  KvService service(small_config(1));
+  ASSERT_TRUE(service.put("k", "v").ok);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(service.get("k").ok);
+  service.shutdown();
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.gets, 8u);
+  EXPECT_EQ(s.barriers, 1u);  // only the put's batch paid a barrier
+}
+
+TEST(KvServiceTest, ShardOfIsStableAndCoversAllShards) {
+  // Pinned expectations: the crashd service verifier reconstructs
+  // routing from these values in a different process.
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    std::vector<bool> hit(shards, false);
+    for (int i = 0; i < 256; ++i) {
+      const std::string key = "key-" + std::to_string(i);
+      const std::size_t s = KvService::shard_of(key, shards);
+      ASSERT_LT(s, shards);
+      EXPECT_EQ(KvService::shard_of(key, shards), s);  // deterministic
+      hit[s] = true;
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_TRUE(hit[s]) << "shard " << s << " never routed to";
+    }
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(KvService::shard_of("key-" + std::to_string(i), 1), 0u);
+  }
+}
+
+TEST(KvServiceTest, EngineDesignConfigDecorrelatesKeySeeds) {
+  ServiceConfig cfg = small_config(2);
+  cfg.design.key_seed = 0x1234;
+  // Shard 0 keeps the template seed (single-shard services match a bare
+  // store); other shards derive distinct seeds.
+  EXPECT_EQ(KvService::engine_design_config(cfg, 0).key_seed, 0x1234u);
+  const std::uint64_t seed1 = KvService::engine_design_config(cfg, 1).key_seed;
+  EXPECT_NE(seed1, 0x1234u);
+  // Deterministic: the crashd verifier re-derives the same seeds.
+  EXPECT_EQ(KvService::engine_design_config(cfg, 1).key_seed, seed1);
+  // Other template fields pass through untouched.
+  EXPECT_EQ(KvService::engine_design_config(cfg, 1).data_capacity,
+            cfg.design.data_capacity);
+}
+
+TEST(KvServiceTest, KeysLandOnTheirRoutedShard) {
+  KvService service(small_config(2));
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(service.put("route-" + std::to_string(i), "x").ok);
+  }
+  service.shutdown();
+  // Post-quiesce: each engine holds exactly the keys that route to it.
+  for (std::size_t s = 0; s < service.shards(); ++s) {
+    service.engine_store(s).for_each(
+        [&](std::string_view key, std::string_view) {
+          EXPECT_EQ(KvService::shard_of(key, service.shards()), s)
+              << "misrouted " << key;
+        });
+    EXPECT_TRUE(service.engine_base(s).audit_image().empty());
+  }
+}
+
+TEST(KvServiceTest, ShutdownDrainsEverythingAndIsIdempotent) {
+  ServiceConfig cfg = small_config(1, /*max_batch=*/4);
+  KvService service(cfg);
+  std::vector<std::future<Result>> pending;
+  for (int i = 0; i < 16; ++i) {
+    Request r;
+    r.op = OpType::kPut;
+    r.key = "sd" + std::to_string(i);
+    r.value = "v";
+    pending.push_back(service.submit(std::move(r)));
+  }
+  service.shutdown();
+  service.shutdown();  // idempotent
+  // Every submitted request was drained and acknowledged, none dropped.
+  for (std::future<Result>& f : pending) EXPECT_TRUE(f.get().ok);
+  EXPECT_EQ(service.stats().puts, 16u);
+}
+
+TEST(KvServiceTest, StragglerGapMatchesGreedyResults) {
+  // The gap changes batching, never results: same final content either way.
+  for (const std::uint32_t gap_us : {0u, 300u}) {
+    KvService service(small_config(1, /*max_batch=*/8, gap_us));
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(service.put("g" + std::to_string(i % 7), "v" +
+                              std::to_string(i)).ok);
+    }
+    for (int i = 0; i < 7; ++i) {
+      const Result got = service.get("g" + std::to_string(i));
+      ASSERT_TRUE(got.ok);
+      // Last write to g<i> is the highest j < 20 with j % 7 == i.
+      const int last = i + ((19 - i) / 7) * 7;
+      EXPECT_EQ(*got.value, "v" + std::to_string(last));
+    }
+    service.shutdown();
+  }
+}
+
+TEST(ServiceBenchTest, DigestIsDeterministicAndThreadCountInvariant) {
+  ServiceBenchOptions opts;
+  opts.threads = 2;
+  opts.service_shards = 2;
+  opts.records_per_thread = 32;
+  opts.ops_per_thread = 48;
+  opts.commit.max_delay_us = 0;
+  const ServiceBenchResult a = run_service_ycsb(opts);
+  ASSERT_TRUE(a.verified) << a.failure;
+  const ServiceBenchResult b = run_service_ycsb(opts);
+  ASSERT_TRUE(b.verified) << b.failure;
+  // Same options -> bit-identical final state regardless of scheduling.
+  EXPECT_EQ(a.digest, b.digest);
+  // A different shard fan-out re-routes but must not change content.
+  ServiceBenchOptions reshard = opts;
+  reshard.service_shards = 1;
+  const ServiceBenchResult c = run_service_ycsb(reshard);
+  ASSERT_TRUE(c.verified) << c.failure;
+  EXPECT_EQ(a.digest, c.digest);
+}
+
+TEST(ServiceBenchTest, StatsAccountForEveryRequest) {
+  ServiceBenchOptions opts;
+  opts.threads = 3;
+  opts.service_shards = 2;
+  opts.records_per_thread = 24;
+  opts.ops_per_thread = 40;
+  opts.commit.max_delay_us = 0;
+  const ServiceBenchResult r = run_service_ycsb(opts);
+  ASSERT_TRUE(r.verified) << r.failure;
+  EXPECT_EQ(r.ops, 3u * 40u);
+  // Load puts + timed ops (RMW issues a get and a put per op).
+  EXPECT_GE(r.stats.batched_ops, r.ops + 3u * 24u);
+  EXPECT_EQ(r.stats.batched_ops, r.stats.queue_pushed);
+  EXPECT_EQ(r.stats.failed_puts, 0u);
+  EXPECT_GE(r.stats.amortization(), 1.0);
+}
+
+}  // namespace
+}  // namespace ccnvm::service

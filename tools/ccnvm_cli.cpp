@@ -8,14 +8,16 @@
 //   ccnvm demo attack                   post-crash attack locating demo
 //   ccnvm audit [seed] [jobs]           audited crash sweep (CCNVM_AUDIT)
 //   ccnvm kv run <workload> <design>    YCSB over the secure KV store
+//   ccnvm kv serve [--threads=N] [--shards=S] [--ops=K] [--durable]
+//                                       concurrent KV service smoke run
 //   ccnvm kv sweep [seed] [jobs]        KV crash-kill sweep (CCNVM_AUDIT)
 //   ccnvm fuzz --engine=<diff|crash|attack> [--seed=S] [--budget=N|Ns]
 //              [--jobs=J] [--ops=K] [--replay=CASE_SEED] [--out=FILE]
 //                                       randomized campaigns (CCNVM_AUDIT)
-//   ccnvm crashd sweep [--scenarios=N] [--seed=S] [--jobs=J]
+//   ccnvm crashd sweep [--scenarios=N] [--seed=S] [--jobs=J] [--service]
 //                      [--dir=D] [--keep]   out-of-process kill-9 sweep
-//   ccnvm crashd worker --image=F --seed=S --index=I   (sweep-internal)
-//   ccnvm crashd verify --image=F --seed=S --index=I   re-verify one image
+//   ccnvm crashd worker --image=F --seed=S --index=I [--service]
+//   ccnvm crashd verify --image=F --seed=S --index=I [--service]
 //   ccnvm nvlint [path]...              persist-ordering static analyzer
 //
 // Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus
@@ -36,10 +38,12 @@
 #endif
 #include "attacks/injector.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nvlint/nvlint.h"
 #include "core/cc_nvm.h"
 #include "nvm/layout.h"
 #include "secure/tree_compare.h"
+#include "service/service_bench.h"
 #include "sim/experiment.h"
 #include "store/ycsb_runner.h"
 
@@ -273,6 +277,95 @@ int cmd_kv_run(const std::string& workload_name, const std::string& design,
   return 0;
 }
 
+int usage();
+
+/// `ccnvm kv serve` — smoke-run the concurrent KV service: N blocking
+/// client threads against per-shard group-commit drain workers, with the
+/// final state verified exactly against a replayed model.
+int cmd_kv_serve(int argc, char** argv) {
+  service::ServiceBenchOptions opts;
+  opts.threads = 4;
+  opts.records_per_thread = 128;
+  opts.ops_per_thread = 256;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of =
+        [&arg](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.size() >= n && arg.compare(0, n, prefix) == 0) {
+        return arg.substr(n);
+      }
+      return std::nullopt;
+    };
+    if (const auto v = value_of("--threads=")) {
+      const auto t = parse_u64(*v);
+      if (!t || *t == 0) return usage();
+      opts.threads = static_cast<std::size_t>(*t);
+    } else if (const auto v = value_of("--shards=")) {
+      const auto s = parse_u64(*v);
+      if (!s) return usage();
+      opts.service_shards = static_cast<std::size_t>(*s);
+    } else if (const auto v = value_of("--ops=")) {
+      const auto n = parse_u64(*v);
+      if (!n || *n == 0) return usage();
+      opts.ops_per_thread = *n;
+    } else if (const auto v = value_of("--records=")) {
+      const auto n = parse_u64(*v);
+      if (!n || *n == 0) return usage();
+      opts.records_per_thread = *n;
+    } else if (const auto v = value_of("--workload=")) {
+      opts.workload = *v;
+    } else if (const auto v = value_of("--max-batch=")) {
+      const auto n = parse_u64(*v);
+      if (!n || *n == 0) return usage();
+      opts.commit.max_batch = static_cast<std::size_t>(*n);
+    } else if (const auto v = value_of("--max-delay-us=")) {
+      const auto n = parse_u64(*v);
+      if (!n) return usage();
+      opts.commit.max_delay_us = static_cast<std::uint32_t>(*n);
+    } else if (const auto v = value_of("--seed=")) {
+      const auto s = parse_u64(*v);
+      if (!s) return usage();
+      opts.seed = *s;
+    } else if (arg == "--durable") {
+      opts.durable = true;
+    } else {
+      return usage();
+    }
+  }
+  const service::ServiceBenchResult r = service::run_service_ycsb(opts);
+  std::printf("kv service (%s, %s media): %zu client threads, %zu shards\n",
+              opts.workload.c_str(), opts.durable ? "durable" : "in-memory",
+              opts.threads,
+              opts.service_shards != 0 ? opts.service_shards
+                                       : default_parallelism());
+  std::printf("  throughput          %.0f ops/s (%llu ops in %.3f s)\n",
+              r.ops_per_sec, static_cast<unsigned long long>(r.ops),
+              r.wall_seconds);
+  std::printf("  batches             %llu (avg %.2f ops, max %llu)\n",
+              static_cast<unsigned long long>(r.stats.batches),
+              r.stats.batches != 0 ? static_cast<double>(r.stats.batched_ops) /
+                                         static_cast<double>(r.stats.batches)
+                                   : 0.0,
+              static_cast<unsigned long long>(r.stats.max_batch));
+  std::printf("  group commit        %llu mutations / %llu barriers "
+              "(amortization %.2fx)\n",
+              static_cast<unsigned long long>(r.stats.mutations),
+              static_cast<unsigned long long>(r.stats.barriers),
+              r.stats.amortization());
+  std::printf("  queue high water    %llu\n",
+              static_cast<unsigned long long>(r.stats.queue_high_water));
+  std::printf("  state digest        %016llx (%s)\n",
+              static_cast<unsigned long long>(r.digest),
+              r.verified ? "verified against model, audits clean"
+                         : "VERIFICATION FAILED");
+  if (!r.verified) {
+    std::printf("  failure: %s\n", r.failure.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_kv_sweep(std::uint64_t seed, std::uint64_t jobs) {
 #ifdef CCNVM_HAVE_AUDIT
   audit::KvCrashSweepConfig cfg;
@@ -478,6 +571,7 @@ int cmd_crashd(int argc, char** argv) {
   std::string image;
   std::uint64_t seed = 1;
   std::uint64_t index = 0;
+  bool service = false;
   crashd::SweepConfig sweep_cfg;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -511,6 +605,8 @@ int cmd_crashd(int argc, char** argv) {
       sweep_cfg.work_dir = *v;
     } else if (arg == "--keep") {
       sweep_cfg.keep_files = true;
+    } else if (arg == "--service") {
+      service = sweep_cfg.service = true;
     } else {
       return usage();
     }
@@ -520,16 +616,22 @@ int cmd_crashd(int argc, char** argv) {
     if (image.empty()) return usage();
     // No CheckThrowScope: a broken invariant in the worker must abort,
     // which the sweep reports as an unexpected wait status.
-    return crashd::run_worker(image, seed, index);
+    return service ? crashd::run_service_worker(image, seed, index)
+                   : crashd::run_worker(image, seed, index);
   }
   if (sub == "verify") {
     if (image.empty()) return usage();
     CheckThrowScope throw_scope;
-    const crashd::VerifyResult r = crashd::verify_scenario(image, seed, index);
-    const crashd::Scenario sc = crashd::derive_scenario(seed, index);
+    const crashd::VerifyResult r =
+        service ? crashd::verify_service_scenario(image, seed, index)
+                : crashd::verify_scenario(image, seed, index);
+    const std::string desc =
+        service
+            ? crashd::describe(crashd::derive_service_scenario(seed, index))
+            : crashd::describe(crashd::derive_scenario(seed, index));
     std::printf("scenario %llu [%s]: %s\n",
-                static_cast<unsigned long long>(index),
-                crashd::describe(sc).c_str(), r.ok ? "ok" : "FAIL");
+                static_cast<unsigned long long>(index), desc.c_str(),
+                r.ok ? "ok" : "FAIL");
     if (!r.ok) {
       std::printf("  %s\n", r.message.c_str());
       return 1;
@@ -594,6 +696,10 @@ int usage() {
                "       ccnvm audit [seed=1] [jobs=1]\n"
                "       ccnvm kv run <ycsb-a|b|c|d|f> <design> [ops=20000] "
                "[records=2000]\n"
+               "       ccnvm kv serve [--threads=4] [--shards=0] [--ops=256]\n"
+               "             [--records=128] [--workload=ycsb-a] "
+               "[--max-batch=32]\n"
+               "             [--max-delay-us=200] [--durable] [--seed=1]\n"
                "       ccnvm kv sweep [seed=1] [jobs=1]\n"
                "       ccnvm fuzz --engine=<diff|crash|attack> [--seed=1]\n"
                "             [--budget=256|30s] [--jobs=1] [--ops=48]\n"
@@ -601,9 +707,9 @@ int usage() {
                "[--out=FILE]\n"
                "             [--planted-bug=NAME] [--no-minimize]\n"
                "       ccnvm crashd sweep [--scenarios=200] [--seed=1]\n"
-               "             [--jobs=1] [--dir=DIR] [--keep]\n"
+               "             [--jobs=1] [--dir=DIR] [--keep] [--service]\n"
                "       ccnvm crashd <worker|verify> --image=FILE --seed=S "
-               "--index=I\n"
+               "--index=I [--service]\n"
                "       ccnvm nvlint [path=src]...\n"
                "designs: wocc sc osiris ccnvm-nods ccnvm ccnvm-plus\n");
   return 2;
@@ -652,6 +758,7 @@ int main(int argc, char** argv) {
       if (!ops || !records) return usage();
       return cmd_kv_run(argv[3], argv[4], *ops, *records);
     }
+    if (sub == "serve") return cmd_kv_serve(argc, argv);
     if (sub == "sweep") {
       const auto seed = arg_u64(argc, argv, 3, 1);
       const auto jobs = arg_u64(argc, argv, 4, 1);
