@@ -196,6 +196,38 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Transactional mix (docs/SERVICE.md, Transactions): 2-4-key txns
+    // through submit_txn, 80% atomic rewrites / 20% read-only snapshots,
+    // 8 clients. Gated like the other throughput metrics; the
+    // multi-shard share rides along ungated so a routing change that
+    // quietly stopped exercising cross-shard 2PC is visible in the json.
+    {
+      service::TxnMixOptions topts;
+      topts.threads = 8;
+      // Pinned, not per-core: the metric must price the cross-shard
+      // prepare/decide/finalize path on every host, including 1-core CI
+      // runners where the per-core default would degenerate to local
+      // commits.
+      topts.service_shards = 2;
+      topts.records_per_thread = 128;
+      topts.txns_per_thread = 192;
+      const service::ServiceBenchResult r = service::run_service_txn_mix(topts);
+      if (!r.verified) {
+        std::fprintf(stderr, "kv txn mix bench failed verification: %s\n",
+                     r.failure.c_str());
+        return 1;
+      }
+      doc.metrics.push_back(
+          {"throughput/kv_txn_mix", r.ops_per_sec, "txns/s"});
+      doc.metrics.push_back(
+          {"service/txn_multi_shard_share",
+           r.stats.txns != 0
+               ? static_cast<double>(r.stats.multi_shard_txns) /
+                     static_cast<double>(r.stats.txns)
+               : 0.0,
+           "x"});
+    }
+
     if (!sim::write_bench_json(json_path, doc)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

@@ -130,6 +130,63 @@ KvOp generate_service_op(Rng& rng, std::size_t thread,
   return op;
 }
 
+// Txn family bounds. Shards are pinned at 2 (see crashd.h: a both-shard
+// commit's locks are what make wave kills safe); threads stay within the
+// service family's maximum so the sweep's file cleanup covers both.
+constexpr std::size_t kTxnShards = 2;
+constexpr std::size_t kTxnKeysPerThread = 8;
+
+std::string txn_key(std::size_t thread, std::size_t k) {
+  return "tx" + std::to_string(thread) + "-" + std::to_string(k);
+}
+
+/// One deterministic sub-operation draw for txn client thread `thread`.
+/// Same disjoint-namespace + thread-tagged-value scheme as the service
+/// family; values stay under 100 bytes so a prepared txn's staged copies
+/// fit the engine's heap beside the live worst case.
+KvOp generate_txn_sub_op(Rng& rng, std::size_t thread,
+                         std::uint64_t& put_tag) {
+  KvOp op;
+  op.key = txn_key(thread, static_cast<std::size_t>(
+                               rng.below(kTxnKeysPerThread)));
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 55) {
+    op.kind = OpKind::kPut;
+    const std::uint64_t vtag = ++put_tag;
+    op.value.assign(rng.below(100), '\0');
+    for (std::size_t j = 0; j < op.value.size(); ++j) {
+      op.value[j] = static_cast<char>(
+          static_cast<std::uint8_t>(vtag * 167 + j + thread * 29));
+    }
+  } else if (roll < 80) {
+    op.kind = OpKind::kErase;
+  } else {
+    op.kind = OpKind::kGet;
+  }
+  return op;
+}
+
+/// One client action: a single op (ack 'A') or a whole 2-4-op
+/// transaction (one submit_txn, ack 'T'). Biased toward txns — they are
+/// what this family exists to kill.
+struct TxnAction {
+  bool is_txn = false;
+  std::vector<KvOp> ops;  // one entry for a single, 2..4 for a txn
+};
+
+TxnAction generate_txn_action(Rng& rng, std::size_t thread,
+                              std::uint64_t& put_tag) {
+  TxnAction action;
+  action.is_txn = rng.below(100) < 60;
+  const std::size_t n =
+      action.is_txn ? 2 + static_cast<std::size_t>(rng.below(3)) : 1;
+  action.ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    action.ops.push_back(generate_txn_sub_op(rng, thread, put_tag));
+  }
+  return action;
+}
+
 /// The ServiceConfig both the worker and the verifier derive engines
 /// from (the worker adds the backend factory and kill hooks on top).
 /// KvService::engine_design_config over this is the single source of
@@ -143,6 +200,18 @@ service::ServiceConfig service_scenario_config(const ServiceScenario& sc) {
   cfg.kind = sc.kind;
   cfg.design = audit::shaped_design_config(sc.trigger, kCrashdDaqEntries);
   cfg.store = service_store_config();
+  return cfg;
+}
+
+service::ServiceConfig txn_scenario_config(const TxnScenario& sc) {
+  service::ServiceConfig cfg;
+  cfg.shards = kTxnShards;
+  cfg.queue_capacity = 64;
+  cfg.commit.max_batch = sc.max_batch;
+  cfg.commit.max_delay_us = sc.max_delay_us;
+  cfg.kind = sc.kind;
+  cfg.design = audit::shaped_design_config(sc.trigger, kCrashdDaqEntries);
+  cfg.store = txn_store_config();
   return cfg;
 }
 
@@ -779,6 +848,360 @@ VerifyResult verify_service_scenario(const std::string& image_path,
   return res;
 }
 
+store::StoreConfig txn_store_config() {
+  // The service family's per-engine geometry plus a txn journal. Worst
+  // case per engine: every thread's keys routed to it (4 * 8 keys of
+  // <100 bytes = 64 value lines live) plus one prepared txn's staged
+  // copies (8 ops * 2 lines) and in-batch churn — comfortably inside
+  // 192 heap lines.
+  store::StoreConfig cfg = service_store_config();
+  cfg.txn_ops_capacity = 8;
+  return cfg;
+}
+
+TxnScenario derive_txn_scenario(std::uint64_t sweep_seed,
+                                std::uint64_t index) {
+  TxnScenario sc;
+  Rng rng(derive_seed(sweep_seed, index, 0x7a135));
+  sc.kind = rng.chance(0.5) ? core::DesignKind::kCcNvm
+                            : core::DesignKind::kCcNvmNoDs;
+  sc.trigger = audit::kSweepTriggers[rng.below(audit::kSweepTriggers.size())];
+  sc.threads = 2 + static_cast<std::size_t>(
+                       rng.below(kServiceMaxThreads - 1));  // 2..4
+  sc.actions_per_thread = 8 + static_cast<std::size_t>(rng.below(9));  // 8..16
+  constexpr std::size_t kBatchSizes[5] = {1, 2, 4, 8, 16};
+  sc.max_batch = kBatchSizes[rng.below(5)];
+  constexpr std::uint32_t kGaps[4] = {0, 0, 100, 500};
+  sc.max_delay_us = kGaps[rng.below(4)];
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 20) {
+    sc.kill = TxnKill::kNone;
+  } else {
+    sc.kill = TxnKill::kAtWave;
+    sc.kill_wave = static_cast<int>(rng.below(3));
+    // ~60% of actions are txns and most 2-4-op draws over 8 keys span
+    // both shards; aim low so most targets fire before the run drains.
+    sc.kill_target =
+        1 + rng.below(sc.threads * sc.actions_per_thread / 4 + 1);
+  }
+  sc.workload_seed = derive_seed(sweep_seed, index, 0x7a5eed);
+  return sc;
+}
+
+std::string describe(const TxnScenario& sc) {
+  std::string s = "txn " + std::string(core::design_name(sc.kind)) +
+                  " trigger=" + trigger_name(sc.trigger) +
+                  " threads=" + std::to_string(sc.threads) +
+                  " actions/thread=" + std::to_string(sc.actions_per_thread) +
+                  " batch=" + std::to_string(sc.max_batch) +
+                  " gap=" + std::to_string(sc.max_delay_us) + "us";
+  switch (sc.kill) {
+    case TxnKill::kNone:
+      s += " kill=none";
+      break;
+    case TxnKill::kAtWave:
+      s += " kill=wave" + std::to_string(sc.kill_wave) + "@" +
+           std::to_string(sc.kill_target);
+      break;
+  }
+  return s;
+}
+
+int run_txn_worker(const std::string& image_path, std::uint64_t sweep_seed,
+                   std::uint64_t index) {
+  const TxnScenario sc = derive_txn_scenario(sweep_seed, index);
+
+  std::atomic<std::uint64_t> wave_events{0};
+  service::ServiceConfig cfg = txn_scenario_config(sc);
+  cfg.backend_factory = [&image_path](std::size_t shard,
+                                      std::uint64_t capacity_bytes) {
+    return nvm::FileBackend::create(service_image_path(image_path, shard),
+                                    capacity_bytes,
+                                    nvm::FileBackend::SyncMode::kNone);
+  };
+  if (sc.kill == TxnKill::kAtWave) {
+    cfg.txn_wave_hook = [&wave_events, wave = sc.kill_wave,
+                         target = sc.kill_target](int w,
+                                                  std::size_t participants) {
+      // Both-shard commits only: their admission locks park every drain
+      // worker by the time the hook runs on the client thread, so the
+      // SIGKILL raised here cannot catch a half-written line. A
+      // single-shard txn's waves leave the other worker live — skip.
+      if (w != wave || participants < kTxnShards) return;
+      if (wave_events.fetch_add(1) + 1 == target) die_now();
+    };
+  }
+
+  std::vector<int> ack_fds(sc.threads, -1);
+  for (std::size_t t = 0; t < sc.threads; ++t) {
+    ack_fds[t] = ::open(service_ack_path(image_path, t).c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    CCNVM_CHECK_MSG(ack_fds[t] >= 0,
+                    "crashd txn worker: cannot create ack log");
+  }
+
+  service::KvService service(cfg);
+
+  std::vector<std::thread> clients;
+  clients.reserve(sc.threads);
+  for (std::size_t t = 0; t < sc.threads; ++t) {
+    clients.emplace_back([&service, &sc, t, fd = ack_fds[t]] {
+      // 'A' promises a single op, 'T' a whole transaction — submit_txn
+      // returns only after every touched shard's barrier, so the byte
+      // re-promises the all-or-nothing commit to the verifier.
+      CCNVM_ACK const auto ack = [fd](char c) {
+        CCNVM_CHECK(::write(fd, &c, 1) == 1);
+      };
+      Rng rng(derive_seed(sc.workload_seed, t));
+      std::uint64_t put_tag = 0;
+      for (std::size_t i = 0; i < sc.actions_per_thread; ++i) {
+        const TxnAction action = generate_txn_action(rng, t, put_tag);
+        if (!action.is_txn) {
+          const KvOp& op = action.ops.front();
+          switch (op.kind) {
+            case OpKind::kPut:
+              CCNVM_CHECK_MSG(service.put(op.key, op.value).ok,
+                              "crashd txn worker: store full");
+              break;
+            case OpKind::kErase:
+              (void)service.erase(op.key);
+              break;
+            case OpKind::kGet:
+              (void)service.get(op.key);
+              break;
+          }
+          ack('A');
+          continue;
+        }
+        std::vector<service::TxnOp> ops;
+        ops.reserve(action.ops.size());
+        for (const KvOp& op : action.ops) {
+          service::TxnOp sub;
+          sub.op = op.kind == OpKind::kPut     ? service::OpType::kPut
+                   : op.kind == OpKind::kErase ? service::OpType::kErase
+                                               : service::OpType::kGet;
+          sub.key = op.key;
+          sub.value = op.value;
+          ops.push_back(std::move(sub));
+        }
+        CCNVM_CHECK_MSG(service.submit_txn(ops).committed,
+                        "crashd txn worker: txn aborted");
+        ack('T');
+      }
+      ack('C');
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  // Reached when no kill was drawn or the target never fired: quiesce.
+  service.shutdown();
+  for (const int fd : ack_fds) ::close(fd);
+  return 0;
+}
+
+VerifyResult verify_txn_scenario(const std::string& image_path,
+                                 std::uint64_t sweep_seed,
+                                 std::uint64_t index) {
+  VerifyResult res;
+  const TxnScenario sc = derive_txn_scenario(sweep_seed, index);
+  try {
+    // --- Per-thread ack logs: 'A' single, 'T' txn, trailing 'C'. ---
+    std::vector<std::string> acks(sc.threads);
+    std::vector<std::size_t> n_acks(sc.threads, 0);
+    std::vector<bool> clean(sc.threads, false);
+    bool all_clean = true;
+    for (std::size_t t = 0; t < sc.threads; ++t) {
+      std::FILE* f = std::fopen(service_ack_path(image_path, t).c_str(), "rb");
+      CCNVM_CHECK_MSG(f != nullptr, "crashd txn verify: missing ack log");
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        acks[t].append(buf, n);
+      }
+      std::fclose(f);
+      clean[t] = !acks[t].empty() && acks[t].back() == 'C';
+      n_acks[t] = acks[t].size() - (clean[t] ? 1 : 0);
+      CCNVM_CHECK_MSG(acks[t].find_first_not_of("AT") ==
+                          (clean[t] ? acks[t].size() - 1 : std::string::npos),
+                      "crashd txn verify: malformed ack log");
+      CCNVM_CHECK_MSG(n_acks[t] <= sc.actions_per_thread,
+                      "crashd txn verify: more acks than actions");
+      if (clean[t]) {
+        CCNVM_CHECK_MSG(n_acks[t] == sc.actions_per_thread,
+                        "crashd txn verify: clean thread missing acks");
+      }
+      all_clean = all_clean && clean[t];
+      res.acked_ops += n_acks[t];
+    }
+    if (sc.kill == TxnKill::kNone) {
+      CCNVM_CHECK_MSG(all_clean,
+                      "crashd txn verify: worker died in a no-kill run");
+    }
+    res.worker_was_killed = !all_clean;
+
+    // --- Replay each thread's acked prefix (disjoint key namespaces;
+    // a client submits action i+1 only after action i's ack, so at most
+    // ONE unit — single op or whole txn — per thread is in flight). ---
+    std::map<std::string, std::string> model;
+    // The in-flight unit's buffered after-state per key (last sub-op
+    // wins, nullopt = erase; reads contribute nothing).
+    std::vector<std::map<std::string, std::optional<std::string>>> in_flight;
+    for (std::size_t t = 0; t < sc.threads; ++t) {
+      Rng rng(derive_seed(sc.workload_seed, t));
+      std::uint64_t put_tag = 0;
+      for (std::size_t i = 0; i <= n_acks[t] && i < sc.actions_per_thread;
+           ++i) {
+        const TxnAction action = generate_txn_action(rng, t, put_tag);
+        if (i == n_acks[t]) {
+          if (clean[t]) break;
+          std::map<std::string, std::optional<std::string>> effect;
+          for (const KvOp& op : action.ops) {
+            if (op.kind == OpKind::kGet) continue;
+            effect[op.key] = op.kind == OpKind::kPut
+                                 ? std::optional<std::string>(op.value)
+                                 : std::nullopt;
+          }
+          if (!effect.empty()) in_flight.push_back(std::move(effect));
+          break;
+        }
+        CCNVM_CHECK_MSG(
+            acks[t][i] == (action.is_txn ? 'T' : 'A'),
+            "crashd txn verify: ack log kind disagrees with the stream");
+        for (const KvOp& op : action.ops) {
+          switch (op.kind) {
+            case OpKind::kPut:
+              model[op.key] = op.value;
+              break;
+            case OpKind::kErase:
+              model.erase(op.key);
+              break;
+            case OpKind::kGet:
+              break;
+          }
+        }
+      }
+    }
+
+    // --- Reopen shard 0 first — the coordinator of every cross-shard
+    // txn (lowest participant), so its decision line is available when
+    // shard 1's journal resolves — then shard 1 with the resolver. ---
+    const service::ServiceConfig scfg = txn_scenario_config(sc);
+    std::vector<std::unique_ptr<core::SecureNvmDesign>> designs;
+    std::vector<core::SecureNvmBase*> bases;
+    std::vector<std::unique_ptr<audit::InvariantAuditor>> auditors;
+    for (std::size_t s = 0; s < kTxnShards; ++s) {
+      auto backend = nvm::FileBackend::open(service_image_path(image_path, s));
+      CCNVM_CHECK_MSG(backend != nullptr,
+                      "crashd txn verify: shard image missing");
+      std::uint8_t regs[nvm::Backend::kRegisterCapacity];
+      const std::size_t reg_len = backend->load_registers(regs, sizeof(regs));
+      core::TcbRegisters tcb;
+      CCNVM_CHECK_MSG(core::decode_tcb(regs, reg_len, tcb),
+                      "crashd txn verify: shard has no valid TCB blob");
+      nvm::NvmImage image(std::move(backend));
+
+      designs.push_back(core::make_design(
+          sc.kind, service::KvService::engine_design_config(scfg, s)));
+      auto* base = dynamic_cast<core::SecureNvmBase*>(designs.back().get());
+      CCNVM_CHECK(base != nullptr);
+      bases.push_back(base);
+      auditors.push_back(std::make_unique<audit::InvariantAuditor>(
+          audit::InvariantAuditor::Options{.verify_image = true}));
+      auditors.back()->attach(*base);
+
+      base->restore_from_power_down(std::move(image), tcb);
+      const core::RecoveryReport report = designs.back()->recover();
+      CCNVM_CHECK_MSG(report.clean && report.metadata_recovered,
+                      "crashd txn verify: shard recovery not clean");
+    }
+    std::vector<store::SecureKvStore> stores;
+    stores.reserve(kTxnShards);
+    stores.push_back(store::SecureKvStore::open(*bases[0], scfg.store));
+    stores.push_back(store::SecureKvStore::open(
+        *bases[1], scfg.store,
+        [&stores](std::uint64_t txn_id, std::uint32_t coordinator) {
+          // coordinator 1 = a self-coordinated txn whose own decision
+          // line already failed to answer — undecided, presumed abort.
+          return coordinator == 0 &&
+                 stores[0].last_txn_decision() ==
+                     std::optional<std::uint64_t>(txn_id);
+        }));
+
+    // --- The txn contract on the union of both shards. ---
+    // First resolve every in-flight unit all-or-nothing; applied units
+    // join the model, rolled-back ones leave it untouched. Units are
+    // key-disjoint (per-thread namespaces), so resolution order is
+    // irrelevant.
+    const auto get_at = [&](const std::string& key) {
+      const std::size_t s = service::KvService::shard_of(key, kTxnShards);
+      return stores[s].get(key);
+    };
+    for (const auto& effect : in_flight) {
+      std::size_t applied = 0;
+      std::size_t rolled_back = 0;
+      for (const auto& [key, after] : effect) {
+        const auto it = model.find(key);
+        const std::optional<std::string> before =
+            it == model.end() ? std::nullopt
+                              : std::optional<std::string>(it->second);
+        if (after == before) continue;  // e.g. erase of an absent key
+        const std::optional<std::string> got = get_at(key);
+        if (got == after) {
+          ++applied;
+        } else if (got == before) {
+          ++rolled_back;
+        } else {
+          CCNVM_CHECK_MSG(false,
+                          "crashd txn verify: in-flight unit left a third "
+                          "state");
+        }
+      }
+      CCNVM_CHECK_MSG(
+          applied == 0 || rolled_back == 0,
+          "crashd txn verify: torn in-flight transaction after the kill");
+      if (applied > 0) {
+        for (const auto& [key, after] : effect) {
+          if (after) {
+            model[key] = *after;
+          } else {
+            model.erase(key);
+          }
+        }
+      }
+    }
+    // Every acked action (resolved in-flight units included) must read
+    // back exactly, and neither shard may hold spurious entries.
+    std::vector<std::uint64_t> live(kTxnShards, 0);
+    for (std::size_t t = 0; t < sc.threads; ++t) {
+      for (std::size_t k = 0; k < kTxnKeysPerThread; ++k) {
+        const std::string key = txn_key(t, k);
+        const std::optional<std::string> got = get_at(key);
+        if (const auto it = model.find(key); it != model.end()) {
+          CCNVM_CHECK_MSG(got.has_value() && *got == it->second,
+                          "crashd txn verify: acknowledged effect lost");
+        } else {
+          CCNVM_CHECK_MSG(
+              !got.has_value(),
+              "crashd txn verify: erased/unwritten key reappeared");
+        }
+        if (got.has_value()) {
+          ++live[service::KvService::shard_of(key, kTxnShards)];
+        }
+        ++res.keys_checked;
+      }
+    }
+    for (std::size_t s = 0; s < kTxnShards; ++s) {
+      CCNVM_CHECK_MSG(stores[s].size() == live[s],
+                      "crashd txn verify: shard holds spurious entries");
+      res.auditor_checks += auditors[s]->checks_performed();
+    }
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.message = e.what();
+  }
+  return res;
+}
+
 SweepResult run_sweep(const SweepConfig& config) {
   std::string worker_exe =
       config.worker_exe.empty() ? "/proc/self/exe" : config.worker_exe;
@@ -822,7 +1245,11 @@ SweepResult run_sweep(const SweepConfig& config) {
             "--seed=" + std::to_string(config.seed),
             "--index=" + std::to_string(i),
         };
-        if (config.service) args.insert(args.begin() + 3, "--service");
+        if (config.txn) {
+          args.insert(args.begin() + 3, "--txn");
+        } else if (config.service) {
+          args.insert(args.begin() + 3, "--service");
+        }
         std::vector<char*> argv;
         argv.reserve(args.size() + 1);
         for (std::string& a : args) argv.push_back(a.data());
@@ -854,15 +1281,17 @@ SweepResult run_sweep(const SweepConfig& config) {
               std::to_string(status) + ")";
           return out;
         }
-        out.verify = config.service
-                         ? verify_service_scenario(image, config.seed, i)
-                         : verify_scenario(image, config.seed, i);
+        out.verify =
+            config.txn ? verify_txn_scenario(image, config.seed, i)
+            : config.service
+                ? verify_service_scenario(image, config.seed, i)
+                : verify_scenario(image, config.seed, i);
         if (out.verify.ok && out.verify.worker_was_killed != out.killed) {
           out.verify.ok = false;
           out.verify.message = "ack log disagrees with the wait status";
         }
         if (!config.keep_files) {
-          if (config.service) {
+          if (config.service || config.txn) {
             for (std::size_t s = 0; s < kServiceMaxShards; ++s) {
               std::remove(service_image_path(image, s).c_str());
             }
@@ -882,7 +1311,9 @@ SweepResult run_sweep(const SweepConfig& config) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const PerScenario& r = results[i];
     std::string desc;
-    if (config.service) {
+    if (config.txn) {
+      desc = describe(derive_txn_scenario(config.seed, i));
+    } else if (config.service) {
       desc = describe(derive_service_scenario(config.seed, i));
     } else {
       const Scenario sc = derive_scenario(config.seed, i);

@@ -161,12 +161,88 @@ VerifyResult verify_service_scenario(const std::string& image_path,
                                      std::uint64_t sweep_seed,
                                      std::uint64_t index);
 
+// ---- Txn scenario family -----------------------------------------------
+//
+// Kill-9 sweeps for the multi-key transaction protocol (see
+// KvService::submit_txn): client threads issue a mix of single ops and
+// 2-4-op transactions against a TWO-shard service, and SIGKILL lands at a
+// 2PC wave boundary of a commit that spans both shards — after the
+// prepare barriers, after the coordinator's decision barrier, or after
+// the finalize barriers. These are exactly the windows where a
+// distributed commit can tear, and they are also legitimate kill points:
+// the committing txn holds BOTH shards' admission locks across its waves,
+// so when its wave hook fires on the client thread every drain worker is
+// parked on an empty queue — no line write can be caught halfway. (That
+// is why the hook only pulls the trigger on both-shard commits; a
+// single-shard txn's waves leave the other shard's worker live, the same
+// reason the service family above restricts kills to one shard.)
+//
+// The verifier reopens shard 0 first — the coordinator of every
+// cross-shard txn (lowest participant) — then shard 1 with a TxnResolver
+// over shard 0's decision line, and holds the union to the txn contract:
+// every *acknowledged* transaction reads back in full, the at-most-one
+// unacknowledged in-flight unit per thread surfaces all-or-nothing
+// (never partially applied), and no shard holds spurious entries.
+
+/// When (if at all) the txn worker dies. Always fires on the client
+/// thread driving a both-shard commit, at a wave boundary.
+enum class TxnKill {
+  kNone,    // clean quiesced shutdown
+  kAtWave,  // at wave `kill_wave` of the kill_target-th both-shard commit
+};
+
+/// Shard count is fixed at 2 for the whole family (the smallest count
+/// with a distributed commit; also the only one where a both-shard txn's
+/// locks silence EVERY drain worker, making wave kills safe).
+struct TxnScenario {
+  core::DesignKind kind = core::DesignKind::kCcNvm;
+  core::DrainTrigger trigger = core::DrainTrigger::kExplicit;
+  std::size_t threads = 2;             // 2..4 client threads
+  std::size_t actions_per_thread = 8;  // each = one single op or one txn
+  std::size_t max_batch = 8;
+  std::uint32_t max_delay_us = 0;
+  TxnKill kill = TxnKill::kNone;
+  /// kAtWave: 0 = prepares acked (before the decision), 1 = decision
+  /// acked (before the finalizes), 2 = finalizes acked (before the
+  /// client's ack byte).
+  int kill_wave = 0;
+  /// kAtWave: ordinal of the both-shard wave event that dies. A target
+  /// past the run's end degrades to a clean run.
+  std::uint64_t kill_target = 0;
+  std::uint64_t workload_seed = 0;
+};
+
+/// The deterministic txn scenario for (sweep_seed, index).
+TxnScenario derive_txn_scenario(std::uint64_t sweep_seed,
+                                std::uint64_t index);
+
+std::string describe(const TxnScenario& scenario);
+
+/// Per-engine KV geometry of every txn scenario: the service family's
+/// geometry plus a txn journal (txn_ops_capacity > 0).
+store::StoreConfig txn_store_config();
+
+/// Runs the txn worker side: shard images and per-thread ack logs use
+/// the same paths as the service family. Kill scenarios do not return.
+int run_txn_worker(const std::string& image_path, std::uint64_t sweep_seed,
+                   std::uint64_t index);
+
+/// Verifies both shard images a (possibly killed) txn worker left
+/// behind. Same CheckThrowScope requirement as verify_scenario.
+VerifyResult verify_txn_scenario(const std::string& image_path,
+                                 std::uint64_t sweep_seed,
+                                 std::uint64_t index);
+
 struct SweepConfig {
   std::uint64_t seed = 1;
   std::uint64_t scenarios = 200;
   /// Run the service scenario family (multithreaded KvService workers)
   /// instead of the single-threaded one.
   bool service = false;
+  /// Run the txn scenario family (multi-key transactions over a 2-shard
+  /// KvService, kills at 2PC wave boundaries). Mutually exclusive with
+  /// `service`.
+  bool txn = false;
   std::size_t jobs = 1;  // deterministic executor width (0 = hw)
   /// Directory for image/ack files; empty = a fresh mkdtemp under
   /// $TMPDIR. Files are deleted per scenario unless keep_files.

@@ -17,6 +17,8 @@ std::string_view engine_name(Engine engine) {
       return "crash";
     case Engine::kAttack:
       return "attack";
+    case Engine::kTxn:
+      return "txn";
   }
   return "?";
 }
@@ -25,6 +27,7 @@ std::optional<Engine> parse_engine(std::string_view name) {
   if (name == "diff" || name == "differential") return Engine::kDifferential;
   if (name == "crash") return Engine::kCrash;
   if (name == "attack") return Engine::kAttack;
+  if (name == "txn") return Engine::kTxn;
   return std::nullopt;
 }
 
@@ -38,7 +41,7 @@ std::string FuzzFailure::repro(Engine engine, bool file_backend) const {
 CaseOutcome run_fuzz_case(Engine engine, std::uint64_t case_seed,
                           std::size_t max_ops,
                           core::CcNvmDesign::ProtocolMutation planted_bug,
-                          bool file_backend) {
+                          bool file_backend, bool planted_torn_txn) {
   try {
     switch (engine) {
       case Engine::kDifferential:
@@ -48,6 +51,9 @@ CaseOutcome run_fuzz_case(Engine engine, std::uint64_t case_seed,
                                       file_backend);
       case Engine::kAttack:
         return detail::run_attack_case(case_seed, max_ops);
+      case Engine::kTxn:
+        return detail::run_txn_case(case_seed, max_ops, planted_torn_txn,
+                                    file_backend);
     }
     CaseOutcome out;
     out.ok = false;
@@ -69,9 +75,10 @@ CaseOutcome run_fuzz_case(Engine engine, std::uint64_t case_seed,
 std::size_t minimize_failure(Engine engine, std::uint64_t case_seed,
                              std::size_t ops,
                              core::CcNvmDesign::ProtocolMutation planted_bug,
-                             bool file_backend) {
+                             bool file_backend, bool planted_torn_txn) {
   const auto fails = [&](std::size_t budget) {
-    return !run_fuzz_case(engine, case_seed, budget, planted_bug, file_backend)
+    return !run_fuzz_case(engine, case_seed, budget, planted_bug, file_backend,
+                          planted_torn_txn)
                 .ok;
   };
   std::size_t best = ops;
@@ -142,7 +149,7 @@ FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config) {
   const auto run_case = [&](std::uint64_t iteration) {
     return run_fuzz_case(config.engine, derive_seed(config.seed, iteration),
                          config.max_ops, config.planted_bug,
-                         config.file_backend);
+                         config.file_backend, config.planted_torn_txn);
   };
 
   if (config.seconds > 0) {
@@ -181,7 +188,8 @@ FuzzCampaignResult run_fuzz_campaign(const FuzzConfig& config) {
     if (config.minimize && i < kMinimized) {
       failure.ops =
           minimize_failure(config.engine, failure.case_seed, config.max_ops,
-                           config.planted_bug, config.file_backend);
+                           config.planted_bug, config.file_backend,
+                           config.planted_torn_txn);
     }
   }
   return result;

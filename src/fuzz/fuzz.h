@@ -1,6 +1,6 @@
 // Deterministic, seed-replayable fuzzing for the secure-NVM designs.
 //
-// Three engines, all driven by one 64-bit case seed:
+// Four engines, all driven by one 64-bit case seed:
 //   differential — one random trace through all six designs (and, in KV
 //                  mode, a SecureKvStore on each), asserting every read
 //                  returns the same plaintext everywhere and that the
@@ -17,6 +17,13 @@
 //                  core/recovery.h says it must (the deferred-spreading
 //                  replay window is detected-only on cc-NVM, located on
 //                  cc-NVM+).
+//   txn          — concurrent conflicting multi-key transactions over an
+//                  emulated 2-shard service under a seeded deterministic
+//                  scheduler, checked for serializability (DSG cycle
+//                  search + serial-oracle replay, txn_history.h) and —
+//                  on the cases that cut power mid-protocol — for crash
+//                  atomicity: acked txns fully present, in-flight txns
+//                  all-or-nothing, zero torn transactions.
 //
 // Determinism contract: a campaign over a fixed (seed, iterations) is a
 // pure function — case i runs on derive_seed(seed, i), outcomes land in
@@ -37,7 +44,7 @@
 
 namespace ccnvm::fuzz {
 
-enum class Engine { kDifferential, kCrash, kAttack };
+enum class Engine { kDifferential, kCrash, kAttack, kTxn };
 
 std::string_view engine_name(Engine engine);
 std::optional<Engine> parse_engine(std::string_view name);
@@ -79,7 +86,11 @@ struct FuzzConfig {
   /// only) to prove the campaign catches it.
   core::CcNvmDesign::ProtocolMutation planted_bug =
       core::CcNvmDesign::ProtocolMutation::kNone;
-  /// Crash engine only: back each case's NvmImage with an (unlinked,
+  /// Self-test hook for the txn engine: record a committed transaction
+  /// but apply only half of it, to prove the serial oracle reports the
+  /// torn transaction.
+  bool planted_torn_txn = false;
+  /// Crash and txn engines: back each case's NvmImage with an (unlinked,
   /// mkstemp'ed) nvm::FileBackend instead of the in-memory map, so the
   /// campaign also exercises the durable media path.
   bool file_backend = false;
@@ -125,7 +136,8 @@ CaseOutcome run_fuzz_case(Engine engine, std::uint64_t case_seed,
                           std::size_t max_ops,
                           core::CcNvmDesign::ProtocolMutation planted_bug =
                               core::CcNvmDesign::ProtocolMutation::kNone,
-                          bool file_backend = false);
+                          bool file_backend = false,
+                          bool planted_torn_txn = false);
 
 /// Runs a campaign on the parallel job executor (see the determinism
 /// contract above). Installs its own CheckThrowScope.
@@ -138,7 +150,8 @@ std::size_t minimize_failure(Engine engine, std::uint64_t case_seed,
                              std::size_t ops,
                              core::CcNvmDesign::ProtocolMutation planted_bug =
                                  core::CcNvmDesign::ProtocolMutation::kNone,
-                             bool file_backend = false);
+                             bool file_backend = false,
+                             bool planted_torn_txn = false);
 
 namespace detail {
 // Per-engine case bodies (throw CheckFailure on violated expectations).
@@ -148,6 +161,8 @@ CaseOutcome run_crash_case(std::uint64_t case_seed, std::size_t max_ops,
                            core::CcNvmDesign::ProtocolMutation planted_bug,
                            bool file_backend = false);
 CaseOutcome run_attack_case(std::uint64_t case_seed, std::size_t max_ops);
+CaseOutcome run_txn_case(std::uint64_t case_seed, std::size_t max_ops,
+                         bool planted_torn_txn, bool file_backend = false);
 }  // namespace detail
 
 }  // namespace ccnvm::fuzz

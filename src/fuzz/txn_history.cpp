@@ -1,0 +1,289 @@
+#include "fuzz/txn_history.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ccnvm::fuzz {
+namespace {
+
+// One committed transaction's final effect on one key: the last write or
+// erase wins (TxnRecord ops are issue-ordered; store::Txn has the same
+// last-writer-wins buffer semantics).
+struct Version {
+  std::uint64_t writer = 0;
+  std::uint64_t commit_seq = 0;
+  bool erase = false;
+};
+
+std::string cycle_text(const std::vector<std::uint64_t>& cycle) {
+  std::ostringstream os;
+  for (std::uint64_t id : cycle) os << "T" << id << " -> ";
+  os << "T" << cycle.front();
+  return os.str();
+}
+
+// Rotates a cycle so the smallest txn id leads — the canonical form the
+// fixture tests pin.
+std::vector<std::uint64_t> canonicalize(std::vector<std::uint64_t> cycle) {
+  const auto min_it = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), min_it, cycle.end());
+  return cycle;
+}
+
+// Deterministic cycle search: roots ascend by txn id, neighbors ascend
+// (std::set), so a given graph always yields the same witness.
+struct CycleFinder {
+  const std::map<std::uint64_t, std::set<std::uint64_t>>& adj;
+  std::map<std::uint64_t, int> color;  // 0 white, 1 on path, 2 done
+  std::vector<std::uint64_t> path;
+  std::vector<std::uint64_t> cycle;
+
+  bool visit(std::uint64_t node) {
+    color[node] = 1;
+    path.push_back(node);
+    const auto it = adj.find(node);
+    if (it != adj.end()) {
+      for (std::uint64_t next : it->second) {
+        const int c = color[next];
+        if (c == 1) {
+          const auto start = std::find(path.begin(), path.end(), next);
+          cycle.assign(start, path.end());
+          return true;
+        }
+        if (c == 0 && visit(next)) return true;
+      }
+    }
+    path.pop_back();
+    color[node] = 2;
+    return false;
+  }
+};
+
+}  // namespace
+
+SerializabilityVerdict check_serializability(
+    const std::vector<TxnRecord>& history) {
+  SerializabilityVerdict verdict;
+
+  std::map<std::uint64_t, const TxnRecord*> committed;
+  for (const TxnRecord& t : history) {
+    if (!t.committed) continue;
+    CCNVM_CHECK_MSG(committed.emplace(t.id, &t).second,
+                    "duplicate txn id in history");
+  }
+
+  // Version order per key = committed writers by commit_seq (the claimed
+  // serial order). commit_seq must be unique among committed txns or the
+  // order is meaningless.
+  std::map<std::string, std::vector<Version>> versions;
+  {
+    std::set<std::uint64_t> seqs;
+    for (const auto& [id, t] : committed) {
+      CCNVM_CHECK_MSG(seqs.insert(t->commit_seq).second,
+                      "duplicate commit_seq in history");
+      std::map<std::string, Version> effect;  // last op per key wins
+      for (const TxnOpRec& op : t->ops) {
+        if (op.kind == TxnOpRec::Kind::kRead) continue;
+        effect[op.key] = Version{t->id, t->commit_seq,
+                                 op.kind == TxnOpRec::Kind::kErase};
+      }
+      for (const auto& [key, v] : effect) versions[key].push_back(v);
+    }
+    for (auto& [key, list] : versions) {
+      std::sort(list.begin(), list.end(),
+                [](const Version& a, const Version& b) {
+                  return a.commit_seq < b.commit_seq;
+                });
+    }
+  }
+
+  std::map<std::uint64_t, std::set<std::uint64_t>> adj;
+  const auto add_edge = [&](std::uint64_t from, std::uint64_t to) {
+    if (from == to) return;
+    if (adj[from].insert(to).second) ++verdict.edges;
+  };
+
+  // ww edges: consecutive versions of each key.
+  for (const auto& [key, list] : versions) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      add_edge(list[i - 1].writer, list[i].writer);
+    }
+  }
+
+  // wr and rw edges from every committed read. A read of version V adds
+  // wr: writer(V) -> reader, and rw: reader -> writer(V+1) where V+1 is
+  // the next version in the key's order (skipped when the reader itself
+  // wrote V+1 — it overwrote what it read).
+  for (const auto& [id, t] : committed) {
+    // Keys this txn has already mutated, in issue order: a later read of
+    // one is internal (read-your-writes — it observes the txn's own
+    // buffered effect, e.g. a miss after its own erase) and takes no
+    // part in the conflict graph. The serial oracle still validates it.
+    std::set<std::string> self_mutated;
+    for (const TxnOpRec& op : t->ops) {
+      if (op.kind != TxnOpRec::Kind::kRead) {
+        self_mutated.insert(op.key);
+        continue;
+      }
+      if (self_mutated.count(op.key) > 0) continue;
+      if (op.observed && *op.observed == t->id) continue;  // own write
+      const std::vector<Version>& list = versions[op.key];
+
+      // Index of the version read: the observed writer's slot, or for a
+      // miss the latest erase at or before the reader's position (-1 =
+      // the initial absent state).
+      std::ptrdiff_t read_at = -1;
+      if (op.observed) {
+        const auto writer = committed.find(*op.observed);
+        if (writer == committed.end()) {
+          verdict.serializable = false;
+          verdict.message = "dirty read: T" + std::to_string(t->id) +
+                            " observed uncommitted or unknown txn T" +
+                            std::to_string(*op.observed) + " on key \"" +
+                            op.key + "\"";
+          return verdict;
+        }
+        read_at = -2;
+        for (std::size_t i = 0; i < list.size(); ++i) {
+          if (list[i].writer == *op.observed) {
+            read_at = static_cast<std::ptrdiff_t>(i);
+            break;
+          }
+        }
+        if (read_at == -2 || list[static_cast<std::size_t>(read_at)].erase) {
+          verdict.serializable = false;
+          verdict.message = "phantom write: T" + std::to_string(t->id) +
+                            " observed a value for key \"" + op.key +
+                            "\" that T" + std::to_string(*op.observed) +
+                            " did not commit";
+          return verdict;
+        }
+        add_edge(*op.observed, t->id);
+      } else {
+        for (std::size_t i = 0; i < list.size(); ++i) {
+          if (list[i].erase && list[i].commit_seq <= t->commit_seq &&
+              list[i].writer != t->id) {
+            read_at = static_cast<std::ptrdiff_t>(i);
+          }
+        }
+        if (read_at >= 0) {
+          add_edge(list[static_cast<std::size_t>(read_at)].writer, t->id);
+        }
+      }
+
+      const std::size_t next = static_cast<std::size_t>(read_at + 1);
+      if (next < list.size()) add_edge(t->id, list[next].writer);
+    }
+  }
+
+  CycleFinder finder{adj, {}, {}, {}};
+  for (const auto& [node, targets] : adj) {
+    (void)targets;
+    if (finder.color[node] == 0 && finder.visit(node)) {
+      verdict.serializable = false;
+      verdict.witness_cycle = canonicalize(finder.cycle);
+      verdict.message = "serializability violation: dependency cycle " +
+                        cycle_text(verdict.witness_cycle);
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+OracleResult replay_serial_oracle(
+    const std::vector<TxnRecord>& history,
+    const std::map<std::string, std::string>& final_state) {
+  OracleResult result;
+
+  std::vector<const TxnRecord*> order;
+  for (const TxnRecord& t : history) {
+    if (t.committed) order.push_back(&t);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const TxnRecord* a, const TxnRecord* b) {
+              return a->commit_seq < b->commit_seq;
+            });
+
+  std::map<std::string, std::string> model;
+  for (const TxnRecord* t : order) {
+    // Read-your-writes overlay: reads inside the txn see its own buffered
+    // mutations; the store's state only advances at the commit point.
+    std::map<std::string, std::optional<std::string>> overlay;
+    for (const TxnOpRec& op : t->ops) {
+      switch (op.kind) {
+        case TxnOpRec::Kind::kRead: {
+          ++result.reads_checked;
+          std::optional<std::string> expect;
+          const auto ov = overlay.find(op.key);
+          if (ov != overlay.end()) {
+            expect = ov->second;
+          } else {
+            const auto mv = model.find(op.key);
+            if (mv != model.end()) expect = mv->second;
+          }
+          const bool saw = op.observed.has_value();
+          if (saw != expect.has_value() || (saw && op.value != *expect)) {
+            result.ok = false;
+            result.message =
+                "serial oracle divergence: T" + std::to_string(t->id) +
+                " read key \"" + op.key + "\" observed " +
+                (saw ? "\"" + op.value + "\"" : "a miss") +
+                " but the serial order implies " +
+                (expect ? "\"" + *expect + "\"" : "a miss");
+            return result;
+          }
+          break;
+        }
+        case TxnOpRec::Kind::kWrite:
+          overlay[op.key] = op.value;
+          break;
+        case TxnOpRec::Kind::kErase:
+          overlay[op.key] = std::nullopt;
+          break;
+      }
+    }
+    for (const auto& [key, v] : overlay) {
+      if (v) {
+        model[key] = *v;
+      } else {
+        model.erase(key);
+      }
+    }
+  }
+
+  // Final-state comparison: any divergence means a committed txn was only
+  // partially applied (torn) or effects leaked from nowhere.
+  for (const auto& [key, v] : model) {
+    const auto got = final_state.find(key);
+    if (got == final_state.end()) {
+      result.ok = false;
+      result.message = "torn transaction: committed key \"" + key +
+                       "\" (value \"" + v + "\") is missing from the store";
+      return result;
+    }
+    if (got->second != v) {
+      result.ok = false;
+      result.message = "torn transaction: key \"" + key + "\" holds \"" +
+                       got->second + "\" but the serial order implies \"" + v +
+                       "\"";
+      return result;
+    }
+  }
+  for (const auto& [key, v] : final_state) {
+    if (!model.count(key)) {
+      result.ok = false;
+      result.message = "torn transaction: store holds key \"" + key +
+                       "\" (value \"" + v +
+                       "\") that no committed txn produced";
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ccnvm::fuzz

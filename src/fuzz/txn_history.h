@@ -1,0 +1,89 @@
+// Transaction-history serializability checking for the txn fuzz engine.
+//
+// A recorded history is a set of TxnRecords: each transaction's sub-ops
+// in issue order, whether it committed, and its commit sequence number
+// (the position the implementation CLAIMS it serialized at — for the KV
+// service that is ack order, since a txn holds every touched shard's
+// admission lock across all its waves). Two independent oracles consume
+// a history:
+//
+//   check_serializability — builds the Direct Serialization Graph over
+//   the committed transactions (wr reads-from edges, ww version-order
+//   edges, rw anti-dependency edges, version order = commit_seq) and
+//   searches it for a cycle. Acyclic DSG => the history is conflict
+//   serializable (Adya/Bernstein); a cycle comes back as a canonical
+//   witness the table-driven fixtures in tests/txn_history_test.cpp pin
+//   exactly. Dirty reads (observing an uncommitted writer) and phantom
+//   writers (observing a txn that never wrote the key) are rejected
+//   before the graph is built.
+//
+//   replay_serial_oracle — replays the committed transactions in
+//   commit_seq order against a shadow map with read-your-writes overlay
+//   semantics, validating EVERY recorded read against the model, then
+//   compares the model with the implementation's actual final state. A
+//   divergence in the final state means a committed transaction was torn
+//   (partially applied) or leaked — the message says "torn transaction"
+//   and the planted-bug self-test proves the oracle catches it.
+//
+// Observation encoding: every committed value in a checked history must
+// carry its writer (the fuzz engine tags values with the writing txn id),
+// so a read either records (value, observed = writer id) or is a miss
+// (empty value, observed = nullopt). The initial state is empty — all
+// data originates from recorded transactions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccnvm::fuzz {
+
+/// One sub-operation of a recorded transaction, in issue order.
+struct TxnOpRec {
+  enum class Kind { kRead, kWrite, kErase };
+  Kind kind = Kind::kRead;
+  std::string key;
+  /// kWrite: the value written. kRead: the value observed ("" on a miss).
+  std::string value;
+  /// kRead only: the txn id whose write was observed (nullopt = miss).
+  std::optional<std::uint64_t> observed;
+};
+
+struct TxnRecord {
+  std::uint64_t id = 0;
+  bool committed = false;
+  /// Claimed serialization position (unique among committed txns).
+  std::uint64_t commit_seq = 0;
+  std::vector<TxnOpRec> ops;
+};
+
+struct SerializabilityVerdict {
+  bool serializable = true;
+  std::string message;  // violation description when !serializable
+  /// A cycle in the DSG as txn ids, rotated so the smallest id leads;
+  /// edge i -> i+1 for every element and last -> first. Empty for
+  /// non-cycle violations (dirty read, phantom writer).
+  std::vector<std::uint64_t> witness_cycle;
+  std::uint64_t edges = 0;  // DSG edges built (diagnostics / digest)
+};
+
+/// Checks a history for conflict serializability (see file comment).
+SerializabilityVerdict check_serializability(
+    const std::vector<TxnRecord>& history);
+
+struct OracleResult {
+  bool ok = true;
+  std::string message;
+  std::uint64_t reads_checked = 0;
+};
+
+/// Replays the committed transactions serially (commit_seq order),
+/// validating every read, then compares the shadow model against
+/// `final_state`. A final-state divergence reports a torn transaction.
+OracleResult replay_serial_oracle(
+    const std::vector<TxnRecord>& history,
+    const std::map<std::string, std::string>& final_state);
+
+}  // namespace ccnvm::fuzz

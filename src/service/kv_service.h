@@ -36,6 +36,7 @@
 // bench/ycsb --threads=N measures.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -80,6 +81,9 @@ struct ServiceStats {
   std::uint64_t barriers = 0;     // checkpoints issued (one per dirty batch)
   std::uint64_t queue_high_water = 0;  // deepest queue ever observed
   std::uint64_t queue_pushed = 0;      // total requests enqueued
+  std::uint64_t txns = 0;              // committed transactions
+  std::uint64_t multi_shard_txns = 0;  // committed txns spanning >1 shard
+  std::uint64_t failed_txns = 0;       // aborted (a shard voted no)
 
   /// Group-commit amortization: acknowledged mutations per persist
   /// barrier. 1.0 means every mutation paid a private barrier; B means
@@ -114,6 +118,23 @@ struct ServiceConfig {
   /// after each group-commit barrier and before any of its acks.
   std::function<void()> after_apply_hook;
   std::function<void()> after_barrier_hook;
+  /// Crash hook for the txn protocol (null in production): called on the
+  /// *client* thread after each 2PC wave's acks have resolved — wave 0 =
+  /// prepares acked, 1 = decision acked, 2 = finalizes acked. At a wave
+  /// boundary every touched drain worker is quiescent (the txn locks keep
+  /// its queue empty), so crashd can SIGKILL here without tearing a line —
+  /// provided the txn touches EVERY shard, which `participants` (the
+  /// touched-shard count) lets the harness require before pulling the
+  /// trigger.
+  std::function<void(int wave, std::size_t participants)> txn_wave_hook;
+};
+
+/// Outcome of KvService::submit_txn. `results` has one entry per input
+/// op, in input order; on abort (`committed` false) reads carry no values
+/// and nothing was applied anywhere.
+struct TxnOutcome {
+  bool committed = false;
+  std::vector<Result> results;
 };
 
 class KvService {
@@ -136,6 +157,32 @@ class KvService {
   Result put(std::string_view key, std::string_view value);
   Result get(std::string_view key);
   Result erase(std::string_view key);
+
+  /// Atomically executes a multi-key transaction (blocking). Requires
+  /// ServiceConfig::store.txn_ops_capacity > 0.
+  ///
+  /// Protocol (the ccNVMe-style one-barrier-per-shard commit):
+  ///  1. Lock every touched shard's txn mutex in ascending order. Single
+  ///     ops take their shard's mutex around enqueue, so between the waves
+  ///     below NOTHING else enters any touched queue — the txn occupies
+  ///     one atomic slot in each shard's serial history.
+  ///  2. PREPARE wave: one kTxnPrepare per touched shard, carrying that
+  ///     shard's sub-ops. The drain worker evaluates reads (with
+  ///     read-your-writes against the txn's own buffered puts), stages +
+  ///     journals the mutations via SecureKvStore::prepare_txn, and its
+  ///     batch barrier persists the journal BEFORE the vote ack — each
+  ///     touched shard pays exactly ONE group-commit barrier here.
+  ///  3. If every shard voted yes: DECIDE to the coordinator (the lowest
+  ///     touched shard) — its decision line is the txn's global commit
+  ///     point — then FINALIZE to the other mutating shards. A crash
+  ///     before the decision barrier aborts everywhere on reopen; after
+  ///     it, every participant redoes its journal (resolver = the
+  ///     coordinator's decision line).
+  ///  4. Any no vote: ABORT wave to the prepared shards; returns
+  ///     committed = false.
+  /// Read-only transactions stop after the prepare wave (nothing
+  /// journaled, no barrier taken).
+  TxnOutcome submit_txn(const std::vector<TxnOp>& ops);
 
   /// Closes every queue, drains what is enqueued (every residual batch
   /// still gets its barrier), joins the workers, and leaves every engine
@@ -168,6 +215,13 @@ class KvService {
 
   ServiceConfig config_;
   std::vector<std::unique_ptr<Engine>> engines_;
+  /// Service-global txn ids: globally unique and monotonic, so a stale
+  /// decision line never matches a younger prepared txn (see
+  /// SecureKvStore::resolve_txn_journal).
+  std::atomic<std::uint64_t> next_txn_id_{1};
+  std::atomic<std::uint64_t> txns_{0};
+  std::atomic<std::uint64_t> multi_shard_txns_{0};
+  std::atomic<std::uint64_t> failed_txns_{0};
   bool shut_down_ = false;
 };
 

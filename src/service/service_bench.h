@@ -64,4 +64,34 @@ struct ServiceBenchResult {
 /// malformed options (unknown workload, zero threads).
 ServiceBenchResult run_service_ycsb(const ServiceBenchOptions& options);
 
+/// YCSB-T-like transactional mix over KvService::submit_txn.
+struct TxnMixOptions {
+  std::size_t threads = 4;
+  /// 0 = one queue/engine per hardware core (matches ServiceBenchOptions).
+  std::size_t service_shards = 0;
+  /// Keyspace owned (and pre-loaded) per client thread.
+  std::uint64_t records_per_thread = 128;
+  /// Timed transactions per client thread.
+  std::uint64_t txns_per_thread = 256;
+  std::uint32_t value_bytes = 96;
+  /// Fraction of read-only transactions; the rest atomically rewrite
+  /// every key they touch (the YCSB-T "transactional update" shape).
+  double read_prop = 0.2;
+  GroupCommitPolicy commit{.max_batch = 32, .max_delay_us = 200};
+  core::DesignKind kind = core::DesignKind::kCcNvm;
+  bool durable = false;
+  std::string work_dir;
+  std::uint64_t seed = 1;
+};
+
+/// Drives `threads` blocking clients, each issuing multi-key transactions
+/// (2-4 keys each, hashed routing, so most span several shards and pay
+/// the full prepare/decide/finalize protocol). Reads inside committed
+/// read-only txns are validated against the per-thread model as they
+/// land; the final store content is verified exactly, every engine must
+/// audit clean, and any abort fails verification (the store is sized so
+/// nothing may vote no). `ops`/`ops_per_sec` count TRANSACTIONS, not
+/// sub-ops.
+ServiceBenchResult run_service_txn_mix(const TxnMixOptions& options);
+
 }  // namespace ccnvm::service

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <optional>
 #include <string>
@@ -16,21 +17,47 @@
 
 namespace ccnvm::service {
 
-enum class OpType { kPut, kGet, kErase };
+/// kPut/kGet/kErase are client-visible single ops (and the legal sub-op
+/// kinds inside a transaction). The kTxn* values are the service's 2PC
+/// wave messages, pushed only by KvService::submit_txn — one per touched
+/// shard per wave (see kv_service.h, "Transactions").
+enum class OpType {
+  kPut,
+  kGet,
+  kErase,
+  kTxnPrepare,   // evaluate sub-ops + stage/journal (prepared); vote
+  kTxnDecide,    // coordinator only: decision line + local finalize
+  kTxnFinalize,  // non-coordinator participants: redo + release
+  kTxnAbort,     // roll back a prepared vote (some shard voted no)
+};
+
+/// One sub-operation of a multi-key transaction (kPut/kGet/kErase only).
+struct TxnOp {
+  OpType op = OpType::kGet;
+  std::string key;
+  std::string value;  // kPut only
+};
 
 /// Outcome of one service operation. `ok` mirrors the store's return
-/// (put/erase success, get hit); `value` is set on get hits only.
+/// (put/erase success, get hit); `value` is set on get hits only. For a
+/// kTxnPrepare request `ok` is the shard's commit vote and `txn_results`
+/// carries the per-sub-op outcomes (queue order).
 struct Result {
   bool ok = false;
   std::optional<std::string> value;
+  std::vector<Result> txn_results;
 };
 
 /// One queued client operation. The promise is fulfilled by the shard's
 /// drain worker — only after the batch's persist barrier (group commit).
+/// The txn_* fields are used by the kTxn* wave requests only.
 struct Request {
   OpType op = OpType::kGet;
   std::string key;
   std::string value;  // kPut only
+  std::vector<TxnOp> txn_ops;  // kTxnPrepare: this shard's sub-ops
+  std::uint64_t txn_id = 0;
+  std::uint32_t txn_coordinator = 0;
   std::promise<Result> done;
 };
 

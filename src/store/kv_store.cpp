@@ -29,6 +29,8 @@ void StoreConfig::validate() const {
   CCNVM_CHECK_MSG(heap_lines_per_shard >= 1, "empty value heap");
   CCNVM_CHECK_MSG(heap_lines_per_shard <= 0xFFFFFFFFull,
                   "heap exceeds the 32-bit extent field");
+  CCNVM_CHECK_MSG(txn_ops_capacity <= 64,
+                  "txn journal capacity over the 64-op bound");
 }
 
 StoreConfig StoreConfig::sized_for(std::uint64_t keys,
@@ -64,9 +66,14 @@ SecureKvStore::SecureKvStore(TagCtor, core::SecureNvmBase& nvm,
 }
 
 SecureKvStore SecureKvStore::open(core::SecureNvmBase& nvm,
-                                  const StoreConfig& config) {
+                                  const StoreConfig& config,
+                                  const TxnResolver& resolver) {
   SecureKvStore s(TagCtor{}, nvm, config);
   const ShardStateLock lock(s.shard_serial_);
+  // Journal first: an interrupted txn's header flips must be redone (or
+  // the txn presumed aborted) before the scan below derives state from
+  // the headers.
+  if (config.txn_ops_capacity > 0) s.resolve_txn_journal(resolver);
   for (std::size_t sh = 0; sh < config.shards; ++sh) {
     Shard& shard = s.shards_[sh];
     std::vector<bool> used(config.heap_lines_per_shard, false);

@@ -49,6 +49,11 @@ struct StoreConfig {
   std::size_t shards = 4;
   std::uint64_t buckets_per_shard = 512;
   std::uint64_t heap_lines_per_shard = 1536;
+  /// Multi-key transaction journal: the largest number of mutations one
+  /// transaction may journal. 0 (the default) allocates no journal lines
+  /// and disables the txn API entirely — existing single-op stores keep a
+  /// bit-identical layout.
+  std::size_t txn_ops_capacity = 0;
 
   /// CHECK-fails on nonsensical geometry (zero shards/buckets, a footprint
   /// that cannot hold a single entry, ...).
@@ -57,10 +62,19 @@ struct StoreConfig {
   std::uint64_t lines_per_shard() const {
     return buckets_per_shard + heap_lines_per_shard;
   }
+  /// Journal lines appended after the shard slices: one status line, one
+  /// decision line, then a (meta, header-image) line pair per op slot.
+  std::uint64_t txn_journal_lines() const {
+    return txn_ops_capacity == 0
+               ? 0
+               : 2 + 2 * static_cast<std::uint64_t>(txn_ops_capacity);
+  }
   /// Bytes of NVM data region the store occupies (must fit the design's
   /// data capacity).
   std::uint64_t footprint_bytes() const {
-    return static_cast<std::uint64_t>(shards) * lines_per_shard() * kLineSize;
+    return (static_cast<std::uint64_t>(shards) * lines_per_shard() +
+            txn_journal_lines()) *
+           kLineSize;
   }
 
   /// A geometry with comfortable slack for `keys` entries of up to
@@ -83,7 +97,46 @@ struct StoreStats {
   std::uint64_t value_line_reads = 0;
   std::uint64_t value_line_writes = 0;
   std::uint64_t header_writes = 0;
+  std::uint64_t txn_commits = 0;    // local commit_txn successes
+  std::uint64_t txn_prepares = 0;   // prepare_txn successes
+  std::uint64_t txn_journal_writes = 0;  // journal lines written
 };
+
+/// A buffered multi-key write set, applied atomically by
+/// SecureKvStore::commit_txn (local) or prepare_txn/finalize_txn
+/// (distributed). Last writer wins per key; nothing touches NVM until the
+/// store stages the txn. Reads are the caller's job — pending() exposes
+/// the buffered effect so callers can layer read-your-writes over
+/// SecureKvStore::get.
+class Txn {
+ public:
+  /// Buffers an insert-or-replace.
+  void put(std::string_view key, std::string_view value);
+  /// Buffers a delete (a no-op at commit when the key is absent).
+  void erase(std::string_view key);
+
+  /// The txn's buffered effect on `key`: nullptr when untouched,
+  /// otherwise a pointer to the buffered value (nullopt = erase).
+  const std::optional<std::string>* pending(std::string_view key) const;
+
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  friend class SecureKvStore;
+  struct Op {
+    std::string key;
+    std::optional<std::string> value;  // nullopt = erase
+  };
+  std::vector<Op> ops_;  // one op per key (last writer wins)
+};
+
+/// Answers "did transaction `txn_id`'s coordinator decide commit?" when a
+/// reopened store finds a prepared txn whose decision lives on another
+/// store (the service's 2PC — see kv_service.h). The coordinator itself
+/// never needs one: its own decision line answers first.
+using TxnResolver =
+    std::function<bool(std::uint64_t txn_id, std::uint32_t coordinator)>;
 
 /// A sharded, crash-consistent KV store over one secure-NVM design.
 /// Works on every design (the baselines simply give weaker crash
@@ -102,11 +155,16 @@ class SecureKvStore {
   SecureKvStore& operator=(SecureKvStore&&) = default;
 
   /// Re-opens a store from an existing (typically just-recovered) image:
-  /// scans every bucket header, validates it, and rebuilds the DRAM-side
-  /// allocator and counts. CHECK-fails on corrupt headers or overlapping
-  /// value extents — recovery is supposed to have produced a clean image.
+  /// resolves any interrupted transaction first (journal redo or presumed
+  /// abort — see the Transactions section below), then scans every bucket
+  /// header, validates it, and rebuilds the DRAM-side allocator and
+  /// counts. CHECK-fails on corrupt headers or overlapping value extents —
+  /// recovery is supposed to have produced a clean image. `resolver`
+  /// answers commit/abort for a prepared txn whose decision lives on
+  /// another store (null = only the own decision line decides).
   static SecureKvStore open(core::SecureNvmBase& nvm,
-                            const StoreConfig& config);
+                            const StoreConfig& config,
+                            const TxnResolver& resolver = nullptr);
 
   /// Inserts or replaces. Returns false — without mutating anything —
   /// when the key is empty or over-long, the value exceeds the limit, or
@@ -123,6 +181,83 @@ class SecureKvStore {
   /// Removes the key. Returns false if it was not present. Commits via a
   /// single tombstone-header flip, like put.
   CCNVM_COMMIT_POINT bool erase(std::string_view key);
+
+  // --- Transactions (require StoreConfig::txn_ops_capacity > 0) ---------
+  //
+  // A txn buffers puts/erases in DRAM and applies them atomically: the
+  // store stages every new value to fresh heap extents, journals one
+  // header image per mutation, then flips the journal status line to
+  // `committed` in ONE line write — the txn's single commit point. The
+  // header flips that make the writes visible are a redo of the journal,
+  // idempotently replayed by open() if a crash lands mid-flip, so a kill
+  // anywhere yields all-or-nothing on reopen. Data and journal lines
+  // persist through ADR as written (§4.2); the epoch drain batches only
+  // security metadata, exactly as for single ops — an acknowledged
+  // commit therefore survives without any drain, and its writes become
+  // externally visible together once the covering barrier (the service's
+  // group commit) retires.
+  //
+  // The distributed half (prepare/decide/finalize) is the service's 2PC:
+  // prepare stages + journals with state `prepared` (durable after the
+  // shard's batch barrier); the coordinator's decision line is the global
+  // commit point; finalize redoes the flips and releases the journal.
+  // A store holds at most ONE prepared txn (the service's per-shard txn
+  // locks guarantee it; prepare CHECKs it).
+
+  /// Starts a txn. CHECK-fails when the store was built without a journal.
+  Txn begin_txn() const;
+
+  /// Atomically applies every buffered op. Returns false — with nothing
+  /// committed and every staged extent reclaimed — when an op is invalid,
+  /// the txn exceeds txn_ops_capacity, or bucket/heap space runs out. May
+  /// propagate core::InjectedPowerLoss from an armed drain crash, in
+  /// which case the txn is unacknowledged (all-or-nothing on reopen).
+  /// CCNVM_COMMIT_POINT: the journal-status flip to `committed` is the
+  /// one-line commit; the header writes after it are idempotent redo.
+  CCNVM_COMMIT_POINT bool commit_txn(Txn& txn);
+
+  /// Discards a txn's buffered ops. Nothing has touched NVM.
+  void abort_txn(Txn& txn) const;
+
+  /// Stages + journals `txn` with state `prepared` under (txn_id,
+  /// coordinator). No header flips yet — the txn stays invisible, and a
+  /// reopened store aborts it unless the coordinator decided commit.
+  /// Returns false (nothing journaled, extents reclaimed) on the same
+  /// conditions as commit_txn. The caller owns the durability barrier.
+  bool prepare_txn(Txn& txn, std::uint64_t txn_id, std::uint32_t coordinator);
+
+  /// Records `txn_id` as decided-commit in this store's decision line —
+  /// the global commit point of a distributed txn this store coordinates.
+  /// CCNVM_COMMIT_POINT: one line write, nothing after it.
+  CCNVM_COMMIT_POINT void decide_txn_commit(std::uint64_t txn_id);
+
+  /// Redoes the prepared txn's header flips, releases the journal, and
+  /// applies the DRAM bookkeeping. No-op when nothing is prepared
+  /// (read-only participant); CHECKs the id otherwise.
+  void finalize_txn(std::uint64_t txn_id);
+
+  /// Releases the prepared txn's journal and reclaims its staged extents
+  /// (presumed abort). No-op when nothing is prepared.
+  void abort_prepared_txn(std::uint64_t txn_id);
+
+  /// The txn id this store last decided commit for (its decision line),
+  /// if any — what a TxnResolver for other participants reads.
+  std::optional<std::uint64_t> last_txn_decision();
+
+  /// Crash-injection points inside the txn protocol, for the fuzz harness.
+  enum class TxnCrashPhase {
+    kAfterStage,      // values + journal intents written, status still free
+    kAfterStatusFlip, // commit_txn: status=committed, no header flipped yet
+    kMidRedo,         // commit_txn/finalize: after the first header flip
+    kBeforeRelease,   // every header flipped, journal not yet released
+    kAfterPrepare,    // prepare_txn: status=prepared written
+    kAfterDecide,     // decide_txn_commit: decision line written
+  };
+  /// Test hook called at each phase above (null in production). Throwing
+  /// core::InjectedPowerLoss from it simulates a crash at that point.
+  void set_txn_test_hook(std::function<void(TxnCrashPhase)> hook) {
+    txn_hook_ = std::move(hook);
+  }
 
   /// Commits the open epoch (cc designs: a drain; others: persist dirty
   /// metadata) — the application-visible checkpoint.
@@ -224,6 +359,68 @@ class SecureKvStore {
 
   std::string read_value(std::size_t shard, const Entry& e);
 
+  // --- Transaction internals --------------------------------------------
+  /// Journal status-line states.
+  static constexpr std::uint8_t kTxnFree = 0;
+  static constexpr std::uint8_t kTxnPrepared = 1;
+  static constexpr std::uint8_t kTxnCommitted = 2;
+
+  /// One staged mutation: everything finalize/redo and the DRAM
+  /// bookkeeping need.
+  struct StagedTxnOp {
+    std::size_t shard = 0;
+    std::uint64_t bucket = 0;
+    Entry entry;                       // the new header (occupied/tombstone)
+    std::optional<Extent> old_extent;  // replaced value, freed at finalize
+    bool insert = false;               // bumps live
+    bool insert_into_tombstone = false;
+  };
+
+  struct PreparedTxn {
+    std::uint64_t id = 0;
+    std::vector<StagedTxnOp> ops;
+  };
+
+  Addr txn_status_addr() const;
+  Addr txn_decision_addr() const;
+  Addr txn_meta_addr(std::size_t op) const;
+  Addr txn_header_addr(std::size_t op) const;
+
+  static Line encode_txn_status(std::uint8_t state, std::uint64_t txn_id,
+                                std::uint32_t coordinator,
+                                std::uint32_t op_count);
+
+  /// Stages a txn: validates ops, writes value lines to fresh extents,
+  /// and writes the journal intent pairs. On failure reclaims every
+  /// staged extent and returns false; staged value/intent lines are
+  /// unreferenced and harmless. Erases of absent keys stage nothing.
+  bool stage_txn(Txn& txn, std::vector<StagedTxnOp>& staged)
+      CCNVM_REQUIRES(shard_serial_);
+
+  /// Flips the staged headers into place (the journal redo, live path).
+  void apply_staged_headers(const std::vector<StagedTxnOp>& staged);
+
+  /// DRAM bookkeeping for a committed txn (free old extents, counts).
+  void apply_staged_bookkeeping(const std::vector<StagedTxnOp>& staged)
+      CCNVM_REQUIRES(shard_serial_);
+
+  /// Returns staged (never-committed) extents to the allocator.
+  void reclaim_staged(const std::vector<StagedTxnOp>& staged)
+      CCNVM_REQUIRES(shard_serial_);
+
+  /// Zeroes the journal status line (journal release; invisible to the
+  /// commit point's N2 walk by design — it is idempotent cleanup, not a
+  /// state transition: recovery re-releases regardless).
+  void release_txn_status();
+
+  void txn_phase(TxnCrashPhase phase) {
+    if (txn_hook_) txn_hook_(phase);
+  }
+
+  /// open()'s first step: redo or abort any txn the journal holds.
+  void resolve_txn_journal(const TxnResolver& resolver)
+      CCNVM_REQUIRES(shard_serial_);
+
   static std::uint64_t value_lines(std::size_t vlen) {
     return (static_cast<std::uint64_t>(vlen) + kLineSize - 1) / kLineSize;
   }
@@ -234,6 +431,8 @@ class SecureKvStore {
   std::vector<Shard> shards_ CCNVM_GUARDED_BY(shard_serial_);
   StoreStats stats_;
   std::uint64_t next_seq_ CCNVM_GUARDED_BY(shard_serial_) = 1;
+  std::optional<PreparedTxn> prepared_txn_;
+  std::function<void(TxnCrashPhase)> txn_hook_;
 };
 
 }  // namespace ccnvm::store

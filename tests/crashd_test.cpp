@@ -232,5 +232,99 @@ TEST(CrashdServiceVerifyTest, MissingShardImagesFail) {
   EXPECT_FALSE(r.ok);
 }
 
+// ---- Txn scenario family -------------------------------------------
+
+std::optional<std::uint64_t> find_txn_index(std::uint64_t seed, TxnKill kill,
+                                            int wave = -1,
+                                            std::uint64_t limit = 2000) {
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    const TxnScenario sc = derive_txn_scenario(seed, i);
+    if (sc.kill == kill && (wave < 0 || sc.kill_wave == wave)) return i;
+  }
+  return std::nullopt;
+}
+
+TEST(CrashdTxnScenarioTest, DerivationIsDeterministicAndBounded) {
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    const TxnScenario a = derive_txn_scenario(1, i);
+    const TxnScenario b = derive_txn_scenario(1, i);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.trigger, b.trigger);
+    EXPECT_EQ(a.threads, b.threads);
+    EXPECT_EQ(a.actions_per_thread, b.actions_per_thread);
+    EXPECT_EQ(a.max_batch, b.max_batch);
+    EXPECT_EQ(a.max_delay_us, b.max_delay_us);
+    EXPECT_EQ(a.kill, b.kill);
+    EXPECT_EQ(a.kill_wave, b.kill_wave);
+    EXPECT_EQ(a.kill_target, b.kill_target);
+    EXPECT_EQ(a.workload_seed, b.workload_seed);
+    EXPECT_FALSE(describe(a).empty());
+
+    EXPECT_GE(a.threads, 2u);
+    EXPECT_LE(a.threads, 4u);
+    EXPECT_GE(a.actions_per_thread, 8u);
+    EXPECT_LE(a.actions_per_thread, 16u);
+    if (a.kill == TxnKill::kAtWave) {
+      EXPECT_GE(a.kill_wave, 0);
+      EXPECT_LE(a.kill_wave, 2);
+      EXPECT_GE(a.kill_target, 1u);
+    }
+  }
+  EXPECT_NE(derive_txn_scenario(1, 0).workload_seed,
+            derive_txn_scenario(2, 0).workload_seed);
+}
+
+TEST(CrashdTxnScenarioTest, SweepCoversEveryWaveKill) {
+  // The tentpole coverage claim: SIGKILL between the per-shard barriers
+  // of a multi-shard commit — after prepares (wave 0), after the
+  // decision (wave 1), after finalizes (wave 2) — plus clean runs.
+  EXPECT_TRUE(find_txn_index(1, TxnKill::kNone).has_value());
+  EXPECT_TRUE(find_txn_index(1, TxnKill::kAtWave, 0).has_value());
+  EXPECT_TRUE(find_txn_index(1, TxnKill::kAtWave, 1).has_value());
+  EXPECT_TRUE(find_txn_index(1, TxnKill::kAtWave, 2).has_value());
+}
+
+TEST(CrashdTxnWorkerTest, CleanScenarioRoundTripsThroughShardImages) {
+  const auto index = find_txn_index(1, TxnKill::kNone);
+  ASSERT_TRUE(index.has_value());
+  const TxnScenario sc = derive_txn_scenario(1, *index);
+  const std::string image = temp_path("crashd-txn-clean.dimm");
+  ASSERT_EQ(run_txn_worker(image, 1, *index), 0);
+
+  CheckThrowScope throw_scope;
+  const VerifyResult r = verify_txn_scenario(image, 1, *index);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_FALSE(r.worker_was_killed);
+  EXPECT_EQ(r.acked_ops, sc.threads * sc.actions_per_thread);
+  EXPECT_GT(r.auditor_checks, 0u);
+  cleanup_service(image);
+}
+
+TEST(CrashdTxnVerifyTest, TamperedThreadAckLogFailsVerification) {
+  // Forge a txn ack the worker never issued: the verifier must refuse
+  // the promise rather than hunting the store for effects.
+  const auto index = find_txn_index(1, TxnKill::kNone);
+  ASSERT_TRUE(index.has_value());
+  const std::string image = temp_path("crashd-txn-forged.dimm");
+  ASSERT_EQ(run_txn_worker(image, 1, *index), 0);
+  {
+    std::FILE* f = std::fopen((image + ".ack.t0").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc('T', f);
+    std::fclose(f);
+  }
+  CheckThrowScope throw_scope;
+  const VerifyResult r = verify_txn_scenario(image, 1, *index);
+  EXPECT_FALSE(r.ok);
+  cleanup_service(image);
+}
+
+TEST(CrashdTxnVerifyTest, MissingShardImagesFail) {
+  CheckThrowScope throw_scope;
+  const VerifyResult r =
+      verify_txn_scenario(temp_path("crashd-txn-nope.dimm"), 1, 0);
+  EXPECT_FALSE(r.ok);
+}
+
 }  // namespace
 }  // namespace ccnvm::crashd

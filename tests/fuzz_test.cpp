@@ -21,7 +21,8 @@ FuzzConfig mini(Engine engine, std::uint64_t iters) {
 }
 
 TEST(FuzzEngineTest, NamesRoundTrip) {
-  for (Engine e : {Engine::kDifferential, Engine::kCrash, Engine::kAttack}) {
+  for (Engine e : {Engine::kDifferential, Engine::kCrash, Engine::kAttack,
+                   Engine::kTxn}) {
     EXPECT_EQ(parse_engine(engine_name(e)), e);
   }
   EXPECT_EQ(parse_engine("diff"), Engine::kDifferential);
@@ -50,9 +51,20 @@ TEST(FuzzCampaignTest, AttackMiniCampaignPasses) {
   EXPECT_EQ(r.attacks, 24u) << "every case injects exactly one attack";
 }
 
+TEST(FuzzCampaignTest, TxnMiniCampaignPasses) {
+  const FuzzCampaignResult r = run_fuzz_campaign(mini(Engine::kTxn, 24));
+  EXPECT_TRUE(r.ok()) << (r.failures.empty() ? "" : r.failures[0].message);
+  EXPECT_EQ(r.iterations, 24u);
+  EXPECT_GT(r.crashes, 0u) << "some cases must cut power mid-protocol";
+  EXPECT_LT(r.crashes, 24u) << "some cases must reach the serial oracle";
+  EXPECT_GT(r.reads_compared, 0u);
+  EXPECT_GT(r.checks, 0u);
+}
+
 TEST(FuzzCampaignTest, FixedSeedIsBitIdenticalAcrossWorkerCounts) {
   for (Engine engine :
-       {Engine::kDifferential, Engine::kCrash, Engine::kAttack}) {
+       {Engine::kDifferential, Engine::kCrash, Engine::kAttack,
+        Engine::kTxn}) {
     FuzzConfig cfg = mini(engine, 10);
     cfg.jobs = 1;
     const FuzzCampaignResult serial = run_fuzz_campaign(cfg);
@@ -81,6 +93,25 @@ TEST(FuzzCampaignTest, PlantedProtocolBugsAreCaught) {
       EXPECT_NE(f.case_seed, 0u);
       EXPECT_NE(f.repro(Engine::kCrash).find("--replay="), std::string::npos);
     }
+  }
+}
+
+TEST(FuzzCampaignTest, PlantedTornTxnIsCaught) {
+  // The txn engine's acceptance self-test, mirroring the crash engine's
+  // planted-bug gate: a committed-but-half-applied transaction must be
+  // reported as torn by the serial oracle within a smoke budget.
+  FuzzConfig cfg = mini(Engine::kTxn, 16);
+  cfg.seed = 1;
+  cfg.planted_torn_txn = true;
+  cfg.minimize = false;
+  const FuzzCampaignResult r = run_fuzz_campaign(cfg);
+  ASSERT_FALSE(r.ok()) << "planted torn transaction survived the campaign";
+  EXPECT_EQ(r.failures.size(), 16u)
+      << "the planted tear is unconditional, every case must report it";
+  for (const FuzzFailure& f : r.failures) {
+    EXPECT_NE(f.message.find("torn transaction"), std::string::npos)
+        << f.message;
+    EXPECT_NE(f.repro(Engine::kTxn).find("--replay="), std::string::npos);
   }
 }
 

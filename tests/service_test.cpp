@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "service/service_bench.h"
 #include "store/ycsb_runner.h"
 
@@ -179,6 +180,149 @@ TEST(KvServiceTest, StragglerGapMatchesGreedyResults) {
     }
     service.shutdown();
   }
+}
+
+ServiceConfig txn_config(std::size_t shards, std::size_t max_batch = 8) {
+  ServiceConfig cfg = small_config(shards, max_batch);
+  cfg.store.txn_ops_capacity = 8;
+  cfg.design.data_capacity = store::capacity_for(cfg.store);
+  return cfg;
+}
+
+/// A key of the form "<prefix><i>" routing to service shard `want`.
+std::string key_on_shard(std::size_t shards, std::size_t want,
+                         const std::string& prefix) {
+  for (int i = 0;; ++i) {
+    const std::string key = prefix + std::to_string(i);
+    if (KvService::shard_of(key, shards) == want) return key;
+  }
+}
+
+TEST(KvServiceTxnTest, SubmitTxnRequiresAJournal) {
+  const CheckThrowScope throw_scope;
+  KvService service(small_config(1));
+  EXPECT_THROW(service.submit_txn({{OpType::kPut, "k", "v"}}), CheckFailure);
+  service.shutdown();
+}
+
+TEST(KvServiceTxnTest, MultiShardTxnCommitsAtomically) {
+  KvService service(txn_config(2));
+  const std::string ka = key_on_shard(2, 0, "a-");
+  const std::string kb = key_on_shard(2, 1, "b-");
+  const TxnOutcome out = service.submit_txn({
+      {OpType::kPut, ka, "va"},
+      {OpType::kPut, kb, "vb"},
+  });
+  EXPECT_TRUE(out.committed);
+  ASSERT_EQ(out.results.size(), 2u);
+  EXPECT_TRUE(out.results[0].ok);
+  EXPECT_TRUE(out.results[1].ok);
+  EXPECT_EQ(*service.get(ka).value, "va");
+  EXPECT_EQ(*service.get(kb).value, "vb");
+  service.shutdown();
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.txns, 1u);
+  EXPECT_EQ(s.multi_shard_txns, 1u);
+  EXPECT_EQ(s.failed_txns, 0u);
+}
+
+TEST(KvServiceTxnTest, ReadYourWritesInsideTheTxn) {
+  KvService service(txn_config(2));
+  ASSERT_TRUE(service.put("old", "committed").ok);
+  const TxnOutcome out = service.submit_txn({
+      {OpType::kGet, "old", ""},       // committed state
+      {OpType::kPut, "old", "newer"},  // buffered
+      {OpType::kGet, "old", ""},       // must see the buffer
+      {OpType::kErase, "old", ""},
+      {OpType::kGet, "old", ""},       // buffered erase: a miss
+  });
+  ASSERT_TRUE(out.committed);
+  ASSERT_EQ(out.results.size(), 5u);
+  EXPECT_EQ(*out.results[0].value, "committed");
+  EXPECT_EQ(*out.results[2].value, "newer");
+  EXPECT_TRUE(out.results[3].ok);
+  EXPECT_FALSE(out.results[4].ok);
+  EXPECT_FALSE(service.get("old").ok);
+  service.shutdown();
+}
+
+TEST(KvServiceTxnTest, OneVoteNoAbortsEveryShard) {
+  KvService service(txn_config(2));
+  const std::string ka = key_on_shard(2, 0, "ok-");
+  const std::string kb = key_on_shard(2, 1, "bad-");
+  // The oversized value makes kb's shard vote no at prepare.
+  const TxnOutcome out = service.submit_txn({
+      {OpType::kPut, ka, "fine"},
+      {OpType::kPut, kb, std::string(70000, 'x')},
+  });
+  EXPECT_FALSE(out.committed);
+  EXPECT_FALSE(service.get(ka).ok) << "aborted txn leaked a write";
+  EXPECT_FALSE(service.get(kb).ok);
+  // The journals are released: the next txn commits normally.
+  EXPECT_TRUE(service.submit_txn({{OpType::kPut, ka, "v2"}}).committed);
+  EXPECT_EQ(*service.get(ka).value, "v2");
+  service.shutdown();
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.failed_txns, 1u);
+  EXPECT_EQ(s.txns, 1u);
+}
+
+TEST(KvServiceTxnTest, TxnSubOpsShareOneBarrierPerShardPerWave) {
+  // Three puts on one shard as singles: three barriers. As one txn: the
+  // prepare batch pays ONE barrier for all three (plus one for the
+  // decide/finalize batch) — the group-commit amortization the txn path
+  // inherits.
+  KvService service(txn_config(1));
+  ASSERT_TRUE(service
+                  .submit_txn({{OpType::kPut, "t0", "v"},
+                               {OpType::kPut, "t1", "v"},
+                               {OpType::kPut, "t2", "v"}})
+                  .committed);
+  service.shutdown();
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.barriers, 2u) << "prepare + decide, one barrier each";
+  EXPECT_EQ(s.txns, 1u);
+  EXPECT_EQ(s.multi_shard_txns, 0u);
+}
+
+TEST(KvServiceTxnTest, ReadOnlyTxnsSkipEveryBarrier) {
+  KvService service(txn_config(2));
+  ASSERT_TRUE(service.put("r", "v").ok);
+  const ServiceStats before = service.stats();
+  const TxnOutcome out = service.submit_txn({
+      {OpType::kGet, "r", ""},
+      {OpType::kGet, "absent", ""},
+  });
+  ASSERT_TRUE(out.committed);
+  EXPECT_EQ(*out.results[0].value, "v");
+  EXPECT_FALSE(out.results[1].ok);
+  service.shutdown();
+  EXPECT_EQ(service.stats().barriers, before.barriers);
+}
+
+TEST(KvServiceTxnTest, WaveHooksFireInOrderForMutatingTxnsOnly) {
+  ServiceConfig cfg = txn_config(2);
+  std::vector<int> waves;
+  cfg.txn_wave_hook = [&waves](int wave, std::size_t participants) {
+    EXPECT_GE(participants, 1u);
+    waves.push_back(wave);
+  };
+  KvService service(cfg);
+  ASSERT_TRUE(service.submit_txn({{OpType::kGet, "x", ""}}).committed);
+  EXPECT_TRUE(waves.empty()) << "read-only txns have no commit waves";
+  ASSERT_TRUE(
+      service.submit_txn({{OpType::kPut, "x", "v"}}).committed);
+  EXPECT_EQ(waves, (std::vector<int>{0, 1, 2}));
+  service.shutdown();
+}
+
+TEST(KvServiceTxnTest, EmptyTxnCommitsTrivially) {
+  KvService service(txn_config(1));
+  const TxnOutcome out = service.submit_txn({});
+  EXPECT_TRUE(out.committed);
+  EXPECT_TRUE(out.results.empty());
+  service.shutdown();
+  EXPECT_EQ(service.stats().txns, 0u);
 }
 
 TEST(ServiceBenchTest, DigestIsDeterministicAndThreadCountInvariant) {

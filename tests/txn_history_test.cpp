@@ -1,0 +1,237 @@
+// Table-driven fixtures for the txn serializability checker and the
+// serial-replay oracle (src/fuzz/txn_history.*): known-serializable and
+// known-cyclic histories, each pinning the EXACT verdict — including the
+// canonical witness cycle — so a checker regression cannot hide behind a
+// merely-boolean assertion.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/txn_history.h"
+
+namespace ccnvm::fuzz {
+namespace {
+
+using Kind = TxnOpRec::Kind;
+
+TxnOpRec W(std::string key, std::string value) {
+  return {Kind::kWrite, std::move(key), std::move(value), std::nullopt};
+}
+
+TxnOpRec E(std::string key) {
+  return {Kind::kErase, std::move(key), "", std::nullopt};
+}
+
+/// A read that hit: observed `value`, written by txn `writer`.
+TxnOpRec R(std::string key, std::string value, std::uint64_t writer) {
+  return {Kind::kRead, std::move(key), std::move(value), writer};
+}
+
+TxnOpRec Miss(std::string key) {
+  return {Kind::kRead, std::move(key), "", std::nullopt};
+}
+
+TxnRecord Txn(std::uint64_t id, std::uint64_t commit_seq,
+              std::vector<TxnOpRec> ops) {
+  TxnRecord t;
+  t.id = id;
+  t.committed = true;
+  t.commit_seq = commit_seq;
+  t.ops = std::move(ops);
+  return t;
+}
+
+struct Fixture {
+  const char* name;
+  std::vector<TxnRecord> history;
+  bool serializable;
+  /// Expected canonical witness (smallest id first); empty when
+  /// serializable or for non-cycle violations.
+  std::vector<std::uint64_t> witness;
+  /// Substring the verdict message must contain when !serializable.
+  const char* message_contains;
+};
+
+std::vector<Fixture> fixtures() {
+  std::vector<Fixture> fx;
+
+  fx.push_back({"disjoint-writers",
+                {Txn(1, 1, {W("a", "t1:a")}), Txn(2, 2, {W("b", "t2:b")})},
+                true,
+                {},
+                ""});
+
+  fx.push_back({"wr-chain",
+                {Txn(1, 1, {W("x", "t1:x")}),
+                 Txn(2, 2, {R("x", "t1:x", 1), W("y", "t2:y")}),
+                 Txn(3, 3, {R("y", "t2:y", 2)})},
+                true,
+                {},
+                ""});
+
+  // The TxFS multi-reader-isolation shape: one writer commits, several
+  // concurrent readers all observe that version, a later writer
+  // overwrites it. Every rw anti-dependency (reader -> overwriter)
+  // points forward — serializable, no matter how the readers interleaved
+  // in real time.
+  fx.push_back({"txfs-multi-reader-isolation",
+                {Txn(1, 1, {W("f", "t1:f")}),
+                 Txn(2, 2, {R("f", "t1:f", 1)}),
+                 Txn(3, 3, {R("f", "t1:f", 1)}),
+                 Txn(4, 4, {R("f", "t1:f", 1)}),
+                 Txn(5, 5, {W("f", "t5:f")})},
+                true,
+                {},
+                ""});
+
+  // Read-your-writes stays internal: a txn observing its own buffered
+  // write (or the miss after its own erase) adds no conflict edges.
+  fx.push_back({"read-your-writes-internal",
+                {Txn(1, 1, {W("x", "t1:x"), R("x", "t1:x", 1)}),
+                 Txn(2, 2, {W("y", "t2:y"), E("y"), Miss("y")})},
+                true,
+                {},
+                ""});
+
+  // Aborted txns take no part in the graph (their writes never became
+  // versions), so this collapses to one committed writer.
+  fx.push_back({"aborted-txns-ignored",
+                {Txn(1, 1, {W("x", "t1:x")}),
+                 {/*id=*/2, /*committed=*/false, /*commit_seq=*/0,
+                  {W("x", "t2:x"), W("y", "t2:y")}}},
+                true,
+                {},
+                ""});
+
+  // Write skew: each txn read the key the OTHER one wrote, as of the
+  // initial state. Both rw anti-dependencies point "backward" past the
+  // other's commit — the canonical 2-cycle.
+  fx.push_back({"write-skew-rw-cycle",
+                {Txn(1, 1, {Miss("y"), W("x", "t1:x")}),
+                 Txn(2, 2, {Miss("x"), W("y", "t2:y")})},
+                false,
+                {1, 2},
+                "dependency cycle T1 -> T2 -> T1"});
+
+  // Lost update / stale overwrite: T3 read version 1 but its own write
+  // serialized after T2's — rw T3 -> T2 against ww T2 -> T3.
+  fx.push_back({"lost-update-ww-rw-cycle",
+                {Txn(1, 1, {W("x", "t1:x")}),
+                 Txn(2, 2, {W("x", "t2:x")}),
+                 Txn(3, 3, {R("x", "t1:x", 1), W("x", "t3:x")})},
+                false,
+                {2, 3},
+                "dependency cycle T2 -> T3 -> T2"});
+
+  // A 3-cycle threading all three edge kinds: ww on x (T1 -> T2), wr on
+  // y (T2 -> T3), and the anti-dependency that closes it — T3 missed z
+  // even though T1 (which serialized first) wrote it, so rw T3 -> T1.
+  fx.push_back({"ww-wr-rw-3-cycle",
+                {Txn(1, 1, {W("x", "t1:x"), W("z", "t1:z")}),
+                 Txn(2, 2, {W("x", "t2:x"), W("y", "t2:y")}),
+                 Txn(3, 3, {R("y", "t2:y", 2), Miss("z")})},
+                false,
+                {1, 2, 3},
+                "dependency cycle T1 -> T2 -> T3 -> T1"});
+
+  // Observing a txn outside the committed set is a dirty read, rejected
+  // before any graph is built (no witness cycle).
+  fx.push_back({"dirty-read",
+                {Txn(1, 1, {W("x", "t1:x")}),
+                 Txn(2, 2, {R("x", "t9:x", 9)})},
+                false,
+                {},
+                "dirty read"});
+
+  // Observing a value from a committed txn whose final effect on the key
+  // was an erase: that write never became a version.
+  fx.push_back({"phantom-write",
+                {Txn(1, 1, {W("x", "t1:x"), E("x")}),
+                 Txn(2, 2, {R("x", "t1:x", 1)})},
+                false,
+                {},
+                "phantom write"});
+
+  return fx;
+}
+
+TEST(TxnHistoryCheckerTest, TableDrivenFixturesPinExactVerdicts) {
+  for (const Fixture& fx : fixtures()) {
+    const SerializabilityVerdict v = check_serializability(fx.history);
+    EXPECT_EQ(v.serializable, fx.serializable) << fx.name << ": " << v.message;
+    EXPECT_EQ(v.witness_cycle, fx.witness) << fx.name;
+    if (!fx.serializable) {
+      EXPECT_NE(v.message.find(fx.message_contains), std::string::npos)
+          << fx.name << ": " << v.message;
+    } else {
+      EXPECT_TRUE(v.message.empty()) << fx.name << ": " << v.message;
+    }
+  }
+}
+
+TEST(TxnHistoryCheckerTest, VerdictIsDeterministic) {
+  // Same history, same witness — the DFS roots and neighbors are ordered,
+  // so a flaky witness would be a checker bug.
+  for (const Fixture& fx : fixtures()) {
+    const SerializabilityVerdict a = check_serializability(fx.history);
+    const SerializabilityVerdict b = check_serializability(fx.history);
+    EXPECT_EQ(a.witness_cycle, b.witness_cycle) << fx.name;
+    EXPECT_EQ(a.message, b.message) << fx.name;
+    EXPECT_EQ(a.edges, b.edges) << fx.name;
+  }
+}
+
+TEST(TxnHistoryOracleTest, CleanHistoryMatchesFinalState) {
+  const std::vector<TxnRecord> history = {
+      Txn(1, 1, {W("x", "t1:x"), W("y", "t1:y")}),
+      Txn(2, 2, {R("x", "t1:x", 1), W("x", "t2:x"), E("y")}),
+  };
+  const std::map<std::string, std::string> final_state = {{"x", "t2:x"}};
+  const OracleResult r = replay_serial_oracle(history, final_state);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.reads_checked, 1u);
+}
+
+TEST(TxnHistoryOracleTest, HalfAppliedCommitIsReportedTorn) {
+  // One committed txn, two writes, only one visible: the exact shape the
+  // --planted-bug=torn-txn self-test injects.
+  const std::vector<TxnRecord> history = {
+      Txn(1, 1, {W("a", "t1:a"), W("b", "t1:b")}),
+  };
+  const std::map<std::string, std::string> final_state = {{"a", "t1:a"}};
+  const OracleResult r = replay_serial_oracle(history, final_state);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("torn transaction"), std::string::npos)
+      << r.message;
+}
+
+TEST(TxnHistoryOracleTest, LeakedEffectIsReportedTorn) {
+  const std::vector<TxnRecord> history = {Txn(1, 1, {W("a", "t1:a")})};
+  const std::map<std::string, std::string> final_state = {{"a", "t1:a"},
+                                                          {"ghost", "??"}};
+  const OracleResult r = replay_serial_oracle(history, final_state);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("torn transaction"), std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("ghost"), std::string::npos) << r.message;
+}
+
+TEST(TxnHistoryOracleTest, ReadDivergenceIsReported) {
+  // T2 claims it read t1:x AFTER overwriting history says T1 -> T2 order
+  // would have replaced it — the replay sees t2 first per commit_seq.
+  const std::vector<TxnRecord> history = {
+      Txn(1, 2, {R("x", "t2:x", 2)}),  // serialized second, reads T2's write
+      Txn(2, 1, {W("x", "t2:x")}),
+      Txn(3, 3, {R("x", "t1:x", 1)}),  // claims a value nobody left behind
+  };
+  const std::map<std::string, std::string> final_state = {{"x", "t2:x"}};
+  const OracleResult r = replay_serial_oracle(history, final_state);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("serial oracle divergence: T3"), std::string::npos)
+      << r.message;
+}
+
+}  // namespace
+}  // namespace ccnvm::fuzz

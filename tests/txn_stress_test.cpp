@@ -1,0 +1,110 @@
+// Concurrency stress for multi-key transactions — the TSan job's txn
+// target. Writer threads atomically retag key PAIRS through real
+// KvService::submit_txn calls while reader transactions snapshot both
+// halves; serializability means a reader can never observe a mixed pair,
+// under any interleaving TSan's scheduler perturbation finds. No timing
+// assumptions anywhere.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/kv_service.h"
+#include "store/ycsb_runner.h"
+
+namespace ccnvm::service {
+namespace {
+
+constexpr std::size_t kPairs = 8;
+constexpr std::size_t kWriters = 4;
+constexpr std::size_t kReaders = 4;
+constexpr std::uint64_t kTxnsPerThread = 120;
+
+std::string pair_key(std::size_t pair, char half) {
+  return "p" + std::to_string(pair) + "-" + half;
+}
+
+TEST(TxnStressTest, ReadersNeverObserveAMixedPair) {
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.queue_capacity = 16;
+  cfg.commit.max_batch = 8;
+  cfg.commit.max_delay_us = 0;
+  cfg.store = store::StoreConfig::sized_for(4 * kPairs, 96, /*shards=*/1);
+  cfg.store.txn_ops_capacity = 8;
+  cfg.design.data_capacity = store::capacity_for(cfg.store);
+  cfg.design.update_limit = 1u << 20;
+  cfg.design.daq_entries = 1024;
+  cfg.design.wpq_entries = 1024;
+  KvService service(cfg);
+
+  // Both halves of every pair only ever change together, in one txn, to
+  // the same tag — the invariant every reader snapshot must see. Pair
+  // keys land on service shards by the routing hash, so most pairs span
+  // both shards and exercise the full 2PC path.
+  std::atomic<std::uint64_t> mixed_pairs{0};
+  std::atomic<std::uint64_t> aborted{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&service, &aborted, t] {
+      Rng rng(derive_seed(0x7a57e55, t));
+      for (std::uint64_t i = 0; i < kTxnsPerThread; ++i) {
+        const std::size_t pair = rng.below(kPairs);
+        const std::string tag =
+            "w" + std::to_string(t) + "." + std::to_string(i);
+        const TxnOutcome out = service.submit_txn({
+            {OpType::kPut, pair_key(pair, 'a'), tag},
+            {OpType::kPut, pair_key(pair, 'b'), tag},
+        });
+        if (!out.committed) aborted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&service, &mixed_pairs, t] {
+      Rng rng(derive_seed(0x5ead, t));
+      for (std::uint64_t i = 0; i < kTxnsPerThread; ++i) {
+        const std::size_t pair = rng.below(kPairs);
+        const TxnOutcome out = service.submit_txn({
+            {OpType::kGet, pair_key(pair, 'a'), ""},
+            {OpType::kGet, pair_key(pair, 'b'), ""},
+        });
+        if (!out.committed) {
+          mixed_pairs.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const auto& a = out.results[0].value;
+        const auto& b = out.results[1].value;
+        const bool consistent =
+            a.has_value() == b.has_value() && (!a.has_value() || *a == *b);
+        if (!consistent) mixed_pairs.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Quiesced state: every pair still holds one tag, both halves equal.
+  std::uint64_t final_mixed = 0;
+  for (std::size_t p = 0; p < kPairs; ++p) {
+    const Result a = service.get(pair_key(p, 'a'));
+    const Result b = service.get(pair_key(p, 'b'));
+    const bool consistent = a.value.has_value() == b.value.has_value() &&
+                            (!a.value.has_value() || *a.value == *b.value);
+    if (!consistent) ++final_mixed;
+  }
+  service.shutdown();
+
+  EXPECT_EQ(mixed_pairs.load(), 0u);
+  EXPECT_EQ(final_mixed, 0u);
+  EXPECT_EQ(aborted.load(), 0u) << "pair puts fit the store, nothing may "
+                                   "vote no";
+}
+
+}  // namespace
+}  // namespace ccnvm::service

@@ -11,13 +11,14 @@
 //   ccnvm kv serve [--threads=N] [--shards=S] [--ops=K] [--durable]
 //                                       concurrent KV service smoke run
 //   ccnvm kv sweep [seed] [jobs]        KV crash-kill sweep (CCNVM_AUDIT)
-//   ccnvm fuzz --engine=<diff|crash|attack> [--seed=S] [--budget=N|Ns]
+//   ccnvm fuzz --engine=<diff|crash|attack|txn> [--seed=S] [--budget=N|Ns]
 //              [--jobs=J] [--ops=K] [--replay=CASE_SEED] [--out=FILE]
 //                                       randomized campaigns (CCNVM_AUDIT)
-//   ccnvm crashd sweep [--scenarios=N] [--seed=S] [--jobs=J] [--service]
-//                      [--dir=D] [--keep]   out-of-process kill-9 sweep
-//   ccnvm crashd worker --image=F --seed=S --index=I [--service]
-//   ccnvm crashd verify --image=F --seed=S --index=I [--service]
+//   ccnvm crashd sweep [--scenarios=N] [--seed=S] [--jobs=J]
+//                      [--service|--txn] [--dir=D] [--keep]
+//                                       out-of-process kill-9 sweep
+//   ccnvm crashd worker --image=F --seed=S --index=I [--service|--txn]
+//   ccnvm crashd verify --image=F --seed=S --index=I [--service|--txn]
 //   ccnvm nvlint [path]...              persist-ordering static analyzer
 //
 // Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus
@@ -455,7 +456,7 @@ int cmd_fuzz(int argc, char** argv) {
     if (const auto v = value_of("--engine=")) {
       const auto engine = fuzz::parse_engine(*v);
       if (!engine) {
-        std::fprintf(stderr, "unknown engine '%s' (diff|crash|attack)\n",
+        std::fprintf(stderr, "unknown engine '%s' (diff|crash|attack|txn)\n",
                      v->c_str());
         return 2;
       }
@@ -498,11 +499,17 @@ int cmd_fuzz(int argc, char** argv) {
         return 2;
       }
     } else if (const auto v = value_of("--planted-bug=")) {
+      if (*v == "torn-txn") {
+        // The txn engine's self-test: commit a txn but apply only half.
+        cfg.planted_torn_txn = true;
+        continue;
+      }
       const auto bug = parse_planted_bug(*v);
       if (!bug) {
         std::fprintf(stderr,
                      "unknown planted bug '%s' "
-                     "(none|leak-daq|skip-nwb-reset|commit-before-end)\n",
+                     "(none|leak-daq|skip-nwb-reset|commit-before-end|"
+                     "torn-txn)\n",
                      v->c_str());
         return 2;
       }
@@ -518,8 +525,9 @@ int cmd_fuzz(int argc, char** argv) {
   if (replay) {
     // Single-case replay of a reported failure seed.
     CheckThrowScope throw_scope;
-    const fuzz::CaseOutcome outcome = fuzz::run_fuzz_case(
-        cfg.engine, *replay, cfg.max_ops, cfg.planted_bug, cfg.file_backend);
+    const fuzz::CaseOutcome outcome =
+        fuzz::run_fuzz_case(cfg.engine, *replay, cfg.max_ops, cfg.planted_bug,
+                            cfg.file_backend, cfg.planted_torn_txn);
     if (outcome.ok) {
       std::printf("replay %llu on %s: ok (%llu ops, digest %016llx)\n",
                   static_cast<unsigned long long>(*replay),
@@ -572,6 +580,7 @@ int cmd_crashd(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::uint64_t index = 0;
   bool service = false;
+  bool txn = false;
   crashd::SweepConfig sweep_cfg;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -607,6 +616,8 @@ int cmd_crashd(int argc, char** argv) {
       sweep_cfg.keep_files = true;
     } else if (arg == "--service") {
       service = sweep_cfg.service = true;
+    } else if (arg == "--txn") {
+      txn = sweep_cfg.txn = true;
     } else {
       return usage();
     }
@@ -616,6 +627,7 @@ int cmd_crashd(int argc, char** argv) {
     if (image.empty()) return usage();
     // No CheckThrowScope: a broken invariant in the worker must abort,
     // which the sweep reports as an unexpected wait status.
+    if (txn) return crashd::run_txn_worker(image, seed, index);
     return service ? crashd::run_service_worker(image, seed, index)
                    : crashd::run_worker(image, seed, index);
   }
@@ -623,10 +635,12 @@ int cmd_crashd(int argc, char** argv) {
     if (image.empty()) return usage();
     CheckThrowScope throw_scope;
     const crashd::VerifyResult r =
-        service ? crashd::verify_service_scenario(image, seed, index)
-                : crashd::verify_scenario(image, seed, index);
+        txn ? crashd::verify_txn_scenario(image, seed, index)
+        : service ? crashd::verify_service_scenario(image, seed, index)
+                  : crashd::verify_scenario(image, seed, index);
     const std::string desc =
-        service
+        txn ? crashd::describe(crashd::derive_txn_scenario(seed, index))
+        : service
             ? crashd::describe(crashd::derive_service_scenario(seed, index))
             : crashd::describe(crashd::derive_scenario(seed, index));
     std::printf("scenario %llu [%s]: %s\n",
@@ -701,15 +715,17 @@ int usage() {
                "[--max-batch=32]\n"
                "             [--max-delay-us=200] [--durable] [--seed=1]\n"
                "       ccnvm kv sweep [seed=1] [jobs=1]\n"
-               "       ccnvm fuzz --engine=<diff|crash|attack> [--seed=1]\n"
+               "       ccnvm fuzz --engine=<diff|crash|attack|txn> "
+               "[--seed=1]\n"
                "             [--budget=256|30s] [--jobs=1] [--ops=48]\n"
                "             [--backend=mem|file] [--replay=CASE_SEED] "
                "[--out=FILE]\n"
                "             [--planted-bug=NAME] [--no-minimize]\n"
                "       ccnvm crashd sweep [--scenarios=200] [--seed=1]\n"
-               "             [--jobs=1] [--dir=DIR] [--keep] [--service]\n"
+               "             [--jobs=1] [--dir=DIR] [--keep] "
+               "[--service|--txn]\n"
                "       ccnvm crashd <worker|verify> --image=FILE --seed=S "
-               "--index=I [--service]\n"
+               "--index=I [--service|--txn]\n"
                "       ccnvm nvlint [path=src]...\n"
                "designs: wocc sc osiris ccnvm-nods ccnvm ccnvm-plus\n");
   return 2;
