@@ -66,6 +66,7 @@ int run_scaling_mode(std::size_t max_threads, const std::string& workload,
   doc.bench = smoke ? "ycsb-service-smoke" : "ycsb-service";
   doc.crypto_aes = crypto::impl_name(crypto::active_aes_impl());
   doc.crypto_sha1 = crypto::impl_name(crypto::active_sha1_impl());
+  doc.crypto_sha1_many = crypto::impl_name(crypto::active_sha1_many_impl());
 
   bool ok = true;
   double base_ops_per_sec = 0.0;
@@ -155,6 +156,7 @@ int run_txn_mode(std::size_t max_threads, bool durable, bool smoke,
   doc.bench = smoke ? "ycsb-txn-smoke" : "ycsb-txn";
   doc.crypto_aes = crypto::impl_name(crypto::active_aes_impl());
   doc.crypto_sha1 = crypto::impl_name(crypto::active_sha1_impl());
+  doc.crypto_sha1_many = crypto::impl_name(crypto::active_sha1_many_impl());
 
   bool ok = true;
   double base_txns_per_sec = 0.0;
@@ -320,6 +322,7 @@ int main(int argc, char** argv) {
     doc.bench = smoke ? "ycsb-smoke" : "ycsb";
     doc.crypto_aes = crypto::impl_name(crypto::active_aes_impl());
     doc.crypto_sha1 = crypto::impl_name(crypto::active_sha1_impl());
+  doc.crypto_sha1_many = crypto::impl_name(crypto::active_sha1_many_impl());
     doc.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

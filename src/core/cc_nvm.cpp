@@ -126,11 +126,24 @@ std::uint64_t CcNvmDesign::spread_deferred_updates() {
                    });
 
   const bool any_counters = !daq_.empty();
-  for (const nvm::NodeId& id : nodes) {
-    if (functional()) {
-      meta_->set_node(id, merkle_.compute_node(id, [this](const nvm::NodeId& c) {
-                        return meta_->node_line(c);
-                      }));
+  if (functional() && !nodes.empty()) {
+    // Batch per level: nodes of one level only read the (already
+    // committed) level below, so each level-group's child tags go through
+    // tag_many in SIMD lanes. Same nodes, same order, same tree as the
+    // per-node loop.
+    const secure::MerkleEngine::NodeReader reader =
+        [this](const nvm::NodeId& c) { return meta_->node_line(c); };
+    std::vector<Line> computed;
+    std::size_t i = 0;
+    while (i < nodes.size()) {
+      std::size_t j = i + 1;
+      while (j < nodes.size() && nodes[j].level == nodes[i].level) ++j;
+      computed.resize(j - i);
+      merkle_.compute_nodes({nodes.data() + i, j - i}, reader, computed);
+      for (std::size_t k = i; k < j; ++k) {
+        meta_->set_node(nodes[k], computed[k - i]);
+      }
+      i = j;
     }
   }
   if (any_counters && functional()) {
@@ -143,9 +156,13 @@ std::uint64_t CcNvmDesign::spread_deferred_updates() {
     // Cost model: each tracked line contributes exactly one changed edge
     // into its parent, so the drain computes one counter-HMAC per DAQ
     // entry plus one for the root update — each "calculated once per
-    // draining" (§4.3). Unchanged sibling slots keep their tags.
+    // draining" (§4.3). Unchanged sibling slots keep their tags. With L
+    // parallel HMAC lanes the independent edge updates pipeline into
+    // ceil(edges/L) engine occupancies; L=1 (the paper's machine) keeps
+    // the serial charge.
     const std::uint64_t edges = daq_.size() + 1;
-    busy += edges * timing_.hmac_latency;
+    const std::uint64_t lanes = std::max<std::uint64_t>(timing_.hmac_lanes, 1);
+    busy += ((edges + lanes - 1) / lanes) * timing_.hmac_latency;
     stats_.hmac_ops += edges;
   }
   return busy;

@@ -292,25 +292,64 @@ std::uint64_t SecureNvmBase::reencrypt_page(
   std::uint64_t busy = 0;
   if (!functional()) return busy;  // overflow cannot trigger without counters
   const std::uint64_t new_major = old_counters.major + 1;
+  const crypto::PadCounter fresh{new_major, 0};
+  // Pass 1 — pure crypto, no NVM writes yet: decrypt/re-encrypt each
+  // written block and push all fresh data HMACs through tag_many in one
+  // burst. Hoisting the reads ahead of the writes is order-equivalent:
+  // the data lines read here are never written by this loop, and a DH
+  // line's earlier-slot updates don't touch a later block's tag slot.
+  std::vector<Addr> das;
+  std::vector<Line> cts;
+  das.reserve(kBlocksPerPage);
+  cts.reserve(kBlocksPerPage);
   for (std::size_t b = 0; b < kBlocksPerPage; ++b) {
     const Addr da = leaf * kPageSize + b * kLineSize;
-    const Addr dh_addr = layout_.dh_line_addr(da);
-    Line dh_line = image_.read_line(dh_addr);
+    const Line dh_line = image_.read_line(layout_.dh_line_addr(da));
     const Tag128 stored =
         secure::dh_tag_in_line(dh_line, layout_.dh_offset_in_line(da));
     if (tag_is_zero(stored)) continue;  // never written
-
     const Line ct_old = image_.read_line(da);
     const Line pt = cme_.crypt(ct_old, da, old_counters.pad_counter(b));
-    const crypto::PadCounter fresh{new_major, 0};
-    const Line ct_new = cme_.crypt(pt, da, fresh);
-    controller_.write(da, ct_new, nvm::LineKind::kData);
+    das.push_back(da);
+    cts.push_back(cme_.crypt(pt, da, fresh));
+  }
+  std::vector<secure::DataHmacReq> reqs(das.size());
+  for (std::size_t i = 0; i < das.size(); ++i) {
+    reqs[i] = {&cts[i], das[i], fresh};
+  }
+  std::vector<Tag128> tags(das.size());
+  cme_.data_hmac_many(reqs, tags);
+  // Pass 2 — the writes, in the serial loop's exact per-block order
+  // (data line, then its DH line read-modify-write), so the controller
+  // sees an unchanged write sequence and the image evolves identically.
+  for (std::size_t i = 0; i < das.size(); ++i) {
+    const Addr da = das[i];
+    const Addr dh_addr = layout_.dh_line_addr(da);
+    controller_.write(da, cts[i], nvm::LineKind::kData);
+    Line dh_line = image_.read_line(dh_addr);
     secure::set_dh_tag_in_line(dh_line, layout_.dh_offset_in_line(da),
-                               cme_.data_hmac(ct_new, da, fresh));
+                               tags[i]);
     controller_.write(dh_addr, dh_line, nvm::LineKind::kDataHmac);
-    busy += 2 * timing_.aes_cycles() + timing_.hmac_latency;
-    stats_.aes_ops += 2;
-    ++stats_.hmac_ops;
+  }
+  // Timing: one (2×AES, HMAC) stage pair per block. A single MAC lane
+  // serializes the stages (the paper's machine, the old charge exactly);
+  // with L lanes each block's OTP generation overlaps the previous
+  // block's data-HMAC, so past the first block the page re-encryption
+  // proceeds at the slower of the two stage rates.
+  const std::uint64_t n = das.size();
+  if (n > 0) {
+    const std::uint64_t stage_aes = 2 * timing_.aes_cycles();
+    const std::uint64_t lanes = std::max<std::uint64_t>(timing_.hmac_lanes, 1);
+    if (lanes <= 1) {
+      busy += n * (stage_aes + timing_.hmac_latency);
+    } else {
+      const std::uint64_t stage_hmac =
+          (timing_.hmac_latency + lanes - 1) / lanes;
+      busy += (stage_aes + timing_.hmac_latency) +
+              (n - 1) * std::max(stage_aes, stage_hmac);
+    }
+    stats_.aes_ops += 2 * n;
+    stats_.hmac_ops += n;
   }
   return busy;
 }
@@ -386,7 +425,56 @@ std::uint64_t SecureNvmBase::write_back(Addr addr, const Line& plaintext) {
   return busy;
 }
 
+std::vector<ReadResult> SecureNvmDesign::read_blocks(
+    std::span<const Addr> addrs) {
+  std::vector<ReadResult> results;
+  results.reserve(addrs.size());
+  for (const Addr addr : addrs) results.push_back(read_block(addr));
+  return results;
+}
+
 ReadResult SecureNvmBase::read_block(Addr addr) {
+  return read_block_at(addr, nullptr);
+}
+
+std::vector<ReadResult> SecureNvmBase::read_blocks(
+    std::span<const Addr> addrs) {
+  std::vector<ReadResult> results(addrs.size());
+  std::vector<DeferredCheck> checks(addrs.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    results[i] = read_block_at(addrs[i], &checks[i]);
+  }
+  // Batch the deferred data-HMAC verifications through tag_many.
+  std::vector<secure::DataHmacReq> reqs;
+  std::vector<std::size_t> which;
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    if (!checks[i].needed) continue;
+    reqs.push_back({&checks[i].ct, checks[i].addr, checks[i].pc});
+    which.push_back(i);
+  }
+  if (reqs.empty()) return results;
+  std::vector<Tag128> tags(reqs.size());
+  cme_.data_hmac_many(reqs, tags);
+  // Failures surface exactly where the serial loop would have put them:
+  // at the alerts_ position recorded when the check was deferred, shifted
+  // by this batch's own earlier insertions (which is precisely what the
+  // serial interleaving with fetch_metadata alerts would have produced).
+  std::size_t inserted = 0;
+  for (std::size_t k = 0; k < tags.size(); ++k) {
+    const std::size_t i = which[k];
+    if (tags[k] == checks[i].stored) continue;
+    results[i].integrity_ok = false;
+    ++stats_.runtime_alerts;
+    alerts_.insert(
+        alerts_.begin() +
+            static_cast<std::ptrdiff_t>(checks[i].alert_pos + inserted),
+        checks[i].addr);
+    ++inserted;
+  }
+  return results;
+}
+
+ReadResult SecureNvmBase::read_block_at(Addr addr, DeferredCheck* defer) {
   const ScopedCheckContext check_ctx(name(), commit_epoch_, "read_block");
   CCNVM_CHECK_MSG(!crashed_, "read on a crashed system");
   CCNVM_CHECK(layout_.is_data_addr(addr) && is_line_aligned(addr));
@@ -428,7 +516,14 @@ ReadResult SecureNvmBase::read_block(Addr addr) {
       const std::uint64_t leaf = addr / kPageSize;
       const crypto::PadCounter pc =
           meta_->counter(leaf).pad_counter(block_in_page(addr));
-      if (!(cme_.data_hmac(ct, addr, pc) == stored)) {
+      if (defer != nullptr) {
+        defer->needed = true;
+        defer->ct = ct;
+        defer->addr = addr;
+        defer->pc = pc;
+        defer->stored = stored;
+        defer->alert_pos = alerts_.size();
+      } else if (!(cme_.data_hmac(ct, addr, pc) == stored)) {
         result.integrity_ok = false;
         note_alert(addr);
       }
@@ -514,22 +609,37 @@ std::vector<Addr> SecureNvmBase::audit_image() {
   std::vector<Addr> bad;
   const bool tree_in_nvm = recovery_mode() != RecoveryMode::kOsiris;
 
+  // Per-page scratch for the batched data-HMAC sweep: one tag_many burst
+  // per page instead of one HMAC per block. Same blocks, same order.
+  std::array<Line, kBlocksPerPage> cts;
+  std::vector<secure::DataHmacReq> reqs;
+  std::vector<Tag128> stored_tags;
+  std::vector<Addr> req_addrs;
+  std::vector<Tag128> tags;
   for (std::uint64_t leaf = 0; leaf < layout_.num_pages(); ++leaf) {
     const Addr caddr = layout_.data_capacity() + leaf * kLineSize;
     if (image_.read_line(caddr) != meta_->counter(leaf).pack()) {
       bad.push_back(caddr);
     }
+    reqs.clear();
+    stored_tags.clear();
+    req_addrs.clear();
     for (std::size_t b = 0; b < kBlocksPerPage; ++b) {
       const Addr da = leaf * kPageSize + b * kLineSize;
       const Line dh_line = image_.read_line(layout_.dh_line_addr(da));
       const Tag128 stored =
           secure::dh_tag_in_line(dh_line, layout_.dh_offset_in_line(da));
       if (tag_is_zero(stored)) continue;
-      const Line ct = image_.read_line(da);
-      if (!(cme_.data_hmac(ct, da, meta_->counter(leaf).pad_counter(b)) ==
-            stored)) {
-        bad.push_back(da);
-      }
+      const std::size_t n = reqs.size();
+      cts[n] = image_.read_line(da);
+      reqs.push_back({&cts[n], da, meta_->counter(leaf).pad_counter(b)});
+      stored_tags.push_back(stored);
+      req_addrs.push_back(da);
+    }
+    tags.resize(reqs.size());
+    cme_.data_hmac_many(reqs, tags);
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      if (!(tags[i] == stored_tags[i])) bad.push_back(req_addrs[i]);
     }
   }
   if (tree_in_nvm) {

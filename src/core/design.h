@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -129,6 +130,14 @@ class SecureNvmDesign {
   /// An LLC miss served from NVM: fetch, decrypt, authenticate.
   virtual ReadResult read_block(Addr addr) = 0;
 
+  /// Batch read: equivalent to calling read_block on each address in
+  /// order — same results, same stats, same alert order. The base class
+  /// overrides this to defer the per-block data-HMAC verifications and
+  /// push them through the multi-lane tagging path in one burst, which
+  /// is what makes scan-shaped consumers (store open, recovery sweeps)
+  /// fill SIMD lanes instead of issuing one HMAC at a time.
+  virtual std::vector<ReadResult> read_blocks(std::span<const Addr> addrs);
+
   /// Cycles of *synchronous* stall accumulated since the last call —
   /// work during which the engine accepts no new write-backs at all
   /// (cc-NVM's drains block steps 1-2 of subsequent evictions, §4.2).
@@ -165,6 +174,7 @@ class SecureNvmBase : public SecureNvmDesign {
 
   std::uint64_t write_back(Addr addr, const Line& plaintext) final;
   ReadResult read_block(Addr addr) final;
+  std::vector<ReadResult> read_blocks(std::span<const Addr> addrs) final;
   void crash_power_loss() final;
   RecoveryReport recover() final;
 
@@ -342,6 +352,25 @@ class SecureNvmBase : public SecureNvmDesign {
   bool crashed_ = false;
   ProtocolObserver* observer_ = nullptr;
   std::uint64_t commit_epoch_ = 0;
+
+ private:
+  /// One block's data-HMAC verification postponed by read_blocks so the
+  /// whole batch can share one tag_many burst. `alert_pos` records where
+  /// alerts_ stood when the serial loop would have run this check, so a
+  /// late failure is spliced in at exactly the serial position.
+  struct DeferredCheck {
+    bool needed = false;
+    Line ct{};
+    Addr addr = 0;
+    crypto::PadCounter pc{};
+    Tag128 stored{};
+    std::size_t alert_pos = 0;
+  };
+
+  /// read_block's body. With `defer == nullptr` the data-HMAC check runs
+  /// inline (the public read_block); otherwise it is recorded in *defer
+  /// for the caller to verify in batch.
+  ReadResult read_block_at(Addr addr, DeferredCheck* defer);
 };
 
 /// Factory covering all five evaluated designs.

@@ -37,29 +37,50 @@ bool cpu_supports_sha_ni() {
 #endif
 }
 
-/// CCNVM_CRYPTO=reference|table|native caps the startup selection (a tier
-/// the host cannot run is ignored, falling back to the best available).
+bool cpu_supports_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(CCNVM_AVX2_CRYPTO)
+  // __builtin_cpu_supports also verifies OS YMM-state support (XGETBV),
+  // which a raw CPUID leaf-7 probe would miss.
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// CCNVM_CRYPTO=reference|table|avx2|native caps the startup selection (a
+/// tier the host cannot run is ignored, falling back to the best
+/// available). The cap is a single ladder across both axes: "avx2" allows
+/// the multi-lane batch kernel while keeping the single-stream AES/SHA-1
+/// primitives at their portable tiers, so A/B runs can attribute a delta
+/// to lanes vs NI kernels.
 int env_tier_cap() {
   // NOLINTNEXTLINE(concurrency-mt-unsafe): runs during static
   // initialization, before main(); nothing mutates the environment
   const char* env = std::getenv("CCNVM_CRYPTO");
-  if (env == nullptr) return 2;
+  if (env == nullptr) return 3;
   if (std::strcmp(env, "reference") == 0) return 0;
   if (std::strcmp(env, "table") == 0) return 1;
-  return 2;
+  if (std::strcmp(env, "avx2") == 0) return 2;
+  return 3;
 }
 
 AesImpl pick_aes_impl() {
   const int cap = env_tier_cap();
-  if (cap >= 2 && cpu_supports_aesni()) return AesImpl::kNative;
+  if (cap >= 3 && cpu_supports_aesni()) return AesImpl::kNative;
   if (cap >= 1) return AesImpl::kTable;
   return AesImpl::kReference;
 }
 
 Sha1Impl pick_sha1_impl() {
-  // SHA-1 has no table tier; "table" caps it at the portable reference.
-  if (env_tier_cap() >= 2 && cpu_supports_sha_ni()) return Sha1Impl::kNative;
+  // SHA-1 has no table tier; "table"/"avx2" cap it at the portable
+  // reference.
+  if (env_tier_cap() >= 3 && cpu_supports_sha_ni()) return Sha1Impl::kNative;
   return Sha1Impl::kReference;
+}
+
+Sha1ManyImpl pick_sha1_many_impl() {
+  if (env_tier_cap() >= 2 && cpu_supports_avx2()) return Sha1ManyImpl::kAvx2;
+  return Sha1ManyImpl::kSerial;
 }
 
 }  // namespace
@@ -71,6 +92,7 @@ namespace detail {
 // which is always correct.
 AesImpl g_aes_impl = pick_aes_impl();
 Sha1Impl g_sha1_impl = pick_sha1_impl();
+Sha1ManyImpl g_sha1_many_impl = pick_sha1_many_impl();
 }  // namespace detail
 
 const char* impl_name(AesImpl impl) {
@@ -86,6 +108,14 @@ const char* impl_name(Sha1Impl impl) {
   switch (impl) {
     case Sha1Impl::kReference: return "reference";
     case Sha1Impl::kNative: return "sha-ni";
+  }
+  return "?";
+}
+
+const char* impl_name(Sha1ManyImpl impl) {
+  switch (impl) {
+    case Sha1ManyImpl::kSerial: return "serial";
+    case Sha1ManyImpl::kAvx2: return "avx2";
   }
   return "?";
 }
@@ -109,6 +139,14 @@ bool impl_available(Sha1Impl impl) {
   return false;
 }
 
+bool impl_available(Sha1ManyImpl impl) {
+  switch (impl) {
+    case Sha1ManyImpl::kSerial: return true;
+    case Sha1ManyImpl::kAvx2: return cpu_supports_avx2();
+  }
+  return false;
+}
+
 std::vector<AesImpl> available_aes_impls() {
   std::vector<AesImpl> out;
   for (AesImpl impl :
@@ -126,8 +164,17 @@ std::vector<Sha1Impl> available_sha1_impls() {
   return out;
 }
 
+std::vector<Sha1ManyImpl> available_sha1_many_impls() {
+  std::vector<Sha1ManyImpl> out;
+  for (Sha1ManyImpl impl : {Sha1ManyImpl::kSerial, Sha1ManyImpl::kAvx2}) {
+    if (impl_available(impl)) out.push_back(impl);
+  }
+  return out;
+}
+
 AesImpl active_aes_impl() { return detail::g_aes_impl; }
 Sha1Impl active_sha1_impl() { return detail::g_sha1_impl; }
+Sha1ManyImpl active_sha1_many_impl() { return detail::g_sha1_many_impl; }
 
 void force_aes_impl(AesImpl impl) {
   CCNVM_CHECK_MSG(impl_available(impl), "AES tier not available on this host");
@@ -138,6 +185,12 @@ void force_sha1_impl(Sha1Impl impl) {
   CCNVM_CHECK_MSG(impl_available(impl),
                   "SHA-1 tier not available on this host");
   detail::g_sha1_impl = impl;
+}
+
+void force_sha1_many_impl(Sha1ManyImpl impl) {
+  CCNVM_CHECK_MSG(impl_available(impl),
+                  "batch SHA-1 tier not available on this host");
+  detail::g_sha1_many_impl = impl;
 }
 
 }  // namespace ccnvm::crypto

@@ -14,10 +14,22 @@
 //               under CCNVM_NATIVE_CRYPTO=ON and selected only when
 //               CPUID reports the extensions at runtime.
 //
+// Batch hashing (sha1_many / HmacEngine::tag_many) has its own axis,
+// because multi-buffer throughput is orthogonal to single-stream latency:
+//
+//   serial    — loop over the single-stream Sha1 path (which itself is
+//               dispatch-selected above). Always available; the oracle.
+//   avx2      — 4/8-lane interleaved SHA-1, one message per SIMD lane.
+//               Compiled on every x86 build (no opt-in needed — runtime
+//               CPUID dispatch gates its use), selected when the host
+//               reports AVX2.
+//
 // Selection happens once at process start (highest available tier); tests
 // and benchmarks may force a tier with force_*_impl. The CCNVM_CRYPTO
-// environment variable ("reference", "table", "native") overrides the
-// default selection for whole-process A/B runs without a rebuild.
+// environment variable ("reference", "table", "avx2", "native") caps the
+// default selection for whole-process A/B runs without a rebuild; "avx2"
+// allows the multi-lane batch kernel but keeps the single-stream
+// primitives at the portable tiers.
 #pragma once
 
 #include <vector>
@@ -26,27 +38,34 @@ namespace ccnvm::crypto {
 
 enum class AesImpl { kReference = 0, kTable = 1, kNative = 2 };
 enum class Sha1Impl { kReference = 0, kNative = 1 };
+enum class Sha1ManyImpl { kSerial = 0, kAvx2 = 1 };
 
 const char* impl_name(AesImpl impl);
 const char* impl_name(Sha1Impl impl);
+const char* impl_name(Sha1ManyImpl impl);
 
 /// Whether the tier is compiled in and the host CPU supports it.
 bool impl_available(AesImpl impl);
 bool impl_available(Sha1Impl impl);
+bool impl_available(Sha1ManyImpl impl);
 
 /// Every available tier, reference first.
 std::vector<AesImpl> available_aes_impls();
 std::vector<Sha1Impl> available_sha1_impls();
+std::vector<Sha1ManyImpl> available_sha1_many_impls();
 
-/// The tier currently used by Aes128::encrypt / Sha1 compression.
+/// The tier currently used by Aes128::encrypt / Sha1 compression /
+/// sha1_many batch hashing.
 AesImpl active_aes_impl();
 Sha1Impl active_sha1_impl();
+Sha1ManyImpl active_sha1_many_impl();
 
 /// Force a tier process-wide (tests/benches). The tier must be available.
 /// Not thread-safe against concurrent crypto use; call at a quiesced
 /// point, as the differential tests and micro-benches do.
 void force_aes_impl(AesImpl impl);
 void force_sha1_impl(Sha1Impl impl);
+void force_sha1_many_impl(Sha1ManyImpl impl);
 
 namespace detail {
 // The live selections, read on every encrypt/compress call. Zero-init
@@ -54,6 +73,7 @@ namespace detail {
 // tier, which is always correct.
 extern AesImpl g_aes_impl;
 extern Sha1Impl g_sha1_impl;
+extern Sha1ManyImpl g_sha1_many_impl;
 }  // namespace detail
 
 }  // namespace ccnvm::crypto

@@ -2,6 +2,10 @@
 
 #include <bit>
 #include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "crypto/dispatch.h"
 
 namespace ccnvm::crypto {
 
@@ -73,6 +77,45 @@ Tag128 hmac_tag(const HmacKey& key, std::span<const std::uint8_t> message) {
   HmacSha1 mac(key);
   mac.update(message);
   return mac.finalize_tag();
+}
+
+void HmacEngine::tag_many(std::span<const LineRef> msgs,
+                          std::span<Tag128> out) const {
+  CCNVM_CHECK_MSG(msgs.size() == out.size(),
+                  "tag_many: msgs/out span sizes must match");
+  if (active_sha1_many_impl() == Sha1ManyImpl::kSerial) {
+    for (std::size_t i = 0; i < msgs.size(); ++i) out[i] = tag(msgs[i]);
+    return;
+  }
+
+#ifdef CCNVM_AVX2_CRYPTO
+  // Both HMAC passes start from a per-key midstate taken after one
+  // 64-byte pad block, so every lane shares the prefix length; within an
+  // equal-length run they also share block count and padding layout,
+  // which is the lockstep requirement of the interleaved kernel.
+  const Sha1::State& inner = proto_.inner_midstate();
+  const Sha1::State& outer = proto_.outer_midstate();
+  const std::uint8_t* ptrs[64];
+  std::size_t i = 0;
+  while (i < msgs.size()) {
+    const std::size_t len = msgs[i].size();
+    std::size_t j = i + 1;
+    while (j < msgs.size() && j - i < std::size(ptrs) &&
+           msgs[j].size() == len) {
+      ++j;
+    }
+    const std::size_t n = j - i;
+    for (std::size_t k = 0; k < n; ++k) ptrs[k] = msgs[i + k].data();
+    const std::size_t done =
+        detail::hmac_tag_lanes_avx2(inner, outer, ptrs, n, len, out.data() + i);
+    // Lanes the SIMD groups could not fill (n mod 4) finish serially —
+    // same math, same tags.
+    for (std::size_t k = done; k < n; ++k) out[i + k] = tag(msgs[i + k]);
+    i = j;
+  }
+#else
+  for (std::size_t i = 0; i < msgs.size(); ++i) out[i] = tag(msgs[i]);
+#endif
 }
 
 }  // namespace ccnvm::crypto

@@ -20,6 +20,7 @@
 
 #include "common/types.h"
 #include "crypto/sha1.h"
+#include "crypto/sha1_many.h"
 
 namespace ccnvm::crypto {
 
@@ -60,6 +61,12 @@ class HmacSha1 {
   /// message under the same key.
   void reset() { inner_.restore(inner_mid_); }
 
+  /// The cached per-key midstates (chaining value after the ipad/opad
+  /// block). tag_many replicates these across lanes so a batch of tags
+  /// spends zero key-absorption compressions, same as the serial path.
+  const Sha1::State& inner_midstate() const { return inner_mid_; }
+  const Sha1::State& outer_midstate() const { return outer_mid_; }
+
  private:
   Sha1::State inner_mid_;  // after absorbing key ^ ipad
   Sha1::State outer_mid_;  // after absorbing key ^ opad
@@ -88,6 +95,14 @@ class HmacEngine {
     mac.update(message);
     return mac.finalize();
   }
+
+  /// Batch tagging: out[i] = tag(msgs[i]), bit-identical to the serial
+  /// loop on every tier. Equal-length runs (the shape of every hot call
+  /// site: 64-byte tree nodes, 88-byte data-HMAC messages) are hashed in
+  /// 4/8-wide SIMD lanes when the avx2 batch tier is active — both the
+  /// inner message pass and the outer 20-byte digest pass. msgs and out
+  /// must have the same size.
+  void tag_many(std::span<const LineRef> msgs, std::span<Tag128> out) const;
 
  private:
   // Kept in the fresh post-ipad state; copied, never mutated.

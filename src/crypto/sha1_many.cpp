@@ -1,0 +1,156 @@
+#include "crypto/sha1_many.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "crypto/dispatch.h"
+
+namespace ccnvm::crypto {
+namespace {
+
+constexpr std::array<std::uint32_t, 5> kSha1Iv = {
+    0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+
+/// Serial lane: resume, absorb, pad — the remainder path for runs the
+/// SIMD kernels cannot fill, and the whole of the "serial" tier. Routes
+/// through Sha1, so it inherits the single-stream dispatch (SHA-NI when
+/// active) and stays the batch oracle.
+void finish_one_serial(const Sha1::State& state, const std::uint8_t* msg,
+                       std::size_t len, Sha1::Digest& out) {
+  Sha1 h;
+  h.restore(state);
+  h.update({msg, len});
+  out = h.finalize();
+}
+
+#ifdef CCNVM_AVX2_CRYPTO
+
+/// Materializes the padded tail for one lane: the sub-block residue of
+/// the message, 0x80, zeros, and the 64-bit big-endian total bit length.
+/// Returns the tail block count (1 or 2) — identical across a run because
+/// every lane shares `len` and the prefix length.
+std::size_t build_tail(const std::uint8_t* msg, std::size_t len,
+                       std::uint64_t total_bytes, std::uint8_t out[128]) {
+  const std::size_t residue = len % Sha1::kBlockSize;
+  const std::size_t blocks = residue + 1 + 8 <= Sha1::kBlockSize ? 1 : 2;
+  std::memset(out, 0, blocks * Sha1::kBlockSize);
+  if (residue != 0) std::memcpy(out, msg + (len - residue), residue);
+  out[residue] = 0x80;
+  const std::uint64_t bit_len = total_bytes * 8;
+  for (int i = 0; i < 8; ++i) {
+    out[blocks * Sha1::kBlockSize - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  return blocks;
+}
+
+/// Runs kLanes equal-length lanes through the interleaved kernel: whole
+/// blocks straight from the source buffers, then the padded tails.
+template <std::size_t kLanes>
+void finish_lanes_avx2(const Sha1::State* states,
+                       const std::uint8_t* const* msgs, std::size_t len,
+                       Sha1::Digest* out) {
+  static_assert(kLanes == 4 || kLanes == 8);
+  // Chaining values transposed to word-major SoA, the kernel's layout.
+  std::uint32_t st[5 * kLanes];
+  for (std::size_t w = 0; w < 5; ++w) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      st[w * kLanes + l] = states[l].h[w];
+    }
+  }
+
+  const std::size_t full_blocks = len / Sha1::kBlockSize;
+  if (full_blocks > 0) {
+    if constexpr (kLanes == 8) {
+      detail::sha1_compress_x8_avx2(st, msgs, full_blocks);
+    } else {
+      detail::sha1_compress_x4_avx2(st, msgs, full_blocks);
+    }
+  }
+
+  std::uint8_t tails[kLanes][2 * Sha1::kBlockSize];
+  const std::uint8_t* tail_ptrs[kLanes];
+  std::size_t tail_blocks = 0;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    tail_blocks = build_tail(msgs[l], len, states[l].total_bytes + len,
+                             tails[l]);
+    tail_ptrs[l] = tails[l];
+  }
+  if constexpr (kLanes == 8) {
+    detail::sha1_compress_x8_avx2(st, tail_ptrs, tail_blocks);
+  } else {
+    detail::sha1_compress_x4_avx2(st, tail_ptrs, tail_blocks);
+  }
+
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (std::size_t w = 0; w < 5; ++w) {
+      const std::uint32_t v = st[w * kLanes + l];
+      out[l][w * 4 + 0] = static_cast<std::uint8_t>(v >> 24);
+      out[l][w * 4 + 1] = static_cast<std::uint8_t>(v >> 16);
+      out[l][w * 4 + 2] = static_cast<std::uint8_t>(v >> 8);
+      out[l][w * 4 + 3] = static_cast<std::uint8_t>(v);
+    }
+  }
+}
+
+#endif  // CCNVM_AVX2_CRYPTO
+
+}  // namespace
+
+namespace detail {
+
+void sha1_finish_many(const Sha1::State* states,
+                      const std::uint8_t* const* msgs, std::size_t count,
+                      std::size_t len, Sha1::Digest* out) {
+#ifdef CCNVM_AVX2_CRYPTO
+  if (active_sha1_many_impl() == Sha1ManyImpl::kAvx2) {
+    std::size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+      finish_lanes_avx2<8>(states + i, msgs + i, len, out + i);
+    }
+    if (i + 4 <= count) {
+      finish_lanes_avx2<4>(states + i, msgs + i, len, out + i);
+      i += 4;
+    }
+    for (; i < count; ++i) {
+      finish_one_serial(states[i], msgs[i], len, out[i]);
+    }
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < count; ++i) {
+    finish_one_serial(states[i], msgs[i], len, out[i]);
+  }
+}
+
+}  // namespace detail
+
+void sha1_many(std::span<const LineRef> msgs, std::span<Sha1::Digest> out) {
+  CCNVM_CHECK_MSG(msgs.size() == out.size(),
+                  "sha1_many: msgs/out span sizes must match");
+  Sha1::State iv;
+  iv.h = kSha1Iv;
+  iv.total_bytes = 0;
+
+  // Equal-length runs share block count and padding layout, the lockstep
+  // requirement of the interleaved kernel; sha1_finish_many handles the
+  // per-run lane chunking (including the serial tier and short runs).
+  std::vector<Sha1::State> states;
+  std::vector<const std::uint8_t*> ptrs;
+  std::size_t i = 0;
+  while (i < msgs.size()) {
+    const std::size_t len = msgs[i].size();
+    std::size_t j = i + 1;
+    while (j < msgs.size() && msgs[j].size() == len) ++j;
+    const std::size_t n = j - i;
+    states.assign(n, iv);
+    ptrs.resize(n);
+    for (std::size_t k = 0; k < n; ++k) ptrs[k] = msgs[i + k].data();
+    detail::sha1_finish_many(states.data(), ptrs.data(), n, len,
+                             out.data() + i);
+    i = j;
+  }
+}
+
+}  // namespace ccnvm::crypto

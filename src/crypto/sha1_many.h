@@ -1,0 +1,79 @@
+// Multi-buffer SHA-1 (FIPS 180-4 over N independent messages at once).
+//
+// The secure-NVM hot paths — epoch drains, Merkle level rebuilds, store
+// scan-rebuild on open() — present dozens-to-hundreds of *independent*
+// lines to tag in one burst. A single SHA-1 stream is a long dependency
+// chain that leaves SIMD lanes idle; interleaving one message per lane
+// (the classic "multi-buffer" construction, cf. Intel isa-l_crypto /
+// OpenSSL sha1-mb) recovers that throughput without touching the hash
+// definition. Every lane computes textbook SHA-1, so results are
+// bit-identical to the serial tier by construction.
+//
+// The tier is selected at process start (crypto/dispatch.h, axis
+// Sha1ManyImpl): "serial" loops over the single-stream Sha1 path, "avx2"
+// runs 8 lanes in __m256i registers (with a 4-lane __m128i kernel for the
+// tail). Messages of unequal length are grouped into equal-length runs;
+// runs shorter than 4 fall back to the serial path lane by lane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+#include "crypto/sha1.h"
+
+namespace ccnvm::crypto {
+
+/// A borrowed byte range submitted to a batch hash/tag call.
+using LineRef = std::span<const std::uint8_t>;
+
+/// Batch one-shot hashing: out[i] = SHA1(msgs[i]). msgs and out must have
+/// the same size. Bit-identical to Sha1::hash per message on every tier.
+void sha1_many(std::span<const LineRef> msgs, std::span<Sha1::Digest> out);
+
+namespace detail {
+
+/// Batch finisher over equal-length suffixes: for each i in [0, count),
+/// resumes SHA-1 from the chaining value states[i] (a snapshot taken at a
+/// block boundary, `prefix_bytes` absorbed so far — identical for all
+/// lanes), absorbs msgs[i] (`len` bytes each), pads, and writes the final
+/// digest to out[i]. This is the one primitive both sha1_many and
+/// HmacEngine::tag_many lower to: equal lengths mean every lane shares
+/// block count and padding layout, which is what lets lanes run in
+/// lockstep. Dispatches on the active Sha1ManyImpl tier.
+void sha1_finish_many(const Sha1::State* states,
+                      const std::uint8_t* const* msgs, std::size_t count,
+                      std::size_t len, Sha1::Digest* out);
+
+#ifdef CCNVM_AVX2_CRYPTO
+/// 8-lane interleaved compression: state is word-major [5][8]
+/// (state[w * 8 + lane]), data[lane] points at `blocks` consecutive
+/// 64-byte blocks for that lane. Compiled on x86 with -mavx2; callers
+/// must gate on the runtime dispatch tier.
+void sha1_compress_x8_avx2(std::uint32_t* state,
+                           const std::uint8_t* const* data,
+                           std::size_t blocks);
+/// 4-lane variant: state is word-major [5][4].
+void sha1_compress_x4_avx2(std::uint32_t* state,
+                           const std::uint8_t* const* data,
+                           std::size_t blocks);
+
+/// HMAC fast path: tags the largest 8/4-lane-aligned prefix of `count`
+/// equal-length messages without leaving vector registers — the key
+/// midstates are broadcast across lanes, the shared padding block is
+/// synthesized directly as schedule words, and the inner digest feeds the
+/// outer compression in place (no byte serialization between passes).
+/// Returns the number of messages tagged; the caller finishes the
+/// remainder on the serial path. `inner`/`outer` are the per-key pad
+/// midstates (chaining values after one 64-byte block).
+std::size_t hmac_tag_lanes_avx2(const Sha1::State& inner,
+                                const Sha1::State& outer,
+                                const std::uint8_t* const* msgs,
+                                std::size_t count, std::size_t len,
+                                Tag128* out);
+#endif
+
+}  // namespace detail
+
+}  // namespace ccnvm::crypto

@@ -25,6 +25,15 @@ struct TimingParams {
   std::uint64_t aes_latency_ns = 72;   // full OTP generation (ACME)
   std::uint64_t hmac_latency = 80;     // SHA-1 HMAC, cycles
 
+  /// Parallel HMAC engines available to the drain/re-encryption paths.
+  /// The paper's machine has one (the default, which reproduces its
+  /// numbers exactly); >1 models a multi-lane MAC unit, so an epoch
+  /// drain's independent tag updates pipeline — ceil(edges/lanes) engine
+  /// occupancies instead of edges — and page re-encryption overlaps each
+  /// block's OTP generation with the previous block's data-HMAC.
+  /// Functional outputs (tags, NVM images) are identical for any value.
+  std::uint64_t hmac_lanes = 1;
+
   // cc-NVM specific.
   std::uint64_t daq_lookup_latency = 32;  // dirty-address-queue CAM lookup
 

@@ -1,10 +1,36 @@
 #include "secure/cme_engine.h"
 
 #include <cstring>
+#include <vector>
 
 #include "common/check.h"
 
 namespace ccnvm::secure {
+
+void CmeEngine::data_hmac_many(std::span<const DataHmacReq> reqs,
+                               std::span<Tag128> out) const {
+  CCNVM_CHECK_MSG(reqs.size() == out.size(),
+                  "data_hmac_many: reqs/out span sizes must match");
+  // Message layout must match data_hmac exactly: ciphertext, then addr /
+  // major / minor in little-endian byte order (HmacSha1::update_u64).
+  constexpr std::size_t kMsgSize = kLineSize + 3 * sizeof(std::uint64_t);
+  std::vector<std::uint8_t> buf(reqs.size() * kMsgSize);
+  std::vector<crypto::LineRef> refs(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    std::uint8_t* msg = buf.data() + i * kMsgSize;
+    std::memcpy(msg, reqs[i].ciphertext->data(), kLineSize);
+    const std::uint64_t words[3] = {reqs[i].addr, reqs[i].counter.major,
+                                    reqs[i].counter.minor};
+    for (std::size_t w = 0; w < 3; ++w) {
+      for (std::size_t b = 0; b < 8; ++b) {
+        msg[kLineSize + w * 8 + b] =
+            static_cast<std::uint8_t>(words[w] >> (8 * b));
+      }
+    }
+    refs[i] = {msg, kMsgSize};
+  }
+  mac_.tag_many(refs, out);
+}
 
 Tag128 dh_tag_in_line(const Line& line, std::size_t off) {
   CCNVM_CHECK(off % sizeof(Tag128) == 0 && off + sizeof(Tag128) <= kLineSize);

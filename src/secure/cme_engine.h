@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/types.h"
 #include "crypto/aes128.h"
@@ -17,6 +18,14 @@
 #include "crypto/otp.h"
 
 namespace ccnvm::secure {
+
+/// One item of a data-HMAC batch (data_hmac_many). The ciphertext is
+/// borrowed; it must outlive the call.
+struct DataHmacReq {
+  const Line* ciphertext = nullptr;
+  Addr addr = 0;
+  crypto::PadCounter counter{};
+};
 
 class CmeEngine {
  public:
@@ -42,6 +51,15 @@ class CmeEngine {
     mac.update_u64(counter.minor);
     return mac.finalize_tag();
   }
+
+  /// Batch form: out[i] = data_hmac(*reqs[i].ciphertext, reqs[i].addr,
+  /// reqs[i].counter), bit-identical to the serial loop. The fixed
+  /// 88-byte messages are materialized contiguously and tagged through
+  /// HmacEngine::tag_many, so a scan-verification burst (store open,
+  /// page re-encryption) fills SIMD lanes instead of issuing one HMAC at
+  /// a time. reqs and out must have the same size.
+  void data_hmac_many(std::span<const DataHmacReq> reqs,
+                      std::span<Tag128> out) const;
 
   const crypto::HmacKey& mac_key() const { return mac_key_; }
 

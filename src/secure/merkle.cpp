@@ -1,5 +1,6 @@
 #include "secure/merkle.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/thread_pool.h"
@@ -24,6 +25,49 @@ Line MerkleEngine::compute_node(const NodeId& id,
   return node;
 }
 
+void MerkleEngine::compute_nodes(std::span<const NodeId> ids,
+                                 const NodeReader& read_child,
+                                 std::span<Line> out) const {
+  CCNVM_CHECK_MSG(ids.size() == out.size(),
+                  "compute_nodes: ids/out span sizes must match");
+  // Bounded scratch: 64 nodes * kArity children = 256 lines (16 KiB) per
+  // round, enough to keep 8-wide lanes saturated without scaling memory
+  // with the level size.
+  constexpr std::size_t kChunkNodes = 64;
+  std::vector<Line> contents;
+  std::vector<crypto::LineRef> refs;
+  std::vector<Tag128> tags;
+  for (std::size_t base = 0; base < ids.size(); base += kChunkNodes) {
+    const std::size_t n = std::min(kChunkNodes, ids.size() - base);
+    contents.resize(n * NvmLayout::kArity);
+    refs.resize(n * NvmLayout::kArity);
+    tags.resize(n * NvmLayout::kArity);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId& id = ids[base + i];
+      CCNVM_CHECK_MSG(id.level >= 1, "leaves are counter lines, not computed");
+      for (std::uint64_t slot = 0; slot < NvmLayout::kArity; ++slot) {
+        const NodeId child = layout_->child(id, slot);
+        contents[k] =
+            node_exists(child) ? read_child(child) : zero_line();
+        refs[k] = {contents[k].data(), contents[k].size()};
+        ++k;
+      }
+    }
+    mac_.tag_many(refs, tags);
+    k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Line node{};
+      for (std::uint64_t slot = 0; slot < NvmLayout::kArity; ++slot) {
+        std::memcpy(node.data() + slot * sizeof(Tag128), tags[k].bytes.data(),
+                    sizeof(Tag128));
+        ++k;
+      }
+      out[base + i] = node;
+    }
+  }
+}
+
 Line MerkleEngine::build_full_tree(const NodeReader& read,
                                    const NodeWriter& write,
                                    std::size_t jobs) const {
@@ -41,11 +85,22 @@ Line MerkleEngine::build_full_tree(const NodeReader& read,
       CCNVM_CHECK_MSG(id.level == level - 1, "bottom-up order violated");
       return prev[id.index];
     };
-    std::vector<Line> cur =
-        parallel_map<Line>(count, jobs, [&](std::size_t i) {
-          return compute_node(NodeId{level, static_cast<std::uint64_t>(i)},
-                              reader);
-        });
+    // Each worker owns a contiguous chunk of the level and batches its
+    // nodes' child tags through tag_many (compute_nodes); results land by
+    // index, so the output stays bit-identical for any `jobs` value.
+    constexpr std::uint64_t kChunkNodes = 64;
+    const std::size_t chunks =
+        static_cast<std::size_t>((count + kChunkNodes - 1) / kChunkNodes);
+    std::vector<Line> cur(count);
+    parallel_for(chunks, jobs, [&](std::size_t c) {
+      const std::uint64_t begin = static_cast<std::uint64_t>(c) * kChunkNodes;
+      const std::uint64_t end = std::min(begin + kChunkNodes, count);
+      std::vector<NodeId> ids;
+      ids.reserve(end - begin);
+      for (std::uint64_t i = begin; i < end; ++i) ids.push_back({level, i});
+      compute_nodes(ids, reader,
+                    {cur.data() + begin, static_cast<std::size_t>(end - begin)});
+    });
     if (level < layout_->root_level()) {
       for (std::uint64_t i = 0; i < count; ++i) write(NodeId{level, i}, cur[i]);
     }

@@ -43,6 +43,15 @@ class MerkleEngine {
   /// incomplete bottom levels are well defined.
   Line compute_node(const NodeId& id, const NodeReader& read_child) const;
 
+  /// Batch form: out[i] = compute_node(ids[i], read_child), with the
+  /// children's counter-HMACs of the whole group tagged through
+  /// HmacEngine::tag_many so they fill SIMD lanes (4*kArity tags per
+  /// 4-node group). Bit-identical to the serial loop; `read_child` is
+  /// invoked in the same order the serial loop would. ids and out must
+  /// have the same size.
+  void compute_nodes(std::span<const NodeId> ids, const NodeReader& read_child,
+                     std::span<Line> out) const;
+
   /// Root node id for this geometry.
   NodeId root_id() const { return {layout_->root_level(), 0}; }
 

@@ -103,11 +103,13 @@ bool write_bench_json(const std::string& path, const BenchJson& doc) {
   std::fprintf(f.get(),
                "{\n"
                "  \"bench\": \"%s\",\n"
-               "  \"crypto\": {\"aes\": \"%s\", \"sha1\": \"%s\"},\n"
+               "  \"crypto\": {\"aes\": \"%s\", \"sha1\": \"%s\", "
+               "\"sha1_many\": \"%s\"},\n"
                "  \"wall_seconds\": %.3f,\n"
                "  \"metrics\": [",
                doc.bench.c_str(), doc.crypto_aes.c_str(),
-               doc.crypto_sha1.c_str(), doc.wall_seconds);
+               doc.crypto_sha1.c_str(), doc.crypto_sha1_many.c_str(),
+               doc.wall_seconds);
   for (std::size_t i = 0; i < doc.metrics.size(); ++i) {
     const BenchJsonMetric& m = doc.metrics[i];
     std::fprintf(f.get(),

@@ -53,8 +53,9 @@ struct BenchJsonMetric {
 /// headline scalars. Written by `headline --json` / `ycsb --json`.
 struct BenchJson {
   std::string bench;
-  std::string crypto_aes;   // active AES tier name (crypto/dispatch.h)
-  std::string crypto_sha1;  // active SHA-1 tier name
+  std::string crypto_aes;        // active AES tier name (crypto/dispatch.h)
+  std::string crypto_sha1;       // active SHA-1 tier name
+  std::string crypto_sha1_many;  // active multi-buffer SHA-1 tier name
   double wall_seconds = 0.0;
   std::vector<BenchJsonMetric> metrics;
 };

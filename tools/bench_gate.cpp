@@ -1,28 +1,38 @@
 // bench_gate — the CI perf-regression gate.
 //
 //   bench_gate <baseline.json> <candidate.json> [--threshold=0.85]
+//              [--floor=0.70]
 //   bench_gate --self-test <baseline.json>
 //
 // Both inputs are BENCH_headline.json files (sim/report.h schema). The
-// gate compares only the `throughput/*` metrics — absolute ops/s of the
-// crypto primitives every simulated access goes through — because the
-// claim/geomean metrics are normalized ratios that divide out a
-// uniformly slower build.
+// gate compares the `throughput/*` metrics — absolute ops/s of the
+// crypto primitives every simulated access goes through — and the
+// `recovery/*` metrics — wall-clock costs of the reopen/scan paths,
+// scored inverted because lower is better. The claim/geomean metrics
+// are skipped: they are normalized ratios that divide out a uniformly
+// slower build.
 //
 // Host-speed calibration: each file also carries `calibration/spin`, a
 // crypto-free ALU spin measured by the same binary in the same run. Per
 // metric the gate scores
 //
-//     (candidate / candidate_spin) / (baseline / baseline_spin)
+//     throughput/*:  (candidate / candidate_spin) / (baseline / baseline_spin)
+//     recovery/*:    (baseline / candidate) / (cand_spin / base_spin)
 //
 // so a throttled or slower CI machine cancels out and only *relative*
-// slowdowns of the measured code remain. The verdict is the geometric
-// mean of those scores: below the threshold (default 0.85, i.e. a >15%
-// geomean regression) the gate exits 1.
+// slowdowns of the measured code remain. Two verdicts must both hold:
 //
-// --self-test proves the gate can actually trip: it replays the baseline
-// against itself (must pass) and against a synthetic candidate with all
-// throughput/* values halved — a planted 2x slowdown — which must fail.
+//   * the geometric mean of the scores is at least --threshold (default
+//     0.85, i.e. a >15% geomean regression fails), and
+//   * every individual score is at least --floor (default 0.70) — so a
+//     single metric cratering 2x cannot hide behind an unrelated speedup
+//     elsewhere in the geomean.
+//
+// --self-test proves the gate can actually trip: the baseline replayed
+// against itself must pass, a synthetic candidate with all gated values
+// regressed 2x must fail on the geomean, and a candidate with one metric
+// regressed 4x masked by an equal speedup elsewhere — geomean-neutral —
+// must still fail on the per-metric floor.
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -36,8 +46,10 @@
 namespace {
 
 constexpr double kDefaultThreshold = 0.85;
+constexpr double kDefaultFloor = 0.70;
 constexpr char kSpinMetric[] = "calibration/spin";
 constexpr char kThroughputPrefix[] = "throughput/";
+constexpr char kRecoveryPrefix[] = "recovery/";
 
 /// Scanning parser for the fixed write_bench_json schema: every metric is
 /// a `{"name": "...", "value": N, ...}` object with `name` preceding
@@ -91,12 +103,26 @@ struct GateResult {
   bool pass = false;
   double geomean = 0.0;
   std::size_t compared = 0;
+  double min_score = 0.0;
+  std::string min_name;
 };
+
+bool is_gated(const std::string& name, bool& lower_is_better) {
+  if (name.rfind(kThroughputPrefix, 0) == 0) {
+    lower_is_better = false;
+    return true;
+  }
+  if (name.rfind(kRecoveryPrefix, 0) == 0) {
+    lower_is_better = true;
+    return true;
+  }
+  return false;
+}
 
 /// Scores candidate vs baseline and prints the per-metric table.
 GateResult run_gate(const std::map<std::string, double>& baseline,
                     const std::map<std::string, double>& candidate,
-                    double threshold) {
+                    double threshold, double floor) {
   GateResult r;
   double calibration = 1.0;
   const auto base_spin = baseline.find(kSpinMetric);
@@ -113,24 +139,41 @@ GateResult run_gate(const std::map<std::string, double>& baseline,
               "score");
   double log_sum = 0.0;
   for (const auto& [name, base_value] : baseline) {
-    if (name.rfind(kThroughputPrefix, 0) != 0) continue;
+    bool lower_is_better = false;
+    if (!is_gated(name, lower_is_better)) continue;
     const auto it = candidate.find(name);
     if (it == candidate.end() || base_value <= 0 || it->second <= 0) continue;
-    const double score = (it->second / base_value) / calibration;
-    std::printf("%-32s %14.0f %14.0f %7.3fx\n", name.c_str(), base_value,
-                it->second, score);
+    // For time-like metrics the ratio inverts, and so does the spin
+    // correction: a 2x slower host halves throughput but doubles wall
+    // time, and both must normalize to a 1.0 score.
+    const double score = lower_is_better
+                             ? (base_value / it->second) / calibration
+                             : (it->second / base_value) / calibration;
+    const bool below_floor = score < floor;
+    std::printf("%-32s %14.0f %14.0f %7.3fx%s\n", name.c_str(), base_value,
+                it->second, score, below_floor ? "  << floor" : "");
     log_sum += std::log(score);
+    if (r.compared == 0 || score < r.min_score) {
+      r.min_score = score;
+      r.min_name = name;
+    }
     ++r.compared;
   }
   if (r.compared == 0) {
     std::fprintf(stderr,
-                 "bench_gate: no common throughput/* metrics to compare\n");
+                 "bench_gate: no common throughput/* or recovery/* metrics "
+                 "to compare\n");
     return r;
   }
   r.geomean = std::exp(log_sum / static_cast<double>(r.compared));
-  r.pass = r.geomean >= threshold;
+  const bool geomean_ok = r.geomean >= threshold;
+  const bool floor_ok = r.min_score >= floor;
+  r.pass = geomean_ok && floor_ok;
   std::printf("geomean %.3fx over %zu metrics (threshold %.2fx): %s\n",
-              r.geomean, r.compared, threshold, r.pass ? "PASS" : "FAIL");
+              r.geomean, r.compared, threshold, geomean_ok ? "ok" : "FAIL");
+  std::printf("worst metric %s at %.3fx (floor %.2fx): %s\n",
+              r.min_name.c_str(), r.min_score, floor, floor_ok ? "ok" : "FAIL");
+  std::printf("verdict: %s\n", r.pass ? "PASS" : "FAIL");
   return r;
 }
 
@@ -138,32 +181,75 @@ int self_test(const std::string& baseline_path) {
   const auto baseline = parse_metrics(baseline_path);
   if (!baseline) return 2;
 
-  std::printf("--- self-test 1/2: baseline vs itself must pass ---\n");
-  const GateResult same = run_gate(*baseline, *baseline, kDefaultThreshold);
+  std::printf("--- self-test 1/3: baseline vs itself must pass ---\n");
+  const GateResult same =
+      run_gate(*baseline, *baseline, kDefaultThreshold, kDefaultFloor);
   if (!same.pass || same.compared == 0) {
     std::fprintf(stderr, "bench_gate self-test: identity comparison FAILED\n");
     return 1;
   }
 
-  std::printf("--- self-test 2/2: planted 2x slowdown must fail ---\n");
+  std::printf("--- self-test 2/3: planted 2x slowdown must fail ---\n");
   std::map<std::string, double> slowed = *baseline;
   for (auto& [name, value] : slowed) {
-    if (name.rfind(kThroughputPrefix, 0) == 0) value /= 2.0;
+    bool lower_is_better = false;
+    if (!is_gated(name, lower_is_better)) continue;
+    // Regress every gated metric 2x in its own direction.
+    value = lower_is_better ? value * 2.0 : value / 2.0;
   }
-  const GateResult slow = run_gate(*baseline, slowed, kDefaultThreshold);
+  const GateResult slow =
+      run_gate(*baseline, slowed, kDefaultThreshold, kDefaultFloor);
   if (slow.pass) {
     std::fprintf(stderr,
                  "bench_gate self-test: gate did NOT trip on a 2x slowdown\n");
     return 1;
   }
-  std::printf("self-test ok: gate passes identical runs and trips on 2x\n");
+
+  std::printf(
+      "--- self-test 3/3: masked 4x regression must fail on the floor ---\n");
+  // One gated metric craters 4x while another speeds up 4x: the geomean
+  // is unchanged, so only the per-metric floor can catch it. This is the
+  // exact blind spot the floor exists for.
+  std::vector<std::string> gated;
+  for (const auto& [name, value] : *baseline) {
+    bool lower_is_better = false;
+    if (is_gated(name, lower_is_better) && !lower_is_better && value > 0) {
+      gated.push_back(name);
+    }
+  }
+  if (gated.size() < 2) {
+    std::fprintf(stderr,
+                 "bench_gate self-test: needs >= 2 throughput metrics for "
+                 "the masking case\n");
+    return 1;
+  }
+  std::map<std::string, double> masked = *baseline;
+  masked[gated[0]] /= 4.0;
+  masked[gated[1]] *= 4.0;
+  const GateResult mask =
+      run_gate(*baseline, masked, kDefaultThreshold, kDefaultFloor);
+  if (mask.pass) {
+    std::fprintf(stderr,
+                 "bench_gate self-test: floor did NOT trip on a masked 4x "
+                 "regression\n");
+    return 1;
+  }
+  if (mask.geomean < kDefaultThreshold) {
+    std::fprintf(stderr,
+                 "bench_gate self-test: masking case tripped the geomean, "
+                 "not the floor — case is miscalibrated\n");
+    return 1;
+  }
+  std::printf(
+      "self-test ok: identity passes, 2x trips geomean, masked 4x trips "
+      "floor\n");
   return 0;
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage: bench_gate <baseline.json> <candidate.json> "
-               "[--threshold=0.85]\n"
+               "[--threshold=0.85] [--floor=0.70]\n"
                "       bench_gate --self-test <baseline.json>\n");
   return 2;
 }
@@ -177,13 +263,21 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
 
   double threshold = kDefaultThreshold;
+  double floor = kDefaultFloor;
   for (int i = 3; i < argc; ++i) {
-    const char* prefix = "--threshold=";
-    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+    const char* tprefix = "--threshold=";
+    const char* fprefix = "--floor=";
+    if (std::strncmp(argv[i], tprefix, std::strlen(tprefix)) == 0) {
       char* end = nullptr;
-      threshold = std::strtod(argv[i] + std::strlen(prefix), &end);
-      if (end == argv[i] + std::strlen(prefix) || threshold <= 0 ||
+      threshold = std::strtod(argv[i] + std::strlen(tprefix), &end);
+      if (end == argv[i] + std::strlen(tprefix) || threshold <= 0 ||
           threshold > 1.0) {
+        return usage();
+      }
+    } else if (std::strncmp(argv[i], fprefix, std::strlen(fprefix)) == 0) {
+      char* end = nullptr;
+      floor = std::strtod(argv[i] + std::strlen(fprefix), &end);
+      if (end == argv[i] + std::strlen(fprefix) || floor <= 0 || floor > 1.0) {
         return usage();
       }
     } else {
@@ -194,7 +288,7 @@ int main(int argc, char** argv) {
   const auto baseline = parse_metrics(argv[1]);
   const auto candidate = parse_metrics(argv[2]);
   if (!baseline || !candidate) return 2;
-  const GateResult r = run_gate(*baseline, *candidate, threshold);
+  const GateResult r = run_gate(*baseline, *candidate, threshold, floor);
   if (r.compared == 0) return 2;
   return r.pass ? 0 : 1;
 }
