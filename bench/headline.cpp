@@ -330,6 +330,59 @@ int main(int argc, char** argv) {
           {"recovery/open_scan_rebuild_ms", best_ms, "ms"});
     }
 
+    // Barrier-baseline probes (the tradeoff_curve designs' two hot
+    // paths), gated like the rest so a regression in the shared
+    // propagate/persist machinery shows up even if the cc drain path
+    // dodges it:
+    //   - phoenix_writeback prices the persist-everything write-back
+    //     (full-branch HMAC walk + atomic batch per op);
+    //   - triad_n2_ms prices the rebuild-above-the-frontier recovery
+    //     (levels 3..root recomputed from the persisted level 2).
+    {
+      core::DesignConfig pcfg;
+      pcfg.data_capacity = 64 * kPageSize;
+      auto phoenix = core::make_design(core::DesignKind::kPhoenix, pcfg);
+      Line wline{};
+      std::uint64_t at = 0;
+      doc.metrics.push_back(
+          {"throughput/phoenix_writeback", measure_ops_per_sec([&] {
+             wline[0] = static_cast<std::uint8_t>(at);
+             phoenix->write_back((at % (64 * kPageSize / kLineSize)) *
+                                     kLineSize,
+                                 wline);
+             ++at;
+           }),
+           "ops/s"});
+    }
+    {
+      core::DesignConfig tcfg;
+      tcfg.data_capacity = 1024 * kPageSize;
+      tcfg.persist_level = 2;
+      auto triad = core::make_design(core::DesignKind::kTriadNvm, tcfg);
+      Line wline{};
+      for (std::uint64_t i = 0; i < 2000; ++i) {
+        wline[0] = static_cast<std::uint8_t>(i);
+        triad->write_back((i * 37 % (1024 * kPageSize / kLineSize)) *
+                              kLineSize,
+                          wline);
+      }
+      double best_ms = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        triad->crash_power_loss();
+        const auto r0 = std::chrono::steady_clock::now();
+        const core::RecoveryReport report = triad->recover();
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - r0)
+                              .count();
+        if (!report.clean) {
+          std::fprintf(stderr, "triad recovery bench: not clean\n");
+          return 1;
+        }
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      doc.metrics.push_back({"recovery/triad_n2_ms", best_ms, "ms"});
+    }
+
     if (!sim::write_bench_json(json_path, doc)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;

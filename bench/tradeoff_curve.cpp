@@ -1,0 +1,221 @@
+// Recovery-time vs write-traffic tradeoff across the design space (§2.3's
+// triangle, extended with the barrier baselines): every secure-NVM design
+// picks a point between "persist nothing and rebuild everything at boot"
+// (Osiris-style) and "persist the whole tree on every write-back and boot
+// instantly" (Phoenix). Triad-NVM's persist frontier N sweeps the segment
+// between them, and cc-NVM sits off the segment entirely — epoch commits
+// buy near-SC write traffic with a bounded rebuild.
+//
+//   tradeoff_curve [--json out.json]
+//
+// One fixed write workload runs on each design; the row reports the
+// metadata write traffic it generated, a throughput proxy (write-backs
+// per engine-busy kilocycle), and the post-crash recovery cost both
+// modelled (HMAC evaluations x 80 cycles at 3 GHz, the recovery_latency
+// convention) and as measured wall time of the functional recovery. The
+// bench exits non-zero if the curve is not monotone: recovery cost must
+// not increase with the persist frontier, persisted-tree writes must not
+// decrease with it, and Phoenix must bound the frontier sweep on both
+// ends. --json writes the machine-readable BENCH_tradeoff.json the
+// baselines CI lane archives on every PR.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/design.h"
+#include "crypto/dispatch.h"
+#include "sim/report.h"
+
+using namespace ccnvm;
+
+namespace {
+
+// 4096 pages -> a 6-level counter tree (arity 4), so the Triad frontiers
+// 1, 2 and 4 land on distinct levels and "all" (clamped to root-1 = 5)
+// is distinct from N=4.
+constexpr std::uint64_t kPages = 4096;
+constexpr std::uint64_t kWorkloadOps = 6000;
+
+// recovery_latency's hardware cost convention: one HMAC engine
+// evaluation per rebuilt/verified node, 80 cycles each, 3 GHz clock.
+constexpr double kHmacCycles = 80.0;
+constexpr double kGhz = 3.0;
+
+struct CurveRow {
+  std::string name;
+  double write_amp = 0.0;        // NVM writes per data write
+  double tree_writes_per_op = 0.0;  // counter+MT line writes per write-back
+  double ipc_proxy = 0.0;        // write-backs per engine-busy kilocycle
+  double recovery_model_ms = 0.0;
+  double recovery_wall_ms = 0.0;
+  std::uint64_t rebuild_hash_ops = 0;
+  std::uint64_t tree_nodes_rebuilt = 0;
+};
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  l[0] = static_cast<std::uint8_t>(tag);
+  l[1] = static_cast<std::uint8_t>(tag >> 8);
+  l[2] = static_cast<std::uint8_t>(tag >> 16);
+  return l;
+}
+
+CurveRow run_design(const std::string& name, core::DesignKind kind,
+                    std::uint32_t persist_level) {
+  core::DesignConfig cfg;
+  cfg.data_capacity = kPages * kPageSize;
+  cfg.persist_level = persist_level;
+  auto design = core::make_design(kind, cfg);
+  auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
+  CCNVM_CHECK(base != nullptr);
+
+  // The same op stream for every design: uniformly random line
+  // write-backs over the whole capacity (the worst case for tree-path
+  // sharing, i.e. the fairest one for persist-everything schemes).
+  Rng rng(2019);
+  for (std::uint64_t i = 0; i < kWorkloadOps; ++i) {
+    const Addr a = rng.below(kPages * kPageSize / kLineSize) * kLineSize;
+    design->write_back(a, pattern_line(i));
+  }
+  base->quiesce();
+
+  CurveRow row;
+  row.name = name;
+  const nvm::TrafficStats& t = design->traffic();
+  row.write_amp = static_cast<double>(t.total_writes()) /
+                  static_cast<double>(t.data_writes);
+  row.tree_writes_per_op =
+      static_cast<double>(t.counter_writes + t.mt_writes) /
+      static_cast<double>(base->stats().write_backs);
+  row.ipc_proxy = 1000.0 * static_cast<double>(base->stats().write_backs) /
+                  static_cast<double>(base->stats().engine_busy_cycles);
+
+  design->crash_power_loss();
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::RecoveryReport report = design->recover();
+  row.recovery_wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  CCNVM_CHECK_MSG(report.clean && report.metadata_recovered,
+                  "tradeoff curve: recovery not clean");
+  row.rebuild_hash_ops = report.rebuild_hash_ops;
+  row.tree_nodes_rebuilt = report.tree_nodes_rebuilt;
+  row.recovery_model_ms = static_cast<double>(report.rebuild_hash_ops) *
+                          kHmacCycles / (kGhz * 1e6);
+  return row;
+}
+
+bool non_increasing(const std::vector<const CurveRow*>& rows,
+                    double CurveRow::* field, const char* what) {
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i]->*field > rows[i - 1]->*field + 1e-12) {
+      std::fprintf(stderr,
+                   "tradeoff curve NOT monotone: %s of %s (%.6f) exceeds "
+                   "%s (%.6f)\n",
+                   what, rows[i]->name.c_str(), rows[i]->*field,
+                   rows[i - 1]->name.c_str(), rows[i - 1]->*field);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  const struct {
+    const char* name;
+    core::DesignKind kind;
+    std::uint32_t persist_level;
+  } designs[] = {
+      {"triad_n1", core::DesignKind::kTriadNvm, 1},
+      {"triad_n2", core::DesignKind::kTriadNvm, 2},
+      {"triad_n4", core::DesignKind::kTriadNvm, 4},
+      {"triad_all", core::DesignKind::kTriadNvm, 64},  // clamped to root-1
+      {"phoenix", core::DesignKind::kPhoenix, 1},
+      {"cc_nvm", core::DesignKind::kCcNvm, 1},
+      {"cc_nvm_plus", core::DesignKind::kCcNvmPlus, 1},
+  };
+  std::vector<CurveRow> rows;
+  for (const auto& d : designs) {
+    rows.push_back(run_design(d.name, d.kind, d.persist_level));
+  }
+
+  std::printf("=== Recovery / write-traffic tradeoff (%llu pages, %llu "
+              "ops) ===\n\n",
+              static_cast<unsigned long long>(kPages),
+              static_cast<unsigned long long>(kWorkloadOps));
+  std::printf("%-12s %9s %9s %9s | %10s %12s %10s\n", "design", "write amp",
+              "tree w/op", "ipc proxy", "rebuilds", "model (ms)",
+              "wall (ms)");
+  for (const CurveRow& r : rows) {
+    std::printf("%-12s %9.3f %9.3f %9.3f | %10llu %12.4f %10.3f\n",
+                r.name.c_str(), r.write_amp, r.tree_writes_per_op,
+                r.ipc_proxy,
+                static_cast<unsigned long long>(r.rebuild_hash_ops),
+                r.recovery_model_ms, r.recovery_wall_ms);
+  }
+
+  // The curve's contract (deterministic — the model column, not wall
+  // time): deeper persist frontiers strictly shed recovery work and add
+  // persisted-tree write traffic, with Phoenix as the fast-boot endpoint.
+  const CurveRow* t1 = &rows[0];
+  const CurveRow* t2 = &rows[1];
+  const CurveRow* t4 = &rows[2];
+  const CurveRow* tall = &rows[3];
+  const CurveRow* phoenix = &rows[4];
+  bool ok = true;
+  ok &= non_increasing({t1, t2, t4, tall, phoenix},
+                       &CurveRow::recovery_model_ms, "recovery model");
+  ok &= non_increasing({phoenix, tall, t4, t2, t1},
+                       &CurveRow::tree_writes_per_op, "tree writes/op");
+  if (phoenix->tree_nodes_rebuilt != 0) {
+    std::fprintf(stderr, "tradeoff curve: phoenix rebuilt %llu tree nodes "
+                 "(expected 0)\n",
+                 static_cast<unsigned long long>(phoenix->tree_nodes_rebuilt));
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  if (!json_path.empty()) {
+    sim::BenchJson doc;
+    doc.bench = "tradeoff_curve";
+    doc.crypto_aes = crypto::impl_name(crypto::active_aes_impl());
+    doc.crypto_sha1 = crypto::impl_name(crypto::active_sha1_impl());
+    doc.crypto_sha1_many =
+        crypto::impl_name(crypto::active_sha1_many_impl());
+    doc.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+    for (const CurveRow& r : rows) {
+      doc.metrics.push_back(
+          {"tradeoff/" + r.name + "/write_amp", r.write_amp, "x"});
+      doc.metrics.push_back({"tradeoff/" + r.name + "/tree_writes_per_op",
+                             r.tree_writes_per_op, "lines/op"});
+      doc.metrics.push_back(
+          {"tradeoff/" + r.name + "/ipc_proxy", r.ipc_proxy, "wb/kcycle"});
+      doc.metrics.push_back({"tradeoff/" + r.name + "/recovery_model_ms",
+                             r.recovery_model_ms, "ms"});
+      doc.metrics.push_back({"tradeoff/" + r.name + "/recovery_wall_ms",
+                             r.recovery_wall_ms, "ms"});
+    }
+    if (!sim::write_bench_json(json_path, doc)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\n(json written to %s)\n", json_path.c_str());
+  }
+  return 0;
+}

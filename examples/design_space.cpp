@@ -1,7 +1,8 @@
-// Design-space comparison on one workload: the five evaluated designs
-// side by side, with their per-write-back costs, traffic breakdown, drain
-// behaviour and recovery capability summarized — a compact narrative of
-// Table-less §3 plus Figure 5 for a single benchmark.
+// Design-space comparison on one workload: the paper's evaluated designs
+// plus the Triad-NVM / Phoenix barrier baselines side by side, with their
+// per-write-back costs, traffic breakdown, drain behaviour and recovery
+// capability summarized — a compact narrative of Table-less §3 plus
+// Figure 5 for a single benchmark.
 //
 //   $ ./build/examples/design_space [benchmark]   (default: milc)
 #include <cstdio>
@@ -26,6 +27,10 @@ const char* capability(core::DesignKind kind) {
       return "recover + locate";
     case core::DesignKind::kCcNvmPlus:
       return "recover + locate (incl. epoch window)";
+    case core::DesignKind::kTriadNvm:
+      return "recover + locate to frontier";
+    case core::DesignKind::kPhoenix:
+      return "recover + locate (no rebuild)";
   }
   return "?";
 }
@@ -49,7 +54,8 @@ int main(int argc, char** argv) {
   const std::vector<core::DesignKind> kinds = {
       core::DesignKind::kWoCc,       core::DesignKind::kStrict,
       core::DesignKind::kOsirisPlus, core::DesignKind::kCcNvmNoDs,
-      core::DesignKind::kCcNvm,      core::DesignKind::kCcNvmPlus};
+      core::DesignKind::kCcNvm,      core::DesignKind::kCcNvmPlus,
+      core::DesignKind::kTriadNvm,   core::DesignKind::kPhoenix};
   const sim::BenchmarkRow row = sim::run_benchmark(profile, kinds, config);
 
   for (const sim::DesignRun& run : row.runs) {
@@ -69,7 +75,10 @@ int main(int argc, char** argv) {
       "\nReading guide: IPC and writes are normalized to w/o CC. SC pays a\n"
       "full metadata branch per write-back; Osiris Plus persists almost\n"
       "nothing but cannot locate attacks after a crash; cc-NVM batches\n"
-      "metadata per epoch and keeps the locate ability. 'busy/wb' is the\n"
-      "engine blocking per write-back that drives the IPC column.\n");
+      "metadata per epoch and keeps the locate ability. Triad-NVM persists\n"
+      "the tree to level N per write-back and Phoenix the whole branch —\n"
+      "cheaper recovery than cc-NVM, paid in write traffic (see\n"
+      "bench/tradeoff_curve for the full curve). 'busy/wb' is the engine\n"
+      "blocking per write-back that drives the IPC column.\n");
   return 0;
 }

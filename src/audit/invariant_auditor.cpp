@@ -52,10 +52,13 @@ bool InvariantAuditor::is_cc_design(const core::AuditView& view) const {
 
 bool InvariantAuditor::tree_persisted(const core::AuditView& view) const {
   // w/o CC persists evicted lines with no atomicity (its image is
-  // legitimately torn after a crash) and Osiris Plus never persists tree
-  // nodes at all; only SC and the cc-NVM family commit a consistent
+  // legitimately torn after a crash), Osiris Plus never persists tree
+  // nodes at all, and Triad-NVM deliberately leaves the levels above its
+  // frontier volatile (the image cannot verify whole against any root);
+  // only SC, Phoenix and the cc-NVM family commit a consistent
   // NVM-resident tree.
   return view.kind == core::DesignKind::kStrict ||
+         view.kind == core::DesignKind::kPhoenix ||
          view.kind == core::DesignKind::kCcNvmNoDs ||
          view.kind == core::DesignKind::kCcNvm ||
          view.kind == core::DesignKind::kCcNvmPlus;

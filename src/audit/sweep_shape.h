@@ -73,9 +73,13 @@ inline constexpr std::array<core::DrainCrashPoint, 4> kSweepCrashPoints = {
     core::DrainCrashPoint::kAfterBatchBeforeEnd,
     core::DrainCrashPoint::kAfterEndBeforeCommit};
 
-/// The non-draining designs (crash-after-K-operations passes).
-inline constexpr std::array<core::DesignKind, 3> kNonCcSweepKinds = {
+/// The non-draining designs (crash-after-K-operations passes). The
+/// barrier baselines belong here: Triad-NVM and Phoenix persist on every
+/// write-back, so the §4.2 trigger/crash-point matrix has nothing to
+/// exercise and the crash-prefix passes cover them completely.
+inline constexpr std::array<core::DesignKind, 5> kNonCcSweepKinds = {
     core::DesignKind::kWoCc, core::DesignKind::kStrict,
-    core::DesignKind::kOsirisPlus};
+    core::DesignKind::kOsirisPlus, core::DesignKind::kTriadNvm,
+    core::DesignKind::kPhoenix};
 
 }  // namespace ccnvm::audit

@@ -1,5 +1,7 @@
 #include "baselines/osiris_plus.h"
+#include "baselines/phoenix.h"
 #include "baselines/strict_consistency.h"
+#include "baselines/triad_nvm.h"
 #include "baselines/wo_cc.h"
 #include "core/cc_nvm.h"
 #include "core/cc_nvm_plus.h"
@@ -24,6 +26,10 @@ std::unique_ptr<SecureNvmDesign> make_design(DesignKind kind,
                                            /*deferred_spreading=*/true);
     case DesignKind::kCcNvmPlus:
       return std::make_unique<CcNvmPlusDesign>(config);
+    case DesignKind::kTriadNvm:
+      return std::make_unique<baselines::TriadNvmDesign>(config);
+    case DesignKind::kPhoenix:
+      return std::make_unique<baselines::PhoenixDesign>(config);
   }
   CCNVM_CHECK_MSG(false, "unknown design kind");
   return nullptr;

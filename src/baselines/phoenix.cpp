@@ -1,0 +1,35 @@
+#include "baselines/phoenix.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ccnvm::baselines {
+
+std::uint64_t PhoenixDesign::on_write_back_metadata(
+    Addr addr, bool counter_was_cached, std::uint64_t crypt_cycles) {
+  const std::uint64_t walk =
+      propagate_path(addr, counter_was_cached, /*stop_at_cached=*/false);
+
+  // Persist the whole affected branch in place, atomically. The WPQ
+  // pushes stream alongside the chain recomputation (each node can enter
+  // the queue as soon as its own HMAC lands), so the transfer cost
+  // overlaps the walk instead of adding to it as in SC.
+  controller_.begin_atomic_batch();
+  const std::vector<Addr> branch = metadata_addrs_for(addr);
+  for (Addr line : branch) persist_metadata(line, /*batched=*/true);
+  controller_.end_atomic_batch();
+  for (Addr line : branch) meta_cache_.clean(line);
+  tcb_.root_old = tcb_.root_new;
+  tcb_.n_wb = 0;
+  return std::max({crypt_cycles, walk,
+                   static_cast<std::uint64_t>(4 * branch.size())});
+}
+
+std::uint64_t PhoenixDesign::on_meta_eviction(Addr line_addr, bool dirty) {
+  // Branches are flushed and cleaned each write-back; a dirty line exists
+  // only transiently inside the current propagation (see SC).
+  if (dirty) persist_metadata(line_addr, /*batched=*/false);
+  return 0;
+}
+
+}  // namespace ccnvm::baselines

@@ -1,0 +1,35 @@
+// "Phoenix" — Alwadi et al. (PAPERS.md): persistently secure counter
+// tree.
+//
+// Counters and every affected tree node persist in place on each
+// write-back, so the NVM copy of the whole tree is current at every crash
+// point and recovery verifies the root without rebuilding anything —
+// near-zero recovery at the cost of extra metadata writes (visible in
+// TrafficStats, the tradeoff the bench curve plots). Unlike SC's serial
+// push, Phoenix streamlines the updates: the WPQ transfers overlap the
+// chain recomputation instead of serializing after it.
+#pragma once
+
+#include "core/design.h"
+
+namespace ccnvm::baselines {
+
+class PhoenixDesign : public core::SecureNvmBase {
+ public:
+  using SecureNvmBase::SecureNvmBase;
+
+  core::DesignKind kind() const override {
+    return core::DesignKind::kPhoenix;
+  }
+
+ protected:
+  std::uint64_t on_write_back_metadata(Addr addr, bool counter_was_cached,
+                                       std::uint64_t crypt_cycles) override;
+  std::uint64_t on_meta_eviction(Addr line_addr, bool dirty) override;
+
+  core::RecoveryMode recovery_mode() const override {
+    return core::RecoveryMode::kPhoenix;
+  }
+};
+
+}  // namespace ccnvm::baselines

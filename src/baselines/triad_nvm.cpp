@@ -1,0 +1,65 @@
+#include "baselines/triad_nvm.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ccnvm::baselines {
+
+std::uint64_t TriadNvmDesign::on_write_back_metadata(
+    Addr addr, bool counter_was_cached, std::uint64_t crypt_cycles) {
+  // The chain recomputes serially to the root (ROOT_new must cover the
+  // written-back data); encryption overlaps, as in SC.
+  std::uint64_t busy = std::max(
+      crypt_cycles,
+      propagate_path(addr, counter_was_cached, /*stop_at_cached=*/false));
+
+  // Persistence barrier: atomically flush the counter line plus the path
+  // nodes at levels 1..N. Levels above N never hit the WPQ — that is the
+  // write traffic Triad-NVM saves over SC.
+  controller_.begin_atomic_batch();
+  std::vector<Addr> persisted;
+  for (Addr line : metadata_addrs_for(addr)) {
+    if (layout_.is_mt_addr(line) &&
+        layout_.node_id_of(line).level > frontier_) {
+      continue;
+    }
+    persist_metadata(line, /*batched=*/true);
+    busy += 4;  // on-chip transfer into the WPQ
+    persisted.push_back(line);
+  }
+  controller_.end_atomic_batch();
+  for (Addr line : persisted) meta_cache_.clean(line);
+  tcb_.root_old = tcb_.root_new;
+  tcb_.n_wb = 0;
+  return busy;
+}
+
+std::uint64_t TriadNvmDesign::on_meta_eviction(Addr line_addr, bool dirty) {
+  if (!dirty) return 0;
+  if (layout_.is_mt_addr(line_addr) &&
+      layout_.node_id_of(line_addr).level > frontier_) {
+    // Above the barrier: dropped, recomputable from the levels below.
+    return 0;
+  }
+  // At or below the barrier, dirty lines exist only transiently inside the
+  // current write-back's propagation (the batch flush covers their final
+  // values), as in SC.
+  persist_metadata(line_addr, /*batched=*/false);
+  return 0;
+}
+
+std::uint64_t TriadNvmDesign::fetch_metadata(Addr line_addr) {
+  if (layout_.is_mt_addr(line_addr) &&
+      layout_.node_id_of(line_addr).level > frontier_) {
+    // No current NVM copy exists above the barrier: recompute the node
+    // from its children, one counter-HMAC per child slot (Osiris-style).
+    const std::uint64_t busy = nvm::NvmLayout::kArity * timing_.hmac_latency;
+    stats_.hmac_ops += nvm::NvmLayout::kArity;
+    return busy;
+  }
+  // Counters and levels <= N persist on every write-back, so the default
+  // fetch-and-verify against the committed chain applies.
+  return SecureNvmBase::fetch_metadata(line_addr);
+}
+
+}  // namespace ccnvm::baselines

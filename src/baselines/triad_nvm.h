@@ -1,0 +1,57 @@
+// "Triad-NVM" — Awad et al., ISCA'19 (PAPERS.md).
+//
+// A persistence barrier at tree level N (`DesignConfig::persist_level`):
+// every write-back atomically persists the counter line and the tree
+// nodes on its path up to level N, while the levels above N stay
+// chip-only like Osiris — recomputable on demand and rebuilt at recovery
+// from the persisted frontier. N sweeps the relaxed-to-strict spectrum:
+// N = 1 persists one node per write-back (fast, most recovery work),
+// N >= tree height persists the whole branch (the strict variant, zero
+// rebuild). The root lives in the persistent TCB register as everywhere
+// else, so recovery verifies the rebuilt levels against ROOT_new and a
+// full data-HMAC scan, localizing tampering down to the frontier.
+#pragma once
+
+#include "core/design.h"
+
+namespace ccnvm::baselines {
+
+class TriadNvmDesign : public core::SecureNvmBase {
+ public:
+  explicit TriadNvmDesign(const core::DesignConfig& config)
+      : SecureNvmBase(config),
+        frontier_(std::min(config.persist_level,
+                           layout_.root_level() > 0 ? layout_.root_level() - 1
+                                                    : 0u)) {}
+
+  core::DesignKind kind() const override {
+    return core::DesignKind::kTriadNvm;
+  }
+
+  /// Effective persistence frontier (persist_level clamped to the
+  /// internal levels of this geometry).
+  std::uint32_t frontier() const { return frontier_; }
+
+ protected:
+  std::uint64_t on_write_back_metadata(Addr addr, bool counter_was_cached,
+                                       std::uint64_t crypt_cycles) override;
+  std::uint64_t on_meta_eviction(Addr line_addr, bool dirty) override;
+  std::uint64_t fetch_metadata(Addr line_addr) override;
+
+  core::RecoveryMode recovery_mode() const override {
+    return core::RecoveryMode::kTriad;
+  }
+
+  bool tree_level_persisted(std::uint32_t level) const override {
+    return level <= frontier_;
+  }
+
+  void augment_recovery_inputs(core::RecoveryInputs& inputs) override {
+    inputs.persist_level = frontier_;
+  }
+
+ private:
+  std::uint32_t frontier_;
+};
+
+}  // namespace ccnvm::baselines

@@ -28,6 +28,10 @@ std::string_view design_name(DesignKind kind) {
       return "cc-NVM";
     case DesignKind::kCcNvmPlus:
       return "cc-NVM+";
+    case DesignKind::kTriadNvm:
+      return "Triad-NVM";
+    case DesignKind::kPhoenix:
+      return "Phoenix";
   }
   return "?";
 }
@@ -607,7 +611,6 @@ std::vector<Addr> SecureNvmBase::audit_image() {
   CCNVM_CHECK_MSG(functional(), "audit requires the functional engine");
   quiesce();
   std::vector<Addr> bad;
-  const bool tree_in_nvm = recovery_mode() != RecoveryMode::kOsiris;
 
   // Per-page scratch for the batched data-HMAC sweep: one tag_many burst
   // per page instead of one HMAC per block. Same blocks, same order.
@@ -642,13 +645,12 @@ std::vector<Addr> SecureNvmBase::audit_image() {
       if (!(tags[i] == stored_tags[i])) bad.push_back(req_addrs[i]);
     }
   }
-  if (tree_in_nvm) {
-    for (std::uint32_t level = 1; level < layout_.root_level(); ++level) {
-      for (std::uint64_t i = 0; i < layout_.nodes_at_level(level); ++i) {
-        const nvm::NodeId id{level, i};
-        if (image_.read_line(layout_.node_addr(id)) != meta_->node_line(id)) {
-          bad.push_back(layout_.node_addr(id));
-        }
+  for (std::uint32_t level = 1; level < layout_.root_level(); ++level) {
+    if (!tree_level_persisted(level)) continue;
+    for (std::uint64_t i = 0; i < layout_.nodes_at_level(level); ++i) {
+      const nvm::NodeId id{level, i};
+      if (image_.read_line(layout_.node_addr(id)) != meta_->node_line(id)) {
+        bad.push_back(layout_.node_addr(id));
       }
     }
   }

@@ -53,6 +53,14 @@ enum class DesignKind {
   /// Extension (§4.4 closing remark): cc-NVM plus persistent per-block
   /// update registers that make epoch-window replays locatable.
   kCcNvmPlus,
+  /// Triad-NVM (Awad et al., ISCA'19): persist the integrity tree only up
+  /// to level N (`DesignConfig::persist_level`); recovery rebuilds the
+  /// unpersisted upper levels from the persisted frontier.
+  kTriadNvm,
+  /// Phoenix (Alwadi et al.): persistently secure counter tree — counters
+  /// and every affected tree node persist in place on each write-back, so
+  /// recovery verifies the root and rebuilds nothing.
+  kPhoenix,
 };
 
 std::string_view design_name(DesignKind kind);
@@ -78,6 +86,11 @@ struct DesignConfig {
   /// from the read critical path. Functional detection is unchanged —
   /// failures are still reported, just off the latency path.
   bool speculative_reads = false;
+  /// Triad-NVM persistence frontier N: tree levels 1..N persist on every
+  /// write-back, levels above N stay volatile until recovery rebuilds
+  /// them. Values >= the tree height degenerate to the strict variant
+  /// (every internal level persisted). Ignored by the other designs.
+  std::uint32_t persist_level = 1;
   /// Workers for the recovery step-4 full-tree rebuild (1 = inline,
   /// 0 = hardware concurrency). Bit-identical for any value.
   std::size_t recovery_jobs = 1;
@@ -267,6 +280,15 @@ class SecureNvmBase : public SecureNvmDesign {
   virtual void post_recovery_reset() {}
 
   virtual RecoveryMode recovery_mode() const = 0;
+
+  /// Whether the NVM copy of tree level `level` (1..root-1) tracks the
+  /// logical state at quiesce points. audit_image() compares only the
+  /// persisted levels against the logical tree; designs that legitimately
+  /// leave a level stale (Osiris: all; Triad-NVM: levels above N) opt out
+  /// per level.
+  virtual bool tree_level_persisted(std::uint32_t /*level*/) const {
+    return recovery_mode() != RecoveryMode::kOsiris;
+  }
 
   /// Extra state to wipe on power loss (DAQ, per-design trackers).
   virtual void post_crash_reset() {}

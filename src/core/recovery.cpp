@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "secure/counter_block.h"
 #include "secure/ecc.h"
 
@@ -15,6 +16,29 @@ namespace {
 bool tag_is_zero(const Tag128& t) {
   return std::all_of(t.bytes.begin(), t.bytes.end(),
                      [](std::uint8_t b) { return b == 0; });
+}
+
+// Model work of reconstructing every tree level above `frontier`: one
+// node-tag HMAC per child consumed, one image write per internal node
+// recomputed. frontier == 0 is the full rebuild from the counter leaves.
+std::uint64_t rebuild_hash_ops_above(const nvm::NvmLayout& layout,
+                                     std::uint32_t frontier) {
+  std::uint64_t ops = 0;
+  for (std::uint32_t level = frontier + 1; level <= layout.root_level();
+       ++level) {
+    ops += layout.nodes_at_level(level - 1);
+  }
+  return ops;
+}
+
+std::uint64_t tree_nodes_above(const nvm::NvmLayout& layout,
+                               std::uint32_t frontier) {
+  std::uint64_t nodes = 0;
+  for (std::uint32_t level = frontier + 1; level < layout.root_level();
+       ++level) {
+    nodes += layout.nodes_at_level(level);
+  }
+  return nodes;
 }
 
 }  // namespace
@@ -47,6 +71,11 @@ RecoveryReport RecoveryManager::run() {
       return run_osiris();
     case RecoveryMode::kCcNvm:
       return run_cc_nvm();
+    case RecoveryMode::kTriad:
+      return run_level_persisted(in_.persist_level, /*phoenix=*/false);
+    case RecoveryMode::kPhoenix:
+      return run_level_persisted(in_.layout->root_level() - 1,
+                                 /*phoenix=*/true);
   }
   CCNVM_CHECK_MSG(false, "unknown recovery mode");
   return {};
@@ -257,10 +286,138 @@ RecoveryReport RecoveryManager::run_osiris() {
   }
 
   (void)rebuild_tree(rec.blocks, /*persist=*/true);
+  report.rebuild_hash_ops = rebuild_hash_ops_above(*in_.layout, 0);
+  report.tree_nodes_rebuilt = tree_nodes_above(*in_.layout, 0);
   report.metadata_recovered = true;
   report.recovered_root = rebuilt_root;
   report.clean = true;
   report.detail = "counters restored within the update limit";
+  return report;
+}
+
+RecoveryReport RecoveryManager::run_level_persisted(
+    std::uint32_t persist_level, bool phoenix) {
+  RecoveryReport report;
+  const nvm::NvmLayout& layout = *in_.layout;
+  const std::uint32_t root_level = layout.root_level();
+  const std::uint32_t frontier = std::min(persist_level, root_level - 1);
+
+  const auto stored = [&](const NodeId& id) -> Line {
+    if (id.level == 0) {
+      return in_.image->read_line(layout.data_capacity() +
+                                  id.index * kLineSize);
+    }
+    return in_.image->read_line(layout.node_addr(id));
+  };
+
+  // ---- Rebuild the levels above the persisted frontier, treating the
+  // frontier's stored nodes as the leaf set. Same chunked level-by-level
+  // scheme as MerkleEngine::build_full_tree, so the result is
+  // bit-identical for any jobs value. Phoenix's frontier is the whole
+  // tree; only the root recompute (the verification) remains.
+  std::vector<Line> frontier_lines(layout.nodes_at_level(frontier));
+  for (std::uint64_t i = 0; i < frontier_lines.size(); ++i) {
+    frontier_lines[i] = stored(NodeId{frontier, i});
+  }
+  std::vector<std::vector<Line>> rebuilt(root_level + 1);
+  const auto node_value = [&](const NodeId& id) -> Line {
+    if (id.level == frontier) return frontier_lines[id.index];
+    CCNVM_CHECK_MSG(id.level > frontier, "bottom-up order violated");
+    return rebuilt[id.level][id.index];
+  };
+  for (std::uint32_t level = frontier + 1; level <= root_level; ++level) {
+    const std::uint64_t count = layout.nodes_at_level(level);
+    std::vector<Line>& cur = rebuilt[level];
+    cur.resize(count);
+    constexpr std::uint64_t kChunkNodes = 64;
+    const std::size_t chunks =
+        static_cast<std::size_t>((count + kChunkNodes - 1) / kChunkNodes);
+    parallel_for(chunks, in_.jobs, [&](std::size_t c) {
+      const std::uint64_t begin = static_cast<std::uint64_t>(c) * kChunkNodes;
+      const std::uint64_t end = std::min(begin + kChunkNodes, count);
+      std::vector<NodeId> ids;
+      ids.reserve(end - begin);
+      for (std::uint64_t i = begin; i < end; ++i) ids.push_back({level, i});
+      in_.merkle->compute_nodes(
+          ids, node_value,
+          {cur.data() + begin, static_cast<std::size_t>(end - begin)});
+    });
+  }
+  report.rebuild_hash_ops = rebuild_hash_ops_above(layout, frontier);
+  const Line computed_root = rebuilt[root_level].front();
+  const bool root_matches = computed_root == in_.tcb.root_new;
+
+  // ---- Verify the whole tree — stored nodes at and below the frontier,
+  // rebuilt nodes standing in above it — against ROOT_new. The rebuild
+  // alone cannot vouch for the *stored* levels (it reads only the
+  // frontier), so every persisted node is checked against the
+  // recomputation from its children, which is also what localizes
+  // tampering (§4.4 step 1): a mismatching child is reported directly.
+  const auto hybrid = [&](const NodeId& id) -> Line {
+    if (id.level <= frontier) return stored(id);
+    return rebuilt[id.level][id.index];
+  };
+  const auto bad = in_.merkle->find_inconsistencies(hybrid, in_.tcb.root_new);
+
+  // ---- Data-HMAC scan against the persisted counters (they are current
+  // at every crash point — both designs persist the counter line on each
+  // write-back), catching spoofed/spliced/replayed data, DH and counter
+  // lines exactly as run_strict does.
+  for (std::uint64_t leaf = 0; leaf < layout.num_pages(); ++leaf) {
+    const CounterBlock cb = CounterBlock::unpack(
+        in_.image->read_line(layout.data_capacity() + leaf * kLineSize));
+    for (std::size_t b = 0; b < kBlocksPerPage; ++b) {
+      const Addr data_addr = leaf * kPageSize + b * kLineSize;
+      if (!block_written(data_addr)) continue;
+      const Line ct = in_.image->read_line(data_addr);
+      if (!(in_.cme->data_hmac(ct, data_addr, cb.pad_counter(b)) ==
+            stored_dh(data_addr))) {
+        report.tampered_blocks.push_back(data_addr);
+      }
+    }
+  }
+
+  if (root_matches && bad.empty() && report.tampered_blocks.empty()) {
+    // Persist the rebuilt levels so the NVM image and the reinstalled
+    // logical state agree above the frontier too.
+    for (std::uint32_t level = frontier + 1; level < root_level; ++level) {
+      for (std::uint64_t i = 0; i < layout.nodes_at_level(level); ++i) {
+        in_.image->write_line(layout.node_addr(NodeId{level, i}),
+                              rebuilt[level][i]);
+      }
+    }
+    report.tree_nodes_rebuilt = tree_nodes_above(layout, frontier);
+    report.metadata_recovered = true;
+    report.recovered_root = computed_root;
+    report.clean = true;
+    report.detail =
+        phoenix ? "phoenix: persisted counter tree verified, nothing rebuilt"
+                : "triad: persisted frontier verified, upper levels rebuilt";
+    return report;
+  }
+
+  // ---- Localize: parent/child mismatches pin tampering inside the
+  // persisted region; a divergence confined above the frontier only
+  // bounds the subtree — Triad's localization limit for its volatile
+  // levels.
+  for (const NodeId& id : bad) {
+    report.replayed_nodes.push_back(id);
+    if (id.level == 0) {
+      report.tampered_blocks.push_back(id.index * kPageSize);
+    }
+  }
+  report.attack_detected = true;
+  report.attack_located =
+      !report.tampered_blocks.empty() || !report.replayed_nodes.empty();
+  if (report.attack_located) {
+    report.detail = phoenix ? "phoenix: tampered persisted metadata located"
+                            : "triad: tampering located against the "
+                              "persisted frontier";
+  } else {
+    report.data_dropped = true;
+    report.detail = "triad: divergence above the persisted frontier; "
+                    "subtree bounded but not locatable";
+  }
   return report;
 }
 
@@ -386,6 +543,8 @@ RecoveryReport RecoveryManager::run_cc_nvm() {
 
   // ---- Step 4: rebuild the tree from the recovered counters. ------------
   report.recovered_root = rebuild_tree(rec.blocks, /*persist=*/true);
+  report.rebuild_hash_ops = rebuild_hash_ops_above(layout, 0);
+  report.tree_nodes_rebuilt = tree_nodes_above(layout, 0);
   report.metadata_recovered = true;
   report.clean = true;
   report.detail = "counters recovered, Merkle tree rebuilt";

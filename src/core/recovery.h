@@ -19,6 +19,15 @@
 //             rebuilt root compared with the TCB root: a mismatch detects
 //             an attack but cannot locate it, so all data is dropped.
 //   kStrict — metadata in NVM is always current; verification is direct.
+//   kTriad  — Triad-NVM: counters and tree levels 1..persist_level are
+//             current in NVM; recovery rebuilds the unpersisted upper
+//             levels from the persisted frontier, checks the result
+//             against ROOT_new, and scans every data HMAC. A mismatch is
+//             localized by verifying the stored tree (counters + persisted
+//             levels + rebuilt levels) against ROOT_new.
+//   kPhoenix— Phoenix: every level is persisted in place, so recovery
+//             recomputes only the root for verification and rebuilds
+//             nothing.
 //   kNone   — conventional secure memory: the root register is volatile,
 //             so after a crash nothing can be authenticated at all.
 #pragma once
@@ -38,7 +47,7 @@
 
 namespace ccnvm::core {
 
-enum class RecoveryMode { kNone, kStrict, kOsiris, kCcNvm };
+enum class RecoveryMode { kNone, kStrict, kOsiris, kCcNvm, kTriad, kPhoenix };
 
 struct RecoveryReport {
   /// True when recovery finished with fresh, verified metadata and no
@@ -65,6 +74,13 @@ struct RecoveryReport {
 
   std::uint64_t total_retries = 0;
   std::uint64_t counters_recovered = 0;
+  /// Tree-reconstruction work this recovery performed: node-tag HMACs
+  /// computed while rebuilding unpersisted levels (plus the root check),
+  /// and internal node lines rewritten into the NVM image. Deterministic
+  /// model quantities — the tradeoff bench derives recovery latency from
+  /// them. Phoenix rebuilds 0 nodes; Triad-N shrinks both as N grows.
+  std::uint64_t rebuild_hash_ops = 0;
+  std::uint64_t tree_nodes_rebuilt = 0;
   /// ECC-oracle evaluations performed (Osiris's "extra online checking").
   std::uint64_t ecc_checks = 0;
   /// The Merkle root after recovery (valid when metadata_recovered).
@@ -99,6 +115,9 @@ struct RecoveryInputs {
   /// Worker count for the step-4 full-tree rebuild (1 = inline, 0 = auto).
   /// The rebuilt tree is bit-identical for any value.
   std::size_t jobs = 1;
+  /// kTriad: highest tree level persisted per write-back (clamped to the
+  /// internal levels; levels above it are rebuilt here).
+  std::uint32_t persist_level = 1;
 };
 
 class RecoveryManager {
@@ -122,6 +141,10 @@ class RecoveryManager {
   RecoveryReport run_cc_nvm();
   RecoveryReport run_osiris();
   RecoveryReport run_strict();
+  /// Shared Triad-NVM / Phoenix path: rebuild levels above the persisted
+  /// frontier, verify the root and every data HMAC, localize on mismatch.
+  RecoveryReport run_level_persisted(std::uint32_t persist_level,
+                                     bool phoenix);
 
   /// Step 2: brute-force every written block's counter forward against its
   /// data HMAC.

@@ -245,7 +245,43 @@ store::StoreConfig crashd_store_config() {
   return cfg;
 }
 
-Scenario derive_scenario(std::uint64_t sweep_seed, std::uint64_t index) {
+bool parse_design_pin(const std::string& name, DesignPin& pin) {
+  if (name == "ccnvm") {
+    pin.kind = core::DesignKind::kCcNvm;
+  } else if (name == "ccnvm-nods") {
+    pin.kind = core::DesignKind::kCcNvmNoDs;
+  } else if (name == "phoenix") {
+    pin.kind = core::DesignKind::kPhoenix;
+  } else if (name == "triad") {
+    pin.kind = core::DesignKind::kTriadNvm;
+    pin.persist_level = 1;
+  } else if (name.rfind("triad-n", 0) == 0 && name.size() > 7) {
+    std::uint32_t level = 0;
+    for (std::size_t i = 7; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') return false;
+      level = level * 10 + static_cast<std::uint32_t>(name[i] - '0');
+    }
+    if (level == 0) return false;
+    pin.kind = core::DesignKind::kTriadNvm;
+    pin.persist_level = level;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+/// Designs with the §4.2 drain protocol (the only ones kDrainPhase can
+/// kill inside).
+bool pin_is_cc(core::DesignKind kind) {
+  return kind == core::DesignKind::kCcNvmNoDs ||
+         kind == core::DesignKind::kCcNvm ||
+         kind == core::DesignKind::kCcNvmPlus;
+}
+}  // namespace
+
+Scenario derive_scenario(std::uint64_t sweep_seed, std::uint64_t index,
+                         const DesignPin* pin) {
   Scenario sc;
   Rng rng(derive_seed(sweep_seed, index, 0xc4a5d));
   // Only the designs whose full crash state is mirrored into the backend
@@ -276,12 +312,34 @@ Scenario derive_scenario(std::uint64_t sweep_seed, std::uint64_t index) {
     sc.kill = KillMode::kAttack;
   }
   sc.workload_seed = derive_seed(sweep_seed, index, 0x30b5);
+  if (pin != nullptr) {
+    // Applied after the full derivation: the rng stream is untouched, so
+    // a pinned sweep runs the same op streams and kill points as the
+    // default mix — only the design under test changes.
+    sc.kind = pin->kind;
+    sc.persist_level = pin->persist_level;
+    if (sc.kill == KillMode::kDrainPhase && !pin_is_cc(sc.kind)) {
+      // Barrier designs commit on every write-back — there is no drain
+      // window to kill inside. Remap to a deterministic op boundary so
+      // the pinned sweep keeps the same kill density.
+      sc.kill = KillMode::kOpBoundary;
+      sc.kill_op = static_cast<std::size_t>(
+          (sc.target_drain * 7 + static_cast<std::uint64_t>(sc.phase)) %
+          sc.ops);
+      sc.phase = core::DrainCrashPoint::kNone;
+      sc.target_drain = 0;
+    }
+  }
   return sc;
 }
 
 std::string describe(const Scenario& sc) {
-  std::string s = std::string(core::design_name(sc.kind)) + " trigger=" +
-                  trigger_name(sc.trigger) + " ops=" + std::to_string(sc.ops);
+  std::string s = std::string(core::design_name(sc.kind));
+  if (sc.kind == core::DesignKind::kTriadNvm) {
+    s += "(n=" + std::to_string(sc.persist_level) + ")";
+  }
+  s += " trigger=" + std::string(trigger_name(sc.trigger)) +
+       " ops=" + std::to_string(sc.ops);
   switch (sc.kill) {
     case KillMode::kNone:
       s += " kill=none";
@@ -304,11 +362,12 @@ std::string describe(const Scenario& sc) {
 }
 
 int run_worker(const std::string& image_path, std::uint64_t sweep_seed,
-               std::uint64_t index) {
-  const Scenario sc = derive_scenario(sweep_seed, index);
+               std::uint64_t index, const DesignPin* pin) {
+  const Scenario sc = derive_scenario(sweep_seed, index, pin);
 
   core::DesignConfig cfg =
       audit::shaped_design_config(sc.trigger, kCrashdDaqEntries);
+  cfg.persist_level = sc.persist_level;
   cfg.backend_factory = [&image_path](std::uint64_t capacity_bytes) {
     // kNone: SIGKILL keeps the page cache, which is all this harness
     // needs (see file comment in nvm/file_backend.h); kSync would model
@@ -319,8 +378,9 @@ int run_worker(const std::string& image_path, std::uint64_t sweep_seed,
   auto design = core::make_design(sc.kind, cfg);
   auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
   auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
-  CCNVM_CHECK_MSG(base != nullptr && cc != nullptr,
-                  "crashd worker needs a CcNvmDesign");
+  CCNVM_CHECK_MSG(base != nullptr, "crashd worker needs a SecureNvmBase");
+  CCNVM_CHECK_MSG(cc != nullptr || sc.kill != KillMode::kDrainPhase,
+                  "crashd drain-phase kill needs a CcNvmDesign");
 
   // Unbuffered ack log: one write(2) per acknowledged operation. A
   // buffered stream would lose acks sitting in user-space buffers at the
@@ -378,9 +438,10 @@ int run_worker(const std::string& image_path, std::uint64_t sweep_seed,
 }
 
 VerifyResult verify_scenario(const std::string& image_path,
-                             std::uint64_t sweep_seed, std::uint64_t index) {
+                             std::uint64_t sweep_seed, std::uint64_t index,
+                             const DesignPin* pin) {
   VerifyResult res;
-  const Scenario sc = derive_scenario(sweep_seed, index);
+  const Scenario sc = derive_scenario(sweep_seed, index, pin);
   try {
     // --- The ack log: what the worker promised before dying. ---
     std::string acks;
@@ -467,8 +528,10 @@ VerifyResult verify_scenario(const std::string& image_path,
                     "crashd verify: image carries no valid TCB register blob");
     nvm::NvmImage image(std::move(backend));
 
-    auto design = core::make_design(
-        sc.kind, audit::shaped_design_config(sc.trigger, kCrashdDaqEntries));
+    core::DesignConfig verify_cfg =
+        audit::shaped_design_config(sc.trigger, kCrashdDaqEntries);
+    verify_cfg.persist_level = sc.persist_level;
+    auto design = core::make_design(sc.kind, verify_cfg);
     auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
     CCNVM_CHECK(base != nullptr);
     audit::InvariantAuditor auditor(
@@ -1203,6 +1266,24 @@ VerifyResult verify_txn_scenario(const std::string& image_path,
 }
 
 SweepResult run_sweep(const SweepConfig& config) {
+  DesignPin pin_storage;
+  const DesignPin* pin = nullptr;
+  if (!config.design.empty()) {
+    SweepResult invalid;
+    invalid.scenarios = 0;
+    if (config.service || config.txn) {
+      invalid.failures.push_back(
+          "--design pins are single-threaded-family only; drop "
+          "--service/--txn");
+      return invalid;
+    }
+    if (!parse_design_pin(config.design, pin_storage)) {
+      invalid.failures.push_back("unknown or unsupported design pin '" +
+                                 config.design + "'");
+      return invalid;
+    }
+    pin = &pin_storage;
+  }
   std::string worker_exe =
       config.worker_exe.empty() ? "/proc/self/exe" : config.worker_exe;
   std::string dir = config.work_dir;
@@ -1249,6 +1330,8 @@ SweepResult run_sweep(const SweepConfig& config) {
           args.insert(args.begin() + 3, "--txn");
         } else if (config.service) {
           args.insert(args.begin() + 3, "--service");
+        } else if (pin != nullptr) {
+          args.insert(args.begin() + 3, "--design=" + config.design);
         }
         std::vector<char*> argv;
         argv.reserve(args.size() + 1);
@@ -1285,7 +1368,7 @@ SweepResult run_sweep(const SweepConfig& config) {
             config.txn ? verify_txn_scenario(image, config.seed, i)
             : config.service
                 ? verify_service_scenario(image, config.seed, i)
-                : verify_scenario(image, config.seed, i);
+                : verify_scenario(image, config.seed, i, pin);
         if (out.verify.ok && out.verify.worker_was_killed != out.killed) {
           out.verify.ok = false;
           out.verify.message = "ack log disagrees with the wait status";
@@ -1316,7 +1399,7 @@ SweepResult run_sweep(const SweepConfig& config) {
     } else if (config.service) {
       desc = describe(derive_service_scenario(config.seed, i));
     } else {
-      const Scenario sc = derive_scenario(config.seed, i);
+      const Scenario sc = derive_scenario(config.seed, i, pin);
       if (sc.kill == KillMode::kAttack) ++sweep.attack_scenarios;
       desc = describe(sc);
     }

@@ -66,11 +66,31 @@ struct Scenario {
   std::size_t kill_op = 0;  // kOpBoundary / kBeforeAck
   std::size_t ops = 0;
   std::uint64_t workload_seed = 0;
+  std::uint32_t persist_level = 1;  // Triad-NVM frontier (pin only)
 };
 
+/// Pins every scenario of the single-threaded family to one design —
+/// how the baselines CI lane runs its per-design kill-9 sweeps.
+struct DesignPin {
+  core::DesignKind kind = core::DesignKind::kCcNvm;
+  std::uint32_t persist_level = 1;  // Triad-NVM frontier
+};
+
+/// Parses "ccnvm", "ccnvm-nods", "triad", "triad-n<K>" (frontier K) or
+/// "phoenix" into a pin. Rejects (returns false) unknown names and the
+/// designs crashd cannot honestly verify out-of-process: wocc (recovery
+/// is supposed to fail), ccnvm-plus (its per-block update registers are
+/// process state, not mirrored into the backend), sc/osiris (no pinned
+/// sweep demand — the in-process matrix covers them).
+bool parse_design_pin(const std::string& name, DesignPin& pin);
+
 /// The deterministic scenario for (sweep_seed, index) — the single
-/// source both processes derive from.
-Scenario derive_scenario(std::uint64_t sweep_seed, std::uint64_t index);
+/// source both processes derive from. A pin overrides only the design
+/// (and remaps drain-window kills, which need a draining design, to a
+/// deterministic op-boundary kill); the op stream, kill density and
+/// workload seeds stay identical across pins so sweeps are comparable.
+Scenario derive_scenario(std::uint64_t sweep_seed, std::uint64_t index,
+                         const DesignPin* pin = nullptr);
 
 std::string describe(const Scenario& scenario);
 
@@ -81,7 +101,7 @@ store::StoreConfig crashd_store_config();
 /// for the ack log). Kill scenarios do not return — the process dies by
 /// SIGKILL at the scenario's point. Clean scenarios return 0.
 int run_worker(const std::string& image_path, std::uint64_t sweep_seed,
-               std::uint64_t index);
+               std::uint64_t index, const DesignPin* pin = nullptr);
 
 struct VerifyResult {
   bool ok = false;
@@ -97,7 +117,8 @@ struct VerifyResult {
 /// common::CheckThrowScope in the caller (auditor violations and lost
 /// ops surface as CheckFailure and are converted into a failed result).
 VerifyResult verify_scenario(const std::string& image_path,
-                             std::uint64_t sweep_seed, std::uint64_t index);
+                             std::uint64_t sweep_seed, std::uint64_t index,
+                             const DesignPin* pin = nullptr);
 
 // ---- Service scenario family -------------------------------------------
 //
@@ -243,6 +264,10 @@ struct SweepConfig {
   /// KvService, kills at 2PC wave boundaries). Mutually exclusive with
   /// `service`.
   bool txn = false;
+  /// Pin every scenario to one design (see parse_design_pin). Empty =
+  /// the default cc mix. Single-threaded family only — combining a pin
+  /// with `service`/`txn` fails the sweep up front.
+  std::string design;
   std::size_t jobs = 1;  // deterministic executor width (0 = hw)
   /// Directory for image/ack files; empty = a fresh mkdtemp under
   /// $TMPDIR. Files are deleted per scenario unless keep_files.

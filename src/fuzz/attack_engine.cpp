@@ -10,6 +10,11 @@
 // committed root; and the deferred-spreading window replay is detected
 // (N_retry != N_wb) but located only on cc-NVM+, whose per-block update
 // registers pinpoint the victim block.
+//
+// The barrier baselines (Triad-NVM, Phoenix) ride the same harness: they
+// persist metadata on every write-back, so there is no open epoch — the
+// "window" replay degenerates to a committed replay and must be located
+// outright, with no potential_replay hedge.
 
 #include <algorithm>
 #include <array>
@@ -67,14 +72,25 @@ CaseOutcome run_attack_case(std::uint64_t case_seed, std::size_t max_ops) {
 
   const core::DesignKind kind =
       std::array{core::DesignKind::kCcNvmNoDs, core::DesignKind::kCcNvm,
-                 core::DesignKind::kCcNvmPlus}[rng.below(3)];
+                 core::DesignKind::kCcNvmPlus, core::DesignKind::kTriadNvm,
+                 core::DesignKind::kPhoenix}[rng.below(5)];
   const auto attack = static_cast<Attack>(rng.below(kNumAttacks));
+  const bool barrier_design = kind == core::DesignKind::kTriadNvm ||
+                              kind == core::DesignKind::kPhoenix;
 
   core::DesignConfig cfg;
   cfg.data_capacity = kAttackPages * kPageSize;
+  if (kind == core::DesignKind::kTriadNvm) {
+    // Frontier above the victim tree node's level: the node-tamper
+    // contract below demands an exact {1, idx} locate, which needs the
+    // victim's *parent* stored too (a parent rebuilt from the tampered
+    // child is self-consistent and pins only the subtree around it).
+    cfg.persist_level = 2;
+  }
   auto design = core::make_design(kind, cfg);
   auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
-  CCNVM_CHECK_MSG(cc != nullptr, "attack fuzz needs a CcNvmDesign");
+  CCNVM_CHECK_MSG(barrier_design || cc != nullptr,
+                  "attack fuzz needs a CcNvmDesign");
 
   // Populate distinct lines (distinct contents, so splices always move a
   // genuinely different value) and commit the epoch.
@@ -88,7 +104,7 @@ CaseOutcome run_attack_case(std::uint64_t case_seed, std::size_t max_ops) {
     design->write_back(a, attack_line(++tag));
     if (!contains(written, a)) written.push_back(a);
   }
-  cc->force_drain();
+  if (cc != nullptr) cc->force_drain();  // barrier designs commit per-op
 
   // The attacker's snapshot of the committed image.
   const nvm::NvmImage snapshot = design->image();
@@ -109,7 +125,7 @@ CaseOutcome run_attack_case(std::uint64_t case_seed, std::size_t max_ops) {
     ++out.ops;
     design->write_back(victim, attack_line(++tag));
   }
-  if (attack != Attack::kReplayDataWindow) cc->force_drain();
+  if (attack != Attack::kReplayDataWindow && cc != nullptr) cc->force_drain();
 
   design->crash_power_loss();
   ++out.crashes;
@@ -189,6 +205,19 @@ CaseOutcome run_attack_case(std::uint64_t case_seed, std::size_t max_ops) {
       out.checks += 2;
       break;
     case Attack::kReplayDataWindow:
+      if (barrier_design) {
+        // Every write-back committed, so the "window" replay restores
+        // stale-but-stamped data: located by the HMAC scan, and never
+        // hedged as a mere potential replay.
+        CCNVM_CHECK_MSG(report.attack_located &&
+                            contains(report.tampered_blocks, victim),
+                        "attack fuzz: barrier design failed to locate a "
+                        "committed-state replay");
+        CCNVM_CHECK_MSG(!report.potential_replay,
+                        "attack fuzz: barrier design hedged a located replay");
+        out.checks += 2;
+        break;
+      }
       CCNVM_CHECK_MSG(report.potential_replay,
                       "attack fuzz: window replay not flagged as replay");
       if (kind == core::DesignKind::kCcNvmPlus) {

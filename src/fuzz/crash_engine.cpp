@@ -79,7 +79,7 @@ Addr crash_addr(core::DrainTrigger trigger, Rng& rng) {
   return rng.below(kSweepPages * kPageSize / kLineSize) * kLineSize;
 }
 
-void run_raw_case(core::SecureNvmDesign& design, core::CcNvmDesign& cc,
+void run_raw_case(core::SecureNvmDesign& design, core::CcNvmDesign* cc,
                   core::DrainTrigger trigger, core::DrainCrashPoint point,
                   std::size_t max_ops, Rng& rng, CaseOutcome& out) {
   std::unordered_map<Addr, std::uint64_t> latest;
@@ -96,9 +96,9 @@ void run_raw_case(core::SecureNvmDesign& design, core::CcNvmDesign& cc,
       crashed = true;
     }
   }
-  if (trigger == core::DrainTrigger::kExplicit && !crashed) {
+  if (trigger == core::DrainTrigger::kExplicit && !crashed && cc != nullptr) {
     try {
-      cc.force_drain();
+      cc->force_drain();
     } catch (const core::InjectedPowerLoss&) {
       crashed = true;
     }
@@ -125,9 +125,9 @@ void run_raw_case(core::SecureNvmDesign& design, core::CcNvmDesign& cc,
   fold_digest(out.digest, latest.size());
 }
 
-void run_kv_case(core::SecureNvmBase& base, core::CcNvmDesign& cc,
-                 core::DrainTrigger trigger, core::DrainCrashPoint point,
-                 std::size_t max_ops, Rng& rng, CaseOutcome& out) {
+void run_kv_case(core::SecureNvmBase& base, core::DrainTrigger trigger,
+                 core::DrainCrashPoint point, std::size_t max_ops, Rng& rng,
+                 CaseOutcome& out) {
   constexpr std::size_t kKeys = 16;
   store::SecureKvStore kv(base, crash_store_config());
   std::map<std::string, std::string> expected;
@@ -192,9 +192,9 @@ void run_kv_case(core::SecureNvmBase& base, core::CcNvmDesign& cc,
     ++out.checks;
   }
 
-  cc.crash_power_loss();
+  base.crash_power_loss();
   ++out.crashes;
-  const core::RecoveryReport report = cc.recover();
+  const core::RecoveryReport report = base.recover();
   CCNVM_CHECK_MSG(report.clean, "crash fuzz: KV recovery not clean");
   ++out.recoveries;
 
@@ -226,11 +226,22 @@ CaseOutcome run_crash_case(std::uint64_t case_seed, std::size_t max_ops,
                            bool file_backend) {
   CaseOutcome out;
   Rng rng(case_seed);
-  const core::DesignKind kind = kCcSweepKinds[rng.below(kCcSweepKinds.size())];
+  // A quarter of the cases sample the persist-barrier designs (Triad-NVM /
+  // Phoenix): no drain machinery, so the crash lands after the sampled op
+  // count instead of inside an armed drain window. Planted-bug self-tests
+  // stay on the cc designs — the mutations live in their drain protocol.
+  const bool barrier_design =
+      planted_bug == core::CcNvmDesign::ProtocolMutation::kNone &&
+      rng.chance(0.25);
+  const core::DesignKind kind =
+      barrier_design ? (rng.chance(0.5) ? core::DesignKind::kTriadNvm
+                                        : core::DesignKind::kPhoenix)
+                     : kCcSweepKinds[rng.below(kCcSweepKinds.size())];
   const core::DrainTrigger trigger =
       kSweepTriggers[rng.below(kSweepTriggers.size())];
-  const core::DrainCrashPoint point =
+  core::DrainCrashPoint point =
       kSweepCrashPoints[rng.below(kSweepCrashPoints.size())];
+  if (barrier_design) point = core::DrainCrashPoint::kNone;
   const bool kv_mode = rng.chance(0.5);
 
   core::DesignConfig config = shaped_design_config(trigger, kv_mode ? 6 : 12);
@@ -238,7 +249,8 @@ CaseOutcome run_crash_case(std::uint64_t case_seed, std::size_t max_ops,
   auto design = core::make_design(kind, config);
   auto* base = dynamic_cast<core::SecureNvmBase*>(design.get());
   auto* cc = dynamic_cast<core::CcNvmDesign*>(design.get());
-  CCNVM_CHECK_MSG(base != nullptr && cc != nullptr,
+  CCNVM_CHECK_MSG(base != nullptr, "crash fuzz: design is not a SecureNvmBase");
+  CCNVM_CHECK_MSG(barrier_design || cc != nullptr,
                   "crash fuzz needs a CcNvmDesign");
   audit::InvariantAuditor auditor(
       audit::InvariantAuditor::Options{.verify_image = true});
@@ -249,9 +261,9 @@ CaseOutcome run_crash_case(std::uint64_t case_seed, std::size_t max_ops,
   if (point != core::DrainCrashPoint::kNone) cc->arm_drain_crash(point);
 
   if (kv_mode) {
-    run_kv_case(*base, *cc, trigger, point, max_ops, rng, out);
+    run_kv_case(*base, trigger, point, max_ops, rng, out);
   } else {
-    run_raw_case(*design, *cc, trigger, point, max_ops, rng, out);
+    run_raw_case(*design, cc, trigger, point, max_ops, rng, out);
   }
   out.checks += auditor.checks_performed();
   fold_digest(out.digest, auditor.events_observed());

@@ -1,6 +1,6 @@
-// Differential engine: one random trace, six designs, identical answers.
+// Differential engine: one random trace, eight designs, identical answers.
 //
-// All six DesignKinds are functionally equivalent while power stays on —
+// All eight DesignKinds are functionally equivalent while power stays on —
 // they differ only in *when* security metadata persists. So any trace
 // driven through all of them must read back identical plaintext
 // everywhere, and after a quiesce every image must audit clean. The
@@ -32,10 +32,11 @@ constexpr std::uint64_t kDiffPages = 16;  // 4^2 pages -> complete tree
 constexpr core::DesignKind kAllKinds[] = {
     core::DesignKind::kWoCc,      core::DesignKind::kStrict,
     core::DesignKind::kOsirisPlus, core::DesignKind::kCcNvmNoDs,
-    core::DesignKind::kCcNvm,     core::DesignKind::kCcNvmPlus};
+    core::DesignKind::kCcNvm,     core::DesignKind::kCcNvmPlus,
+    core::DesignKind::kTriadNvm,  core::DesignKind::kPhoenix};
 constexpr std::size_t kNumKinds = std::size(kAllKinds);
 
-/// Randomized geometry, shared by all six designs so the trace exercises
+/// Randomized geometry, shared by all eight designs so the trace exercises
 /// varied drain behavior (tight DAQ, tight update limit, tiny cache)
 /// without losing comparability.
 core::DesignConfig diff_config(Rng& rng) {
@@ -122,11 +123,33 @@ void check_fleet_invariants(Fleet& fleet, bool cache_can_thrash,
   CCNVM_CHECK_MSG(osiris_traffic->mt_writes == 0,
                   "diff fuzz: Osiris Plus persisted a tree node");
   ++out.checks;
+  // Phoenix persists exactly SC's branch set (same barrier, streamlined
+  // timing only), and Triad-NVM's persists are a per-event subset of it.
+  const nvm::TrafficStats* phoenix_traffic = nullptr;
+  const nvm::TrafficStats* triad_traffic = nullptr;
+  for (std::size_t i = 0; i < kNumKinds; ++i) {
+    if (kAllKinds[i] == core::DesignKind::kPhoenix)
+      phoenix_traffic = &fleet.bases[i]->traffic();
+    if (kAllKinds[i] == core::DesignKind::kTriadNvm)
+      triad_traffic = &fleet.bases[i]->traffic();
+  }
+  CCNVM_CHECK(phoenix_traffic != nullptr && triad_traffic != nullptr);
+  CCNVM_CHECK_MSG(
+      phoenix_traffic->counter_writes + phoenix_traffic->mt_writes ==
+          strict_traffic->counter_writes + strict_traffic->mt_writes,
+      "diff fuzz: Phoenix metadata traffic diverged from SC");
+  CCNVM_CHECK_MSG(
+      triad_traffic->counter_writes + triad_traffic->mt_writes <=
+          phoenix_traffic->counter_writes + phoenix_traffic->mt_writes,
+      "diff fuzz: Triad-NVM wrote more metadata than Phoenix");
+  out.checks += 2;
   for (std::size_t i = 0; i < kNumKinds; ++i) {
     switch (kAllKinds[i]) {
       case core::DesignKind::kCcNvmNoDs:
       case core::DesignKind::kCcNvm:
-      case core::DesignKind::kCcNvmPlus: {
+      case core::DesignKind::kCcNvmPlus:
+      case core::DesignKind::kTriadNvm:
+      case core::DesignKind::kPhoenix: {
         const auto& t = fleet.bases[i]->traffic();
         if (!cache_can_thrash) {
           CCNVM_CHECK_MSG(

@@ -12,9 +12,10 @@ TEST(CrashSweepTest, FullMatrixHoldsEveryInvariant) {
   CrashSweepConfig config;
   config.seed = 7;
   const CrashSweepResult r = run_crash_sweep(config);
-  // 3 cc designs × 4 triggers × 4 crash points, plus 3 non-draining
-  // designs × 7 crash prefixes.
-  EXPECT_EQ(r.scenarios, 69u);
+  // 3 cc designs × 4 triggers × 4 crash points, plus 5 non-draining
+  // designs (incl. the Triad-NVM/Phoenix barrier baselines) × 7 crash
+  // prefixes.
+  EXPECT_EQ(r.scenarios, 83u);
   EXPECT_EQ(r.crashes, r.scenarios) << "every scenario loses power";
   EXPECT_GT(r.recoveries, 0u);
   EXPECT_GT(r.writes_verified, 0u);
@@ -29,7 +30,7 @@ TEST(CrashSweepTest, SeedsVaryTheWorkloadNotTheCoverage) {
   config.seed = 12345;
   config.ops_per_scenario = 64;
   const CrashSweepResult r = run_crash_sweep(config);
-  EXPECT_EQ(r.scenarios, 69u);
+  EXPECT_EQ(r.scenarios, 83u);
   EXPECT_GT(r.writes_verified, 0u);
 }
 

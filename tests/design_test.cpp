@@ -172,7 +172,9 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, DesignTest,
                                            DesignKind::kStrict,
                                            DesignKind::kOsirisPlus,
                                            DesignKind::kCcNvmNoDs,
-                                           DesignKind::kCcNvm),
+                                           DesignKind::kCcNvm,
+                                           DesignKind::kTriadNvm,
+                                           DesignKind::kPhoenix),
                          [](const auto& info) {
                            switch (info.param) {
                              case DesignKind::kWoCc: return "WoCc";
@@ -181,6 +183,8 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, DesignTest,
                              case DesignKind::kCcNvmNoDs: return "CcNvmNoDs";
                              case DesignKind::kCcNvm: return "CcNvm";
                              case DesignKind::kCcNvmPlus: return "CcNvmPlus";
+                             case DesignKind::kTriadNvm: return "TriadNvm";
+                             case DesignKind::kPhoenix: return "Phoenix";
                            }
                            return "unknown";
                          });

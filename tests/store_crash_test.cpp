@@ -14,12 +14,13 @@ TEST(KvCrashSweepTest, FullMatrixLosesNoAcknowledgedOperation) {
   KvCrashSweepConfig config;
   config.seed = 7;
   const KvCrashSweepResult r = run_kv_crash_sweep(config);
-  // 3 cc designs × 4 triggers × 4 crash points, plus 3 non-draining
-  // designs × 4 crash prefixes.
-  EXPECT_EQ(r.scenarios, 60u);
+  // 3 cc designs × 4 triggers × 4 crash points, plus 5 non-draining
+  // designs (incl. the Triad-NVM/Phoenix barrier baselines) × 4 crash
+  // prefixes.
+  EXPECT_EQ(r.scenarios, 68u);
   EXPECT_EQ(r.crashes, r.scenarios) << "every scenario loses power";
   // All cc scenarios recover; of the non-cc ones w/o CC never does.
-  EXPECT_EQ(r.recoveries, 56u);
+  EXPECT_EQ(r.recoveries, 64u);
   EXPECT_GT(r.ops_applied, 0u);
   EXPECT_GT(r.in_flight_ops, 0u) << "armed kills must land mid-operation";
   EXPECT_GT(r.keys_verified, 0u);
@@ -34,8 +35,8 @@ TEST(KvCrashSweepTest, SeedsVaryTheWorkloadNotTheCoverage) {
   config.seed = 12345;
   config.ops_per_scenario = 40;
   const KvCrashSweepResult r = run_kv_crash_sweep(config);
-  EXPECT_EQ(r.scenarios, 60u);
-  EXPECT_EQ(r.recoveries, 56u);
+  EXPECT_EQ(r.scenarios, 68u);
+  EXPECT_EQ(r.recoveries, 64u);
   EXPECT_GT(r.keys_verified, 0u);
 }
 

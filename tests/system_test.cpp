@@ -63,7 +63,9 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, SystemTest,
                                            core::DesignKind::kStrict,
                                            core::DesignKind::kOsirisPlus,
                                            core::DesignKind::kCcNvmNoDs,
-                                           core::DesignKind::kCcNvm),
+                                           core::DesignKind::kCcNvm,
+                                           core::DesignKind::kTriadNvm,
+                                           core::DesignKind::kPhoenix),
                          [](const auto& info) {
                            switch (info.param) {
                              case core::DesignKind::kWoCc: return "WoCc";
@@ -75,6 +77,10 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, SystemTest,
                              case core::DesignKind::kCcNvm: return "CcNvm";
                              case core::DesignKind::kCcNvmPlus:
                                return "CcNvmPlus";
+                             case core::DesignKind::kTriadNvm:
+                               return "TriadNvm";
+                             case core::DesignKind::kPhoenix:
+                               return "Phoenix";
                            }
                            return "unknown";
                          });

@@ -1,0 +1,129 @@
+// The barrier baselines' tradeoff contract, as unit tests: Triad-NVM's
+// persist frontier N trades recovery work for write traffic strictly and
+// monotonically, Phoenix's recovery performs no tree rebuild at all, and
+// the parallel recovery rebuild is bit-identical to the inline one. The
+// tradeoff_curve bench enforces the same curve at 4096-page scale; this
+// test pins it at unit scale so a violation names the design, not the
+// bench.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/design.h"
+
+namespace ccnvm::core {
+namespace {
+
+// 256 pages -> a 5-level tree (root level 4), so frontiers 1, 2 and 3
+// (= root-1, i.e. "persist all") land on three distinct levels.
+constexpr std::uint64_t kPages = 256;
+constexpr std::uint64_t kOps = 1500;
+
+Line pattern_line(std::uint64_t tag) {
+  Line l{};
+  l[0] = static_cast<std::uint8_t>(tag);
+  l[1] = static_cast<std::uint8_t>(tag >> 8);
+  l[2] = static_cast<std::uint8_t>(tag * 97);
+  return l;
+}
+
+DesignConfig config_for(std::uint32_t persist_level,
+                        std::size_t recovery_jobs = 1) {
+  DesignConfig cfg;
+  cfg.data_capacity = kPages * kPageSize;
+  cfg.persist_level = persist_level;
+  cfg.recovery_jobs = recovery_jobs;
+  return cfg;
+}
+
+// The same uniform write stream for every design point, so traffic and
+// rebuild numbers are comparable across the sweep.
+void run_workload(SecureNvmDesign& design) {
+  Rng rng(77);
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const Addr a = rng.below(kPages * kPageSize / kLineSize) * kLineSize;
+    design.write_back(a, pattern_line(i));
+  }
+  auto* base = dynamic_cast<SecureNvmBase*>(&design);
+  ASSERT_NE(base, nullptr);
+  base->quiesce();
+}
+
+struct SweepPoint {
+  std::uint64_t tree_writes = 0;      // persisted counter+MT line writes
+  std::uint64_t rebuild_hash_ops = 0;
+  std::uint64_t tree_nodes_rebuilt = 0;
+};
+
+SweepPoint run_point(DesignKind kind, std::uint32_t persist_level) {
+  auto design = make_design(kind, config_for(persist_level));
+  run_workload(*design);
+  SweepPoint p;
+  const nvm::TrafficStats& t = design->traffic();
+  p.tree_writes = t.counter_writes + t.mt_writes;
+  design->crash_power_loss();
+  const RecoveryReport report = design->recover();
+  EXPECT_TRUE(report.clean);
+  EXPECT_TRUE(report.metadata_recovered);
+  p.rebuild_hash_ops = report.rebuild_hash_ops;
+  p.tree_nodes_rebuilt = report.tree_nodes_rebuilt;
+  return p;
+}
+
+TEST(TradeoffTest, TriadFrontierTradesRecoveryForWrites) {
+  std::vector<SweepPoint> sweep;
+  for (std::uint32_t n : {1u, 2u, 3u}) {
+    SCOPED_TRACE(n);
+    sweep.push_back(run_point(DesignKind::kTriadNvm, n));
+  }
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    // Deeper frontier => strictly less rebuild work at recovery...
+    EXPECT_LT(sweep[i].rebuild_hash_ops, sweep[i - 1].rebuild_hash_ops)
+        << "frontier " << i + 1 << " vs " << i;
+    EXPECT_LT(sweep[i].tree_nodes_rebuilt, sweep[i - 1].tree_nodes_rebuilt);
+    // ...bought with strictly more persisted-tree write traffic.
+    EXPECT_GT(sweep[i].tree_writes, sweep[i - 1].tree_writes)
+        << "frontier " << i + 1 << " vs " << i;
+  }
+}
+
+TEST(TradeoffTest, PhoenixRecoveryRebuildsNothing) {
+  const SweepPoint p = run_point(DesignKind::kPhoenix, 1);
+  EXPECT_EQ(p.tree_nodes_rebuilt, 0u)
+      << "Phoenix persists the whole tree; recovery must only verify";
+  // Phoenix writes at least as much tree traffic as the deepest Triad
+  // frontier — it is the fast-boot endpoint of the curve.
+  const SweepPoint triad_all = run_point(DesignKind::kTriadNvm, 3);
+  EXPECT_GE(p.tree_writes, triad_all.tree_writes);
+  EXPECT_LE(p.rebuild_hash_ops, triad_all.rebuild_hash_ops);
+}
+
+TEST(TradeoffTest, ParallelRebuildBitIdentical) {
+  // The chunked parallel rebuild must be indistinguishable from the
+  // inline one: same report numbers, same recovered root, same
+  // plaintext on every block.
+  RecoveryReport reports[2];
+  std::vector<Line> plain[2];
+  for (int i = 0; i < 2; ++i) {
+    const std::size_t jobs = (i == 0) ? 1 : 4;
+    auto design =
+        make_design(DesignKind::kTriadNvm, config_for(/*persist_level=*/2, jobs));
+    run_workload(*design);
+    design->crash_power_loss();
+    reports[i] = design->recover();
+    ASSERT_TRUE(reports[i].clean) << "jobs=" << jobs;
+    for (std::uint64_t page = 0; page < kPages; ++page) {
+      const ReadResult r = design->read_block(page * kPageSize);
+      ASSERT_TRUE(r.integrity_ok);
+      plain[i].push_back(r.plaintext);
+    }
+  }
+  EXPECT_EQ(reports[0].rebuild_hash_ops, reports[1].rebuild_hash_ops);
+  EXPECT_EQ(reports[0].tree_nodes_rebuilt, reports[1].tree_nodes_rebuilt);
+  EXPECT_EQ(reports[0].recovered_root, reports[1].recovered_root);
+  EXPECT_EQ(plain[0], plain[1]);
+}
+
+}  // namespace
+}  // namespace ccnvm::core

@@ -15,13 +15,16 @@
 //              [--jobs=J] [--ops=K] [--replay=CASE_SEED] [--out=FILE]
 //                                       randomized campaigns (CCNVM_AUDIT)
 //   ccnvm crashd sweep [--scenarios=N] [--seed=S] [--jobs=J]
-//                      [--service|--txn] [--dir=D] [--keep]
+//                      [--service|--txn|--design=D] [--dir=D] [--keep]
 //                                       out-of-process kill-9 sweep
-//   ccnvm crashd worker --image=F --seed=S --index=I [--service|--txn]
-//   ccnvm crashd verify --image=F --seed=S --index=I [--service|--txn]
+//   ccnvm crashd worker --image=F --seed=S --index=I
+//                       [--service|--txn|--design=D]
+//   ccnvm crashd verify --image=F --seed=S --index=I
+//                       [--service|--txn|--design=D]
 //   ccnvm nvlint [path]...              persist-ordering static analyzer
 //
-// Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus
+// Designs: wocc | sc | osiris | ccnvm-nods | ccnvm | ccnvm-plus |
+//          triad[-nK] | phoenix
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -69,13 +72,26 @@ std::optional<std::uint64_t> parse_u64(const std::string& arg) {
   return value;
 }
 
-std::optional<core::DesignKind> parse_design(const std::string& name) {
+/// "triad-n<K>" selects Triad-NVM with persist frontier K; plain "triad"
+/// is triad-n1. `persist_level` (optional) receives the frontier.
+std::optional<core::DesignKind> parse_design(
+    const std::string& name, std::uint32_t* persist_level = nullptr) {
   if (name == "wocc") return core::DesignKind::kWoCc;
   if (name == "sc") return core::DesignKind::kStrict;
   if (name == "osiris") return core::DesignKind::kOsirisPlus;
   if (name == "ccnvm-nods") return core::DesignKind::kCcNvmNoDs;
   if (name == "ccnvm") return core::DesignKind::kCcNvm;
   if (name == "ccnvm-plus") return core::DesignKind::kCcNvmPlus;
+  if (name == "phoenix") return core::DesignKind::kPhoenix;
+  if (name == "triad") return core::DesignKind::kTriadNvm;
+  if (name.rfind("triad-n", 0) == 0 && name.size() > 7) {
+    const auto level = parse_u64(name.substr(7));
+    if (!level || *level == 0 || *level > 64) return std::nullopt;
+    if (persist_level != nullptr) {
+      *persist_level = static_cast<std::uint32_t>(*level);
+    }
+    return core::DesignKind::kTriadNvm;
+  }
   return std::nullopt;
 }
 
@@ -84,7 +100,8 @@ int cmd_list() {
   for (const auto& p : trace::spec2006_profiles()) {
     std::printf(" %s", p.name.c_str());
   }
-  std::printf("\ndesigns:   wocc sc osiris ccnvm-nods ccnvm ccnvm-plus\n");
+  std::printf("\ndesigns:   wocc sc osiris ccnvm-nods ccnvm ccnvm-plus "
+              "triad[-nK] phoenix\n");
   return 0;
 }
 
@@ -109,13 +126,15 @@ int cmd_geometry(std::uint64_t mib) {
 
 int cmd_run(const std::string& workload, const std::string& design,
             std::uint64_t refs) {
-  const auto kind = parse_design(design);
+  std::uint32_t persist_level = 1;
+  const auto kind = parse_design(design, &persist_level);
   if (!kind) {
     std::fprintf(stderr, "unknown design '%s'\n", design.c_str());
     return 2;
   }
   sim::SystemConfig cfg;
   cfg.kind = *kind;
+  cfg.design.persist_level = persist_level;
   cfg.design.data_capacity = 16ull << 30;
   cfg.design.functional = false;
   sim::System system(cfg);
@@ -226,7 +245,8 @@ int cmd_audit(std::uint64_t seed, std::uint64_t jobs) {
 
 int cmd_kv_run(const std::string& workload_name, const std::string& design,
                std::uint64_t ops, std::uint64_t records) {
-  const auto kind = parse_design(design);
+  std::uint32_t persist_level = 1;
+  const auto kind = parse_design(design, &persist_level);
   if (!kind) {
     std::fprintf(stderr, "unknown design '%s'\n", design.c_str());
     return 2;
@@ -252,6 +272,7 @@ int cmd_kv_run(const std::string& workload_name, const std::string& design,
   const store::StoreConfig store_config =
       store::StoreConfig::sized_for(peak_keys, workload.value_bytes);
   core::DesignConfig design_config;
+  design_config.persist_level = persist_level;
   design_config.data_capacity = store::capacity_for(store_config);
   auto nvm = core::make_design(*kind, design_config);
   auto& base = dynamic_cast<core::SecureNvmBase&>(*nvm);
@@ -581,6 +602,7 @@ int cmd_crashd(int argc, char** argv) {
   std::uint64_t index = 0;
   bool service = false;
   bool txn = false;
+  std::string design;
   crashd::SweepConfig sweep_cfg;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -618,9 +640,27 @@ int cmd_crashd(int argc, char** argv) {
       service = sweep_cfg.service = true;
     } else if (arg == "--txn") {
       txn = sweep_cfg.txn = true;
+    } else if (const auto v = value_of("--design=")) {
+      design = sweep_cfg.design = *v;
     } else {
       return usage();
     }
+  }
+  crashd::DesignPin pin_storage;
+  const crashd::DesignPin* pin = nullptr;
+  if (!design.empty()) {
+    // run_sweep validates its own copy; worker/verify need the parse here.
+    if (service || txn) {
+      std::fprintf(stderr,
+                   "--design pins are single-threaded-family only\n");
+      return 2;
+    }
+    if (!crashd::parse_design_pin(design, pin_storage)) {
+      std::fprintf(stderr, "unknown or unsupported design pin '%s'\n",
+                   design.c_str());
+      return 2;
+    }
+    pin = &pin_storage;
   }
 
   if (sub == "worker") {
@@ -629,7 +669,7 @@ int cmd_crashd(int argc, char** argv) {
     // which the sweep reports as an unexpected wait status.
     if (txn) return crashd::run_txn_worker(image, seed, index);
     return service ? crashd::run_service_worker(image, seed, index)
-                   : crashd::run_worker(image, seed, index);
+                   : crashd::run_worker(image, seed, index, pin);
   }
   if (sub == "verify") {
     if (image.empty()) return usage();
@@ -637,12 +677,12 @@ int cmd_crashd(int argc, char** argv) {
     const crashd::VerifyResult r =
         txn ? crashd::verify_txn_scenario(image, seed, index)
         : service ? crashd::verify_service_scenario(image, seed, index)
-                  : crashd::verify_scenario(image, seed, index);
+                  : crashd::verify_scenario(image, seed, index, pin);
     const std::string desc =
         txn ? crashd::describe(crashd::derive_txn_scenario(seed, index))
         : service
             ? crashd::describe(crashd::derive_service_scenario(seed, index))
-            : crashd::describe(crashd::derive_scenario(seed, index));
+            : crashd::describe(crashd::derive_scenario(seed, index, pin));
     std::printf("scenario %llu [%s]: %s\n",
                 static_cast<unsigned long long>(index), desc.c_str(),
                 r.ok ? "ok" : "FAIL");
@@ -723,11 +763,12 @@ int usage() {
                "             [--planted-bug=NAME] [--no-minimize]\n"
                "       ccnvm crashd sweep [--scenarios=200] [--seed=1]\n"
                "             [--jobs=1] [--dir=DIR] [--keep] "
-               "[--service|--txn]\n"
+               "[--service|--txn|--design=NAME]\n"
                "       ccnvm crashd <worker|verify> --image=FILE --seed=S "
-               "--index=I [--service|--txn]\n"
+               "--index=I [--service|--txn|--design=NAME]\n"
                "       ccnvm nvlint [path=src]...\n"
-               "designs: wocc sc osiris ccnvm-nods ccnvm ccnvm-plus\n");
+               "designs: wocc sc osiris ccnvm-nods ccnvm ccnvm-plus "
+               "triad[-nK] phoenix\n");
   return 2;
 }
 
